@@ -1,0 +1,2 @@
+"""Benchmark suite regenerating every table and figure of the paper's
+evaluation section (see DESIGN.md §4 for the experiment index)."""

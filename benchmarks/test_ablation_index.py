@@ -1,0 +1,85 @@
+"""Ablation A4: B+-tree-indexed access vs binary search (VJ+E).
+
+Under the element scheme, ViewJoin's flush-time extension locates each
+partition's entries by searching the lists; the paper's related work
+(Section VII) uses page-based indexes for exactly this.  We compare the
+plain binary-search path against the B+-tree descent on the query whose
+extension step dominates (single-view decomposition: all non-root tags
+fetched at flush time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.engine import evaluate
+from repro.bench.report import format_table
+from repro.workloads import nasa
+
+#: Single-view covering sets maximize flush-time fetching.
+CASES = {
+    "N5": [nasa.BY_NAME["N5"].query],
+    "N7": [nasa.BY_NAME["N7"].query],
+    "Nt": [nasa.QUERY_NT],
+}
+QUERIES = {"N5": nasa.BY_NAME["N5"].query, "N7": nasa.BY_NAME["N7"].query,
+           "Nt": nasa.QUERY_NT}
+
+
+@pytest.fixture(scope="module")
+def comparison(nasa_catalog):
+    rows = []
+    results = {}
+    for name, views in CASES.items():
+        query = QUERIES[name]
+        plain = evaluate(query, nasa_catalog, views, "VJ", "E")
+        indexed = evaluate(
+            query, nasa_catalog, views, "VJ", "E", use_index=True
+        )
+        rows.append(
+            [name, plain.counters.comparisons, indexed.counters.comparisons,
+             plain.io.logical_reads, indexed.io.logical_reads,
+             plain.match_count]
+        )
+        results[name] = (plain, indexed)
+    write_report(
+        "ablation_index",
+        "Ablation A4 — binary search vs B+-tree descent (VJ+E,"
+        " single-view covering sets):",
+        format_table(
+            ["query", "cmp (bisect)", "cmp (B+tree)", "pages (bisect)",
+             "pages (B+tree)", "matches"],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_identical_matches(comparison):
+    for name, (plain, indexed) in comparison.items():
+        assert plain.match_keys() == indexed.match_keys(), name
+
+
+def test_index_reduces_comparisons(comparison):
+    reduced = sum(
+        1
+        for plain, indexed in comparison.values()
+        if indexed.counters.comparisons <= plain.counters.comparisons
+    )
+    assert reduced >= 2  # wins on at least two of the three cases
+
+
+@pytest.mark.parametrize("use_index", [False, True],
+                         ids=["bisect", "btree"])
+def test_bench_extension_path(benchmark, nasa_catalog, use_index):
+    query = QUERIES["Nt"]
+    views = CASES["Nt"]
+
+    def run():
+        return evaluate(
+            query, nasa_catalog, views, "VJ", "E",
+            emit_matches=False, use_index=use_index,
+        ).match_count
+
+    assert benchmark(run) >= 0

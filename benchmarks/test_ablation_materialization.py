@@ -1,0 +1,78 @@
+"""Ablation A5: materialization cost per storage scheme.
+
+The paper reports query-time numbers only; view *build* cost is the other
+side of the trade.  We materialize a representative view mix in all four
+schemes and compare build time, bytes and pages written.  Expected: E is
+cheapest to build, T pays match enumeration (worst under redundancy), LE
+pays pointer computation, LE_p sits between E and LE on bytes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.report import format_table
+from repro.storage.catalog import materialize
+from repro.storage.pager import Pager
+from repro.tpq.parser import parse_pattern
+
+VIEW_TEXTS = (
+    "//item//text//keyword",      # redundant: tuple blow-up
+    "//person//education",         # 1:1
+    "//open_auction//bidder//increase",
+)
+SCHEMES = ("E", "T", "LE", "LEp")
+
+
+@pytest.fixture(scope="module")
+def build_rows(xmark_doc):
+    rows = []
+    for text in VIEW_TEXTS:
+        pattern = parse_pattern(text)
+        for scheme in SCHEMES:
+            pager = Pager()
+            begin = time.perf_counter()
+            view = materialize(xmark_doc, pattern, scheme, pager=pager)
+            elapsed = (time.perf_counter() - begin) * 1e3
+            rows.append(
+                [text, scheme, round(elapsed, 2), view.size_bytes,
+                 pager.page_file.stats.pages_written]
+            )
+            pager.close()
+    write_report(
+        "ablation_materialization",
+        "Ablation A5 — materialization cost per scheme (XMark):",
+        format_table(
+            ["view", "scheme", "build ms", "bytes", "pages written"], rows
+        ),
+    )
+    return rows
+
+
+def test_element_cheapest_bytes(build_rows):
+    for text in VIEW_TEXTS:
+        sizes = {row[1]: row[3] for row in build_rows if row[0] == text}
+        assert sizes["E"] == min(sizes.values()), text
+
+
+def test_lep_between_e_and_le(build_rows):
+    for text in VIEW_TEXTS:
+        sizes = {row[1]: row[3] for row in build_rows if row[0] == text}
+        assert sizes["E"] <= sizes["LEp"] <= sizes["LE"], text
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_bench_build(benchmark, xmark_doc, scheme):
+    pattern = parse_pattern(VIEW_TEXTS[0])
+
+    def run():
+        pager = Pager()
+        view = materialize(xmark_doc, pattern, scheme, pager=pager)
+        size = view.size_bytes
+        pager.close()
+        return size
+
+    assert benchmark(run) > 0

@@ -1,0 +1,99 @@
+"""Ablation A3: page size and buffer-pool sensitivity of the I/O counters.
+
+The storage substrate fixes 4 KiB pages and a 64-page LRU pool by default.
+We sweep both knobs under a fixed workload (VJ+LE on N5) and record
+logical/physical reads.  Expected: logical reads (buffer-pool requests,
+one per record access) are invariant; physical reads shrink as pages grow
+(fewer pages hold the same lists) and as the pool grows, until the working
+set fits; matches are invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.engine import evaluate
+from repro.bench.report import format_table
+from repro.storage.catalog import ViewCatalog
+from repro.storage.pager import Pager
+from repro.workloads import nasa
+
+PAGE_SIZES = (1024, 2048, 4096, 8192, 16384)
+POOL_SIZES = (4, 16, 64, 256)
+
+
+def _run(nasa_doc, page_size, pool_capacity):
+    pager = Pager(page_size=page_size, pool_capacity=pool_capacity)
+    spec = nasa.BY_NAME["N5"]
+    with ViewCatalog(nasa_doc, pager=pager) as catalog:
+        result = evaluate(
+            spec.query, catalog, spec.views, "VJ", "LE", emit_matches=False
+        )
+    return result
+
+
+@pytest.fixture(scope="module")
+def sweep(nasa_doc):
+    page_rows = []
+    for page_size in PAGE_SIZES:
+        result = _run(nasa_doc, page_size, 64)
+        page_rows.append(
+            [page_size, result.io.logical_reads, result.io.physical_reads,
+             result.match_count]
+        )
+    pool_rows = []
+    for pool in POOL_SIZES:
+        result = _run(nasa_doc, 1024, pool)
+        pool_rows.append(
+            [pool, result.io.logical_reads, result.io.physical_reads,
+             result.match_count]
+        )
+    write_report(
+        "ablation_pager",
+        "Ablation A3 — page-size sweep (pool=64), VJ+LE on N5:",
+        format_table(["page bytes", "logical", "physical", "matches"],
+                     page_rows),
+        "buffer-pool sweep (page=1KiB):",
+        format_table(["pool pages", "logical", "physical", "matches"],
+                     pool_rows),
+    )
+    return page_rows, pool_rows
+
+
+def test_matches_invariant(sweep):
+    page_rows, pool_rows = sweep
+    assert len({row[3] for row in page_rows + pool_rows}) == 1
+
+
+def test_bigger_pages_fewer_physical_reads(sweep):
+    """Logical reads count buffer-pool requests (one per record access),
+    so they are page-size invariant; the physical reads behind them shrink
+    as more records share a page."""
+    page_rows, __ = sweep
+    logical = [row[1] for row in page_rows]
+    physical = [row[2] for row in page_rows]
+    assert len(set(logical)) == 1
+    assert physical[-1] < physical[0]
+
+
+def test_bigger_pool_fewer_physical_reads(sweep):
+    __, pool_rows = sweep
+    physical = [row[2] for row in pool_rows]
+    assert physical[-1] <= physical[0]
+
+
+@pytest.mark.parametrize("page_size", PAGE_SIZES)
+def test_bench_page_size(benchmark, nasa_doc, page_size):
+    spec = nasa.BY_NAME["N5"]
+    pager = Pager(page_size=page_size, pool_capacity=64)
+    with ViewCatalog(nasa_doc, pager=pager) as catalog:
+        catalog.add_all(spec.views, "LE")
+
+        def run():
+            return evaluate(
+                spec.query, catalog, spec.views, "VJ", "LE",
+                emit_matches=False,
+            ).match_count
+
+        assert benchmark(run) >= 0

@@ -1,0 +1,98 @@
+"""Ablation A1: the LE_p materialization-distance threshold.
+
+The paper fixes the rule at "materialize a following/descendant pointer
+only if the target is more than one entry away" (Section III-C).  We sweep
+the threshold: 1 (the paper's rule) through larger values that drop ever
+more pointers, measuring view size, pointer counts and ViewJoin work.
+Expected: size decreases monotonically with the threshold; evaluation work
+rises gently once useful long jumps start being dropped; matches never
+change (correctness is threshold-independent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.engine import evaluate
+from repro.bench.report import format_table
+from repro.storage.catalog import ViewCatalog
+from repro.workloads import nasa
+
+THRESHOLDS = (1, 2, 4, 8)
+SPEC_NAMES = ("N1", "N5", "N7")
+
+
+@pytest.fixture(scope="module")
+def sweep(nasa_doc):
+    rows = []
+    match_counts: dict[str, set[int]] = {}
+    for threshold in THRESHOLDS:
+        with ViewCatalog(nasa_doc, partial_distance=threshold) as catalog:
+            for name in SPEC_NAMES:
+                spec = nasa.BY_NAME[name]
+                result = evaluate(
+                    spec.query, catalog, spec.views, "VJ", "LEp",
+                    emit_matches=False,
+                )
+                size = sum(
+                    info.size_bytes
+                    for info in catalog.views()
+                    if info.pattern in spec.views
+                )
+                pointers = sum(
+                    info.num_pointers
+                    for info in catalog.views()
+                    if info.pattern in spec.views
+                )
+                rows.append(
+                    [threshold, name, size, pointers,
+                     result.counters.work,
+                     result.counters.pointer_jumps,
+                     result.match_count]
+                )
+                match_counts.setdefault(name, set()).add(result.match_count)
+    write_report(
+        "ablation_pointer_threshold",
+        "Ablation A1 — LE_p materialization threshold sweep (VJ+LEp, NASA):",
+        format_table(
+            ["threshold", "query", "view bytes", "#pointers", "work",
+             "jumps", "matches"],
+            rows,
+        ),
+    )
+    return rows, match_counts
+
+
+def test_matches_invariant(sweep):
+    __, match_counts = sweep
+    assert all(len(counts) == 1 for counts in match_counts.values())
+
+
+def test_pointer_count_monotone_in_threshold(sweep):
+    rows, __ = sweep
+    for name in SPEC_NAMES:
+        pointers = [row[3] for row in rows if row[1] == name]
+        assert pointers == sorted(pointers, reverse=True), (name, pointers)
+
+
+def test_size_monotone_in_threshold(sweep):
+    rows, __ = sweep
+    for name in SPEC_NAMES:
+        sizes = [row[2] for row in rows if row[1] == name]
+        assert sizes == sorted(sizes, reverse=True), (name, sizes)
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_bench_threshold(benchmark, nasa_doc, threshold):
+    spec = nasa.BY_NAME["N5"]
+    with ViewCatalog(nasa_doc, partial_distance=threshold) as catalog:
+        catalog.add_all(spec.views, "LEp")
+
+        def run():
+            return evaluate(
+                spec.query, catalog, spec.views, "VJ", "LEp",
+                emit_matches=False,
+            ).match_count
+
+        assert benchmark(run) >= 0

@@ -1,0 +1,111 @@
+"""Ablation A6: strict pc-edge admission for TwigStack.
+
+Classic TwigStack treats pc-edges as ad-edges during filtering and checks
+levels only at output, admitting candidates that can never join — the
+known suboptimality later holistic joins (TwigStackList et al.) remove.
+Our ``strict_pc`` option admits a pc-child only when its direct parent is
+a buffered candidate.  We measure the candidate and enumeration savings on
+the pc-edge queries of the workloads (N3, N6) and on synthetic pc chains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.engine import evaluate
+from repro.bench.report import format_table
+from repro.datasets import random_trees
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.parser import parse_pattern
+from repro.workloads import nasa
+
+
+def _cases(nasa_catalog):
+    yield "N3", nasa.BY_NAME["N3"].query, nasa.BY_NAME["N3"].views, \
+        nasa_catalog, None
+    yield "N6", nasa.BY_NAME["N6"].query, nasa.BY_NAME["N6"].views, \
+        nasa_catalog, None
+    doc = random_trees.generate(
+        size=600, tags=list("abc"), max_depth=10, seed=3
+    )
+    catalog = ViewCatalog(doc)
+    query = parse_pattern("//a/b/c")
+    views = [parse_pattern(f"//{tag}") for tag in query.tags()]
+    yield "pc-chain", query, views, catalog, catalog
+
+
+@pytest.fixture(scope="module")
+def comparison(nasa_catalog):
+    rows = []
+    results = {}
+    owned = []
+    try:
+        for name, query, views, catalog, owner in _cases(nasa_catalog):
+            if owner is not None:
+                owned.append(owner)
+            loose = evaluate(
+                query, catalog, views, "TS", "E", emit_matches=False
+            )
+            strict = evaluate(
+                query, catalog, views, "TS", "E", emit_matches=False,
+                strict_pc=True,
+            )
+            rows.append(
+                [name,
+                 loose.counters.candidates_added,
+                 strict.counters.candidates_added,
+                 loose.counters.work, strict.counters.work,
+                 loose.match_count]
+            )
+            results[name] = (loose, strict)
+        write_report(
+            "ablation_strict_pc",
+            "Ablation A6 — strict pc-edge admission (TS+E):",
+            format_table(
+                ["query", "candidates (loose)", "candidates (strict)",
+                 "work (loose)", "work (strict)", "matches"],
+                rows,
+            ),
+        )
+        return results
+    finally:
+        for catalog in owned:
+            catalog.close()
+
+
+def test_matches_identical(comparison):
+    for name, (loose, strict) in comparison.items():
+        assert loose.match_count == strict.match_count, name
+
+
+def test_strict_never_admits_more(comparison):
+    for name, (loose, strict) in comparison.items():
+        assert (
+            strict.counters.candidates_added
+            <= loose.counters.candidates_added
+        ), name
+
+
+def test_strict_prunes_pc_chain(comparison):
+    loose, strict = comparison["pc-chain"]
+    assert strict.counters.candidates_added < loose.counters.candidates_added
+
+
+@pytest.mark.parametrize("strict", [False, True], ids=["loose", "strict"])
+def test_bench_pc_chain(benchmark, strict):
+    doc = random_trees.generate(
+        size=600, tags=list("abc"), max_depth=10, seed=3
+    )
+    query = parse_pattern("//a/b/c")
+    views = [parse_pattern(f"//{tag}") for tag in query.tags()]
+    with ViewCatalog(doc) as catalog:
+        catalog.add_all(views, "E")
+
+        def run():
+            return evaluate(
+                query, catalog, views, "TS", "E", emit_matches=False,
+                strict_pc=strict,
+            ).match_count
+
+        assert benchmark(run) >= 0

@@ -1,0 +1,85 @@
+"""Fig. 5(b): path queries on NASA — all seven engine combinations.
+
+Paper's expected shape: as Fig. 5(a), with *larger* VJ gains because the
+NASA element distribution is skewed and pointer-skipping pays off more;
+IJ is significantly worse on N1 (tuple redundancy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import ALL_COMBOS, run_query_matrix, speedup, work_ratio
+from repro.bench.report import format_records
+from repro.workloads import nasa
+
+
+@pytest.fixture(scope="module")
+def records(nasa_doc, nasa_catalog):
+    recs = run_query_matrix(
+        nasa_doc, nasa.PATH_QUERIES, combos=ALL_COMBOS,
+        dataset="nasa", catalog=nasa_catalog,
+    )
+    write_report(
+        "fig5b_paths_nasa",
+        "Fig. 5(b) — path queries on NASA, total time (ms):",
+        format_records(recs, metric="ms"),
+        "work counters:",
+        format_records(recs, metric="work"),
+        "entries skipped via pointers:",
+        format_records(recs, metric="skipped"),
+        "TS+E / VJ+LEp work ratio per query: "
+        + str({q: round(r, 2) for q, r in
+               work_ratio(recs, "TS+E", "VJ+LEp").items()}),
+        "IJ+T / VJ+LEp work ratio per query: "
+        + str({q: round(r, 2) for q, r in
+               work_ratio(recs, "IJ+T", "VJ+LEp").items()}),
+    )
+    return recs
+
+
+def test_engines_agree(records):
+    by_query = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    assert all(len(counts) == 1 for counts in by_query.values())
+
+
+def test_n1_redundancy_hurts_interjoin(records):
+    """N1's tuple views duplicate field nodes per para: IJ does more work
+    than VJ by a visible factor (paper: 'significantly worse')."""
+    by = {(r.query, r.combo): r for r in records}
+    assert by[("N1", "IJ+T")].work > by[("N1", "VJ+LEp")].work
+
+
+def test_vj_beats_ts_on_work(records):
+    """Majority-wins with a bounded worst case (N3 is all pc-edges, where
+    pointer-skipping has little to offer)."""
+    by = {(r.query, r.combo): r for r in records}
+    wins = 0
+    for spec in nasa.PATH_QUERIES:
+        ts = by[(spec.name, "TS+E")].work
+        vj = by[(spec.name, "VJ+LEp")].work
+        assert vj <= 1.5 * ts, f"{spec.name}: VJ+LEp {vj} vs TS+E {ts}"
+        if vj <= ts:
+            wins += 1
+    assert wins >= len(nasa.PATH_QUERIES) // 2 + 1
+
+
+@pytest.mark.parametrize("combo", ALL_COMBOS, ids=lambda c: f"{c[0]}+{c[1]}")
+def test_bench_path_workload(benchmark, nasa_catalog, combo, records):
+    algorithm, scheme = combo
+    from repro.algorithms.engine import evaluate
+
+    def run():
+        total = 0
+        for spec in nasa.PATH_QUERIES:
+            result = evaluate(
+                spec.query, nasa_catalog, spec.views, algorithm, scheme,
+                emit_matches=False,
+            )
+            total += result.match_count
+        return total
+
+    assert benchmark(run) > 0

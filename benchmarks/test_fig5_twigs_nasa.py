@@ -1,0 +1,62 @@
+"""Fig. 5(d): twig queries on NASA — six combinations (no InterJoin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import TWIG_COMBOS, run_query_matrix, work_ratio
+from repro.bench.report import format_records
+from repro.workloads import nasa
+
+
+@pytest.fixture(scope="module")
+def records(nasa_doc, nasa_catalog):
+    recs = run_query_matrix(
+        nasa_doc, nasa.TWIG_QUERIES, combos=TWIG_COMBOS,
+        dataset="nasa", catalog=nasa_catalog,
+    )
+    write_report(
+        "fig5d_twigs_nasa",
+        "Fig. 5(d) — twig queries on NASA, total time (ms):",
+        format_records(recs, metric="ms"),
+        "work counters:",
+        format_records(recs, metric="work"),
+        "entries skipped via pointers:",
+        format_records(recs, metric="skipped"),
+        "TS+E / VJ+LEp work ratio per query: "
+        + str({q: round(r, 2) for q, r in
+               work_ratio(recs, "TS+E", "VJ+LEp").items()}),
+    )
+    return recs
+
+
+def test_engines_agree(records):
+    by_query = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    assert all(len(counts) == 1 for counts in by_query.values())
+
+
+def test_vj_beats_ts_on_work(records):
+    by = {(r.query, r.combo): r for r in records}
+    for spec in nasa.TWIG_QUERIES:
+        assert by[(spec.name, "VJ+LEp")].work <= by[(spec.name, "TS+E")].work
+
+
+@pytest.mark.parametrize("combo", TWIG_COMBOS, ids=lambda c: f"{c[0]}+{c[1]}")
+def test_bench_twig_workload(benchmark, nasa_catalog, combo, records):
+    algorithm, scheme = combo
+    from repro.algorithms.engine import evaluate
+
+    def run():
+        total = 0
+        for spec in nasa.TWIG_QUERIES:
+            result = evaluate(
+                spec.query, nasa_catalog, spec.views, algorithm, scheme,
+                emit_matches=False,
+            )
+            total += result.match_count
+        return total
+
+    assert benchmark(run) >= 0

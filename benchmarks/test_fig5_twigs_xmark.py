@@ -1,0 +1,80 @@
+"""Fig. 5(c): twig queries on XMark — six combinations (no InterJoin).
+
+Paper's expected shape: VJ beats TS on every twig; among VJ schemes,
+VJ+LEp >= VJ+LE >= VJ+E on most queries, with VJ+E competitive on the
+evenly-distributed queries (the paper names Q6/Q9/Q13).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import TWIG_COMBOS, run_query_matrix, work_ratio
+from repro.bench.report import format_records
+from repro.workloads import xmark
+
+
+@pytest.fixture(scope="module")
+def records(xmark_doc, xmark_catalog):
+    recs = run_query_matrix(
+        xmark_doc, xmark.TWIG_QUERIES, combos=TWIG_COMBOS,
+        dataset="xmark", catalog=xmark_catalog,
+    )
+    write_report(
+        "fig5c_twigs_xmark",
+        "Fig. 5(c) — twig queries on XMark, total time (ms):",
+        format_records(recs, metric="ms"),
+        "work counters:",
+        format_records(recs, metric="work"),
+        "pointer jumps:",
+        format_records(recs, metric="jumps"),
+        "TS+E / VJ+LEp work ratio per query: "
+        + str({q: round(r, 2) for q, r in
+               work_ratio(recs, "TS+E", "VJ+LEp").items()}),
+        "VJ+E / VJ+LEp work ratio per query: "
+        + str({q: round(r, 2) for q, r in
+               work_ratio(recs, "VJ+E", "VJ+LEp").items()}),
+    )
+    return recs
+
+
+def test_engines_agree(records):
+    by_query = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    assert all(len(counts) == 1 for counts in by_query.values())
+
+
+def test_vj_beats_ts_on_work(records):
+    by = {(r.query, r.combo): r for r in records}
+    for spec in xmark.TWIG_QUERIES:
+        assert by[(spec.name, "VJ+LEp")].work <= by[(spec.name, "TS+E")].work
+
+
+def test_vj_scans_fewer_elements_than_ts(records):
+    """TS processes every entry of every input list; VJ only the Q' lists
+    (plus pointer-fetched extensions) — the Section III-B advantage 3."""
+    by = {(r.query, r.combo): r for r in records}
+    for spec in xmark.TWIG_QUERIES:
+        ts = by[(spec.name, "TS+LE")].counters.elements_scanned
+        vj = by[(spec.name, "VJ+LE")].counters.elements_scanned
+        assert vj <= ts, spec.name
+
+
+@pytest.mark.parametrize("combo", TWIG_COMBOS, ids=lambda c: f"{c[0]}+{c[1]}")
+def test_bench_twig_workload(benchmark, xmark_catalog, combo, records):
+    algorithm, scheme = combo
+    from repro.algorithms.engine import evaluate
+
+    def run():
+        total = 0
+        for spec in xmark.TWIG_QUERIES:
+            result = evaluate(
+                spec.query, xmark_catalog, spec.views, algorithm, scheme,
+                emit_matches=False,
+            )
+            total += result.match_count
+        return total
+
+    assert benchmark(run) > 0

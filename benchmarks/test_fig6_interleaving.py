@@ -1,0 +1,116 @@
+"""Fig. 6: impact of interleaving conditions between query and views.
+
+N_p (path) with view sets PV1-PV4 (5, 4, 3, 2 inter-view edges) and N_t
+(twig) with TV1-TV4 (6, 4, 3, 2).  Paper's expected shape: TS is flat in
+the number of inter-view edges; IJ, VJ+LE and VJ+LEp improve as the count
+drops (more precomputed joins get reused); VJ+E benefits least.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.algorithms.engine import evaluate
+from repro.bench.harness import run_combo
+from repro.bench.report import format_records
+from repro.workloads import nasa
+
+PATH_COMBOS = [("IJ", "T"), ("TS", "E"), ("VJ", "E"), ("VJ", "LE"),
+               ("VJ", "LEp")]
+TWIG_COMBOS = [("TS", "E"), ("VJ", "E"), ("VJ", "LE"), ("VJ", "LEp")]
+
+
+def _run_sets(catalog, query, view_sets, combos, dataset):
+    records = []
+    for set_name, views in view_sets.items():
+        for algorithm, scheme in combos:
+            record = run_combo(
+                catalog, query, views, algorithm, scheme,
+                dataset=dataset,
+                query_name=f"{set_name}({nasa.EXPECTED_CONDITIONS[set_name]})",
+            )
+            records.append(record)
+    return records
+
+
+@pytest.fixture(scope="module")
+def path_records(nasa_catalog):
+    return _run_sets(
+        nasa_catalog, nasa.QUERY_NP, nasa.PATH_VIEW_SETS, PATH_COMBOS, "nasa"
+    )
+
+
+@pytest.fixture(scope="module")
+def twig_records(nasa_catalog):
+    return _run_sets(
+        nasa_catalog, nasa.QUERY_NT, nasa.TWIG_VIEW_SETS, TWIG_COMBOS, "nasa"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(path_records, twig_records):
+    write_report(
+        "fig6_interleaving",
+        "Fig. 6(a) — N_p with PV1..PV4 (inter-view edges in parens), ms:",
+        format_records(path_records, metric="ms"),
+        "work counters:",
+        format_records(path_records, metric="work"),
+        "Fig. 6(b) — N_t with TV1..TV4, ms:",
+        format_records(twig_records, metric="ms"),
+        "work counters:",
+        format_records(twig_records, metric="work"),
+    )
+
+
+def test_all_view_sets_agree_on_matches(path_records, twig_records):
+    for records in (path_records, twig_records):
+        counts = {record.matches for record in records}
+        assert len(counts) == 1, counts
+
+
+def test_vj_improves_with_fewer_interleavings(twig_records):
+    """VJ+LE work at 2 inter-view edges is below the 6-edge work."""
+    by = {(r.query, r.combo): r for r in twig_records}
+    most = by[("TV1(6)", "VJ+LE")].work
+    least = by[("TV4(2)", "VJ+LE")].work
+    assert least < most
+
+
+def test_ts_flat_in_interleavings(twig_records):
+    """TS ignores precomputed joins: its scan volume is view-set invariant
+    up to list-size differences (within 2x across TV1..TV4)."""
+    by = {(r.query, r.combo): r for r in twig_records}
+    works = [by[(f"TV{i}({c})", "TS+E")].counters.elements_scanned
+             for i, c in [(1, 6), (2, 4), (3, 3), (4, 2)]]
+    assert max(works) <= 2 * min(works)
+
+
+@pytest.mark.parametrize("set_name", list(nasa.PATH_VIEW_SETS))
+@pytest.mark.parametrize("combo", PATH_COMBOS, ids=lambda c: f"{c[0]}+{c[1]}")
+def test_bench_np(benchmark, nasa_catalog, set_name, combo):
+    algorithm, scheme = combo
+    views = nasa.PATH_VIEW_SETS[set_name]
+
+    def run():
+        return evaluate(
+            nasa.QUERY_NP, nasa_catalog, views, algorithm, scheme,
+            emit_matches=False,
+        ).match_count
+
+    assert benchmark(run) >= 0
+
+
+@pytest.mark.parametrize("set_name", list(nasa.TWIG_VIEW_SETS))
+@pytest.mark.parametrize("combo", TWIG_COMBOS, ids=lambda c: f"{c[0]}+{c[1]}")
+def test_bench_nt(benchmark, nasa_catalog, set_name, combo):
+    algorithm, scheme = combo
+    views = nasa.TWIG_VIEW_SETS[set_name]
+
+    def run():
+        return evaluate(
+            nasa.QUERY_NT, nasa_catalog, views, algorithm, scheme,
+            emit_matches=False,
+        ).match_count
+
+    assert benchmark(run) >= 0

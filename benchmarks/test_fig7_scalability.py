@@ -1,0 +1,119 @@
+"""Fig. 7: scalability of ViewJoin (VJ+LE on Q11 and Q19).
+
+The paper sweeps XMark documents from 100 MB to 700 MB and reports (a)
+memory usage and (b) processing time with its I/O share, both growing
+linearly.  We sweep seven generator scales (DESIGN.md §1) and check the
+same linear trend on node counts, peak buffer bytes and work counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import run_combo
+from repro.bench.report import format_series
+from repro.datasets import xmark as xmark_data
+from repro.storage.catalog import ViewCatalog
+from repro.workloads import xmark
+
+SCALES = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5)
+QUERIES = ("Q11", "Q19")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []  # (scale, query, record, doc_nodes, peak_bytes)
+    for scale in SCALES:
+        doc = xmark_data.generate(scale=scale, seed=42)
+        with ViewCatalog(doc) as catalog:
+            for name in QUERIES:
+                spec = xmark.BY_NAME[name]
+                record = run_combo(
+                    catalog, spec.query, spec.views, "VJ", "LE",
+                    dataset=f"xmark@{scale}", query_name=name,
+                )
+                rows.append((scale, name, record, len(doc)))
+    time_series = {
+        name: [(scale, round(rec.elapsed_s * 1e3, 2))
+               for scale, q, rec, __ in rows if q == name]
+        for name in QUERIES
+    }
+    memory_series = {
+        name: [(scale, rec.peak_buffer_bytes)
+               for scale, q, rec, __ in rows if q == name]
+        for name in QUERIES
+    }
+    work_series = {
+        name: [(scale, rec.work)
+               for scale, q, rec, __ in rows if q == name]
+        for name in QUERIES
+    }
+    io_series = {
+        name: [(scale, rec.io.logical_reads)
+               for scale, q, rec, __ in rows if q == name]
+        for name in QUERIES
+    }
+    io_share_series = {
+        name: [
+            (scale, round(100 * rec.io.io_seconds / max(rec.elapsed_s, 1e-9), 1))
+            for scale, q, rec, __ in rows
+            if q == name
+        ]
+        for name in QUERIES
+    }
+    write_report(
+        "fig7_scalability",
+        "Fig. 7(a) — peak buffer bytes of VJ+LE vs scale:",
+        format_series(memory_series, "scale", "bytes"),
+        "Fig. 7(b) — processing time of VJ+LE vs scale (ms):",
+        format_series(time_series, "scale", "ms"),
+        "work counters vs scale:",
+        format_series(work_series, "scale", "work"),
+        "logical page reads vs scale:",
+        format_series(io_series, "scale", "pages"),
+        "I/O time share vs scale (paper Fig. 7(b): below 15%):",
+        format_series(io_share_series, "scale", "% io"),
+        "document nodes per scale: "
+        + str({scale: nodes for scale, q, __, nodes in rows if q == "Q11"}),
+    )
+    return rows
+
+
+def _per_query(sweep, name, selector):
+    return [selector(rec) for scale, q, rec, __ in sweep if q == name]
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_work_grows_roughly_linearly(sweep, name):
+    """Work at 7x scale stays within ~2x of 7x the smallest-scale work."""
+    works = _per_query(sweep, name, lambda r: r.work)
+    scale_ratio = SCALES[-1] / SCALES[0]
+    growth = works[-1] / max(works[0], 1)
+    assert growth < 2.0 * scale_ratio, (works, growth)
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_memory_bounded_and_monotone_trend(sweep, name):
+    peaks = _per_query(sweep, name, lambda r: r.peak_buffer_bytes)
+    assert peaks[-1] >= peaks[0]
+    # Far below the input size: the buffer holds one partition at a time.
+    assert all(peak < 10 * 1024 * 1024 for peak in peaks)
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_bench_largest_scale(benchmark, sweep, name):
+    doc = xmark_data.generate(scale=SCALES[-1], seed=42)
+    spec = xmark.BY_NAME[name]
+    from repro.algorithms.engine import evaluate
+
+    with ViewCatalog(doc) as catalog:
+        catalog.add_all(spec.views, "LE")
+
+        def run():
+            return evaluate(
+                spec.query, catalog, spec.views, "VJ", "LE",
+                emit_matches=False,
+            ).match_count
+
+        assert benchmark(run) >= 0

@@ -1,0 +1,124 @@
+"""Micro-benchmarks for the storage substrate.
+
+Per-operation costs of the building blocks every engine sits on: record
+codecs, pool-served reads, cursor advancement, B+-tree descent and the
+match enumerator.  These establish the unit costs behind the macro
+benchmarks' wall-clock numbers (and catch substrate regressions early).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import random_trees
+from repro.storage.btree import BPlusTreeIndex
+from repro.storage.lists import StoredList
+from repro.storage.pager import Pager
+from repro.storage.records import (
+    ElementEntry,
+    LinkedEntry,
+    element_codec,
+    compact_linked_codec,
+    linked_codec,
+)
+from repro.tpq.enumeration import enumerate_matches
+from repro.tpq.matching import solution_nodes
+from repro.tpq.parser import parse_pattern
+
+N = 2000
+
+
+@pytest.fixture(scope="module")
+def element_list():
+    pager = Pager()
+    stored = StoredList(pager, element_codec(), name="micro")
+    stored.extend(ElementEntry(i * 3, i * 3 + 2, 1) for i in range(N))
+    return stored.finalize()
+
+
+def test_bench_element_codec_roundtrip(benchmark):
+    codec = element_codec()
+    entry = ElementEntry(12345, 67890, 7)
+
+    def run():
+        return codec.decode(codec.encode(entry))
+
+    assert benchmark(run) == entry
+
+
+def test_bench_linked_codec_roundtrip(benchmark):
+    codec = linked_codec(2)
+    entry = LinkedEntry(1, 2, 3, 7, -1, (9, -1))
+
+    def run():
+        return codec.decode(codec.encode(entry))
+
+    assert benchmark(run) == entry
+
+
+def test_bench_compact_codec_roundtrip(benchmark):
+    codec = compact_linked_codec(2)
+    entry = LinkedEntry(1, 2, 3, 7, -2, (9, -1))
+
+    def run():
+        return codec.decode(codec.encode(entry))[0]
+
+    assert benchmark(run) == entry
+
+
+def test_bench_pool_served_scan(benchmark, element_list):
+    def run():
+        total = 0
+        for entry in element_list.scan():
+            total += entry.start
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_cursor_advance(benchmark, element_list):
+    def run():
+        cursor = element_list.cursor()
+        count = 0
+        while cursor.current is not None:
+            count += 1
+            cursor.advance()
+        return count
+
+    assert benchmark(run) == N
+
+
+def test_bench_btree_descent(benchmark, element_list):
+    index = BPlusTreeIndex.build(
+        element_list.pager, [i * 3 for i in range(N)]
+    )
+
+    def run():
+        return index.first_geq(N * 3 // 2)
+
+    assert benchmark(run) is not None
+
+
+def test_bench_solution_nodes(benchmark):
+    doc = random_trees.generate(
+        size=1500, tags=list("abcd"), max_depth=9, seed=5
+    )
+    pattern = parse_pattern("//a[//b]//c")
+
+    def run():
+        return sum(len(v) for v in solution_nodes(doc, pattern).values())
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_enumeration(benchmark):
+    doc = random_trees.generate(
+        size=1500, tags=list("abcd"), max_depth=9, seed=5
+    )
+    pattern = parse_pattern("//a//b//c")
+    sols = solution_nodes(doc, pattern)
+
+    def run():
+        return len(enumerate_matches(pattern, sols))
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,114 @@
+"""Table IV: space usage of the schemes on the largest XMark document.
+
+Views: v1 = //item//text//keyword (nodes recur across matches) and
+v2 = //person//education (1:1).  Paper's expected shape: E is smallest;
+T vs LE has no uniform winner (T > LE for the recurring v1, T <= LE for
+v2); LE_p is smaller than LE with roughly half the pointers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.report import format_table
+from repro.datasets import xmark as xmark_data
+from repro.storage.catalog import ViewCatalog, materialize
+from repro.tpq.parser import parse_pattern
+from repro.workloads import xmark
+
+LARGEST_SCALE = 3.5  # the sweep's top scale stands in for 700 MB
+
+
+@pytest.fixture(scope="module")
+def space_rows():
+    doc = xmark_data.generate(scale=LARGEST_SCALE, seed=42)
+    rows = []
+    for text in xmark.SPACE_VIEWS:
+        pattern = parse_pattern(text)
+        views = {
+            scheme: materialize(doc, pattern, scheme)
+            for scheme in ("E", "T", "LE", "LEp")
+        }
+        pointer_counts = {
+            scheme: getattr(view, "pointer_stats", None)
+            for scheme, view in views.items()
+        }
+        rows.append(
+            {
+                "view": text,
+                "bytes": {s: v.size_bytes for s, v in views.items()},
+                "pointers": {
+                    "LE": pointer_counts["LE"].total,
+                    "LEp": pointer_counts["LEp"].total,
+                },
+                "redundancy": views["T"].redundancy(),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(space_rows):
+    table = [
+        [
+            row["view"],
+            row["bytes"]["E"],
+            row["bytes"]["T"],
+            row["bytes"]["LE"],
+            row["bytes"]["LEp"],
+            row["pointers"]["LE"],
+            row["pointers"]["LEp"],
+            round(row["redundancy"], 2),
+        ]
+        for row in space_rows
+    ]
+    write_report(
+        "table4_space",
+        "Table IV — size (bytes) and #pointers of views on XMark"
+        f" (scale {LARGEST_SCALE}):",
+        format_table(
+            ["view", "E", "T", "LE", "LEp", "#ptr LE", "#ptr LEp",
+             "T redundancy"],
+            table,
+        ),
+    )
+
+
+def test_element_scheme_smallest(space_rows):
+    for row in space_rows:
+        sizes = row["bytes"]
+        assert sizes["E"] <= min(sizes["T"], sizes["LE"], sizes["LEp"])
+
+
+def test_tuple_vs_linked_no_uniform_winner(space_rows):
+    """Paper Table IV orderings: v1 (recurring nodes) has
+    E < LE_p < LE < T, while v2 (1:1) has E = T < LE_p < LE."""
+    v1, v2 = space_rows
+    assert v1["redundancy"] > 1.0
+    b1 = v1["bytes"]
+    assert b1["E"] < b1["LEp"] < b1["LE"] < b1["T"]
+    assert v2["redundancy"] == pytest.approx(1.0)
+    b2 = v2["bytes"]
+    assert b2["E"] == b2["T"] < b2["LEp"] < b2["LE"]
+
+
+def test_lep_halves_pointers(space_rows):
+    for row in space_rows:
+        assert row["pointers"]["LEp"] <= row["pointers"]["LE"]
+    # At least one view drops a substantial share of pointers.
+    assert any(
+        row["pointers"]["LEp"] <= 0.8 * row["pointers"]["LE"]
+        for row in space_rows
+    )
+
+
+def test_bench_materialization(benchmark):
+    doc = xmark_data.generate(scale=1.0, seed=42)
+    pattern = parse_pattern(xmark.SPACE_VIEWS[0])
+
+    def run():
+        view = materialize(doc, pattern, "LEp")
+        return view.pointer_stats.total
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,107 @@
+"""Table V: memory-based vs disk-based output (TS+E and VJ+LE).
+
+Workload: the paper's twig queries Q4, Q8-Q11, Q13, Q14, Q19, N5-N8.
+Expected shape: the disk-based variants are slower, the gap is mostly the
+extra spill I/O, and VJ-D keeps beating TS-D (paper: up to 4.9x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import run_combo
+from repro.bench.report import format_records
+from repro.workloads import nasa, xmark
+
+XMARK_TWIGS = ("Q4", "Q8", "Q9", "Q10", "Q11", "Q13", "Q14", "Q19")
+NASA_TWIGS = ("N5", "N6", "N7", "N8")
+
+VARIANTS = [
+    ("TS", "E", "memory", "TS-M"),
+    ("TS", "E", "disk", "TS-D"),
+    ("VJ", "LE", "memory", "VJ-M"),
+    ("VJ", "LE", "disk", "VJ-D"),
+]
+
+
+def _specs():
+    return [
+        ("xmark", xmark.BY_NAME[name]) for name in XMARK_TWIGS
+    ] + [
+        ("nasa", nasa.BY_NAME[name]) for name in NASA_TWIGS
+    ]
+
+
+@pytest.fixture(scope="module")
+def records(xmark_catalog, nasa_catalog):
+    recs = []
+    for dataset, spec in _specs():
+        catalog = xmark_catalog if dataset == "xmark" else nasa_catalog
+        for algorithm, scheme, mode, label in VARIANTS:
+            record = run_combo(
+                catalog, spec.query, spec.views, algorithm, scheme,
+                mode=mode, dataset=dataset, query_name=spec.name,
+            )
+            record.extra["variant"] = label
+            recs.append(record)
+    write_report(
+        "table5_disk_based",
+        "Table V — memory-based vs disk-based output, total time (ms):",
+        format_records(recs, metric="ms", column_key="variant"),
+        "I/O time (ms) — the paper's parenthesized numbers:",
+        format_records(recs, metric="io_ms", column_key="variant"),
+        "logical page reads (the disk variants re-read the spill):",
+        format_records(recs, metric="pages", column_key="variant"),
+        "work counters:",
+        format_records(recs, metric="work", column_key="variant"),
+    )
+    return recs
+
+
+def _by(records):
+    return {(r.query, r.extra["variant"]): r for r in records}
+
+
+def test_all_variants_agree(records):
+    by_query = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    assert all(len(counts) == 1 for counts in by_query.values())
+
+
+def test_disk_mode_pays_more_io(records):
+    by = _by(records)
+    for __, spec in _specs():
+        name = spec.name
+        assert (
+            by[(name, "VJ-D")].io.logical_reads
+            >= by[(name, "VJ-M")].io.logical_reads
+        ), name
+        assert by[(name, "VJ-D")].io.pages_written > 0, name
+        assert by[(name, "TS-D")].io.pages_written > 0, name
+
+
+def test_vj_disk_beats_ts_disk_on_work(records):
+    by = _by(records)
+    for __, spec in _specs():
+        name = spec.name
+        assert by[(name, "VJ-D")].work <= by[(name, "TS-D")].work, name
+
+
+@pytest.mark.parametrize(
+    "variant", VARIANTS, ids=lambda v: v[3]
+)
+def test_bench_variant(benchmark, xmark_catalog, variant, records):
+    algorithm, scheme, mode, __ = variant
+    from repro.algorithms.engine import evaluate
+
+    spec = xmark.BY_NAME["Q11"]
+
+    def run():
+        return evaluate(
+            spec.query, xmark_catalog, spec.views, algorithm, scheme,
+            mode=mode, emit_matches=False,
+        ).match_count
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,122 @@
+"""Extension experiment: views vs no views at all.
+
+The InterJoin paper (cited in §I) measured the benefit of views against
+PathStack over raw element streams (≈1.5x).  Our planner makes the
+"no views" configuration expressible directly: every query node falls
+back to a base (single-tag) view, which is exactly the raw per-type
+stream the classic joins consume.  We compare three configurations on the
+twig workloads:
+
+* **no-views** — TwigStack over base views only (the classic baseline);
+* **vj-base** — ViewJoin over the same base views (every edge inter-view);
+* **vj-views** — ViewJoin + LE_p over each query's covering view set.
+
+Expected shape: vj-views does the least work (precomputed joins +
+skipping); vj-base ~= no-views (nothing precomputed to exploit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.bench.harness import run_combo
+from repro.bench.report import format_records
+from repro.planner import Planner
+from repro.storage.catalog import ViewCatalog
+from repro.workloads import nasa, xmark
+
+SPECS = [xmark.BY_NAME[n] for n in ("Q4", "Q13", "Q14", "Q19")] + [
+    nasa.BY_NAME[n] for n in ("N5", "N7")
+]
+
+
+def _catalog_for(spec, xmark_catalog, nasa_catalog):
+    return xmark_catalog if spec.name.startswith("Q") else nasa_catalog
+
+
+@pytest.fixture(scope="module")
+def records(xmark_catalog, nasa_catalog):
+    recs = []
+    for spec in SPECS:
+        catalog = _catalog_for(spec, xmark_catalog, nasa_catalog)
+        planner = Planner(catalog, scheme="E")
+        base_plan = planner.plan(spec.query)  # nothing registered: all base
+        base_views = base_plan.base_views
+        for label, algorithm, scheme, views in [
+            ("no-views(TS+E)", "TS", "E", base_views),
+            ("vj-base(VJ+E)", "VJ", "E", base_views),
+            ("vj-views(VJ+LEp)", "VJ", "LEp", spec.views),
+        ]:
+            record = run_combo(
+                catalog, spec.query, views, algorithm, scheme,
+                dataset="mixed", query_name=spec.name,
+            )
+            record.extra["config"] = label
+            recs.append(record)
+    write_report(
+        "views_vs_no_views",
+        "Extension — views vs no views (base views = raw element"
+        " streams), total time (ms):",
+        format_records(recs, metric="ms", column_key="config"),
+        "work counters:",
+        format_records(recs, metric="work", column_key="config"),
+        "elements scanned:",
+        format_records(recs, metric="scanned", column_key="config"),
+    )
+    return recs
+
+
+def test_configs_agree(records):
+    by_query = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    assert all(len(counts) == 1 for counts in by_query.values())
+
+
+def test_views_reduce_work(records):
+    by = {(r.query, r.extra["config"]): r for r in records}
+    for spec in SPECS:
+        with_views = by[(spec.name, "vj-views(VJ+LEp)")].work
+        without = by[(spec.name, "no-views(TS+E)")].work
+        assert with_views <= without, spec.name
+
+
+def test_views_reduce_scanning(records):
+    by = {(r.query, r.extra["config"]): r for r in records}
+    improved = sum(
+        1
+        for spec in SPECS
+        if by[(spec.name, "vj-views(VJ+LEp)")].counters.elements_scanned
+        < by[(spec.name, "no-views(TS+E)")].counters.elements_scanned
+    )
+    assert improved >= len(SPECS) - 1
+
+
+@pytest.mark.parametrize(
+    "config", ["no-views", "vj-views"], ids=str
+)
+def test_bench_config(benchmark, xmark_catalog, nasa_catalog, config,
+                      records):
+    from repro.algorithms.engine import evaluate
+
+    def run():
+        total = 0
+        for spec in SPECS:
+            catalog = _catalog_for(spec, xmark_catalog, nasa_catalog)
+            if config == "no-views":
+                planner = Planner(catalog, scheme="E")
+                views = planner.plan(spec.query).base_views
+                result = evaluate(
+                    spec.query, catalog, views, "TS", "E",
+                    emit_matches=False,
+                )
+            else:
+                result = evaluate(
+                    spec.query, catalog, spec.views, "VJ", "LEp",
+                    emit_matches=False,
+                )
+            total += result.match_count
+        return total
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment has no `wheel` package, so
+`pip install -e .` must take the setup.py develop path."""
+
+from setuptools import setup
+
+setup()

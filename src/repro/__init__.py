@@ -1,0 +1,62 @@
+"""repro — reproduction of "ViewJoin: Efficient View-based Evaluation of
+Tree Pattern Queries" (Chen & Chan, ICDE 2010).
+
+The package implements, from scratch:
+
+* a region-labelled XML substrate (:mod:`repro.xmltree`);
+* tree pattern queries with matching and containment (:mod:`repro.tpq`);
+* the four view storage schemes of paper Table I — tuple, element,
+  linked-element and partial linked-element (:mod:`repro.storage`);
+* the evaluation algorithms — InterJoin, PathStack, TwigStack and the
+  paper's ViewJoin (:mod:`repro.algorithms`);
+* the view-selection cost model and greedy heuristic
+  (:mod:`repro.selection`);
+* synthetic XMark / NASA dataset generators and the paper's benchmark
+  workloads (:mod:`repro.datasets`, :mod:`repro.workloads`);
+* the benchmark harness regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import ViewCatalog, evaluate, parse_pattern
+    from repro.datasets import xmark
+
+    doc = xmark.generate(scale=0.2, seed=42)
+    query = parse_pattern("//open_auctions//open_auction//bidder//increase")
+    views = [parse_pattern("//open_auctions//open_auction"),
+             parse_pattern("//bidder//increase")]
+    catalog = ViewCatalog(doc)
+    result = evaluate(query, catalog, views, algorithm="VJ", scheme="LEp")
+    print(result.match_count, result.counters.as_dict())
+"""
+
+from repro.algorithms import Algorithm, Counters, EvalResult, Mode, evaluate
+from repro.planner import Plan, Planner
+from repro.storage import Scheme, ViewCatalog, materialize
+from repro.storage.persistence import load_catalog, save_catalog
+from repro.tpq import Pattern, parse_pattern
+from repro.xmltree import Document, DocumentBuilder, parse_xml, write_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "Counters",
+    "EvalResult",
+    "Mode",
+    "evaluate",
+    "Plan",
+    "Planner",
+    "load_catalog",
+    "save_catalog",
+    "Scheme",
+    "ViewCatalog",
+    "materialize",
+    "Pattern",
+    "parse_pattern",
+    "Document",
+    "DocumentBuilder",
+    "parse_xml",
+    "write_xml",
+    "__version__",
+]

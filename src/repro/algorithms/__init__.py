@@ -1,0 +1,41 @@
+"""Evaluation algorithms: structural join, PathStack, TwigStack, InterJoin
+and ViewJoin, plus the shared infrastructure they are measured with.
+
+The combinations reproduced (paper Table I):
+
+=========  =========== =========== ===========
+Scheme      InterJoin   TwigStack   ViewJoin
+=========  =========== =========== ===========
+Tuple (T)   IJ+T        --          --
+Element     --          TS+E        VJ+E
+LE          --          TS+LE       VJ+LE
+LE_p        --          TS+LEp      VJ+LEp
+=========  =========== =========== ===========
+
+Use :func:`repro.algorithms.engine.evaluate` as the single entry point.
+"""
+
+from repro.algorithms.base import Counters, EvalResult, Mode
+from repro.algorithms.segmentation import Segment, SegmentedQuery, segment_query
+from repro.algorithms.structural import structural_join
+from repro.algorithms.pathstack import pathstack
+from repro.algorithms.twigstack import twigstack
+from repro.algorithms.interjoin import interjoin
+from repro.algorithms.viewjoin import viewjoin
+from repro.algorithms.engine import Algorithm, evaluate
+
+__all__ = [
+    "Counters",
+    "EvalResult",
+    "Mode",
+    "Segment",
+    "SegmentedQuery",
+    "segment_query",
+    "structural_join",
+    "pathstack",
+    "twigstack",
+    "interjoin",
+    "viewjoin",
+    "Algorithm",
+    "evaluate",
+]

@@ -1,0 +1,157 @@
+"""Uniform per-tag access to materialized views for the join algorithms.
+
+TwigStack and ViewJoin consume one document-ordered list per query tag; the
+list lives in whichever view of the covering set contains that tag, stored
+in the element or linked-element scheme.  :class:`TagSource` hides the
+scheme differences:
+
+* ``has_pointers`` — whether records carry materialized pointers;
+* ``child_slot`` — position of a child-tag pointer inside this tag's
+  records (linked schemes only);
+* ``bisect_start`` — pager-accounted binary search by start label, the
+  fallback access path when pointers are absent (element scheme) or not
+  materialized (LE_p).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import Counters, CountingCursor
+from repro.errors import EvaluationError
+from repro.storage.element import ElementView
+from repro.storage.linked import LinkedElementView
+from repro.storage.lists import StoredList
+from repro.tpq.pattern import Pattern
+
+
+class TagSource:
+    """The stored list for one query tag plus its scheme capabilities."""
+
+    def __init__(self, view, tag: str):
+        if isinstance(view, LinkedElementView):
+            self.has_pointers = True
+        elif isinstance(view, ElementView):
+            self.has_pointers = False
+        else:
+            raise EvaluationError(
+                f"unsupported view type {type(view).__name__} for per-tag"
+                " access (tuple views are only consumed by InterJoin)"
+            )
+        self.view = view
+        self.tag = tag
+        self.stored: StoredList = view.list_for(tag)
+        self.index = None
+
+    def __len__(self) -> int:
+        return len(self.stored)
+
+    def ensure_index(self) -> None:
+        """Build a B+-tree over this list's start labels (idempotent).
+
+        Models the indexed-structural-join substrate of the paper's
+        related work (XR-/XB-trees): ``bisect_start`` then descends the
+        index in O(height) page touches instead of probing data pages.
+        """
+        if self.index is not None:
+            return
+        from repro.storage.btree import BPlusTreeIndex
+
+        starts = [entry.start for entry in self.stored.scan()]
+        self.index = BPlusTreeIndex.build(
+            self.view.pager, starts, name=f"idx:{self.tag}"
+        )
+
+    def cursor(self, counters: Counters) -> CountingCursor:
+        return CountingCursor(self.stored.cursor(), counters)
+
+    def child_slot(self, child_tag: str) -> int | None:
+        """Pointer slot for ``child_tag`` inside this tag's records, if the
+        view materializes one (i.e. ``child_tag`` is this tag's child in the
+        view pattern and the scheme is linked)."""
+        if not self.has_pointers:
+            return None
+        order = self.view.child_tag_order.get(self.tag, ())
+        try:
+            return order.index(child_tag)
+        except ValueError:
+            return None
+
+    def read(self, index: int, counters: Counters):
+        """Random-access read (counted as a pointer jump target access)."""
+        return self.stored.read(index)
+
+    def bisect_start(self, value: int, counters: Counters) -> int:
+        """Index of the first entry with ``start > value``.
+
+        With an attached B+-tree this is one root-to-leaf descent;
+        otherwise a binary search through the pager — every probed entry
+        counts as a comparison so the element scheme pays for what
+        pointers avoid.
+        """
+        if self.index is not None:
+            counters.comparisons += max(self.index.height, 1)
+            found = self.index.first_greater(value)
+            return len(self.stored) if found is None else found
+        lo, hi = 0, len(self.stored)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            counters.comparisons += 1
+            if self.stored.read(mid).start <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def range_entries(
+        self, start: int, end: int, counters: Counters
+    ) -> list:
+        """All entries with start label inside the open interval
+        ``(start, end)``, via binary search + forward scan."""
+        index = self.bisect_start(start, counters)
+        result = []
+        total = len(self.stored)
+        while index < total:
+            entry = self.stored.read(index)
+            counters.comparisons += 1
+            if entry.start >= end:
+                break
+            result.append(entry)
+            counters.elements_scanned += 1
+            index += 1
+        return result
+
+
+def build_sources(
+    query: Pattern,
+    views: Sequence,
+    view_patterns: Sequence[Pattern],
+    use_index: bool = False,
+) -> dict[str, TagSource]:
+    """Map each query tag to its :class:`TagSource`.
+
+    Args:
+        query: the query pattern.
+        views: materialized views, aligned with ``view_patterns``.
+        view_patterns: the covering view patterns (tag-disjoint).
+        use_index: attach a B+-tree to every per-tag list, accelerating
+            the binary-search access path (paper §VII's indexed joins).
+    """
+    sources: dict[str, TagSource] = {}
+    for pattern, view in zip(view_patterns, views):
+        for tag in pattern.tag_set():
+            if query.has_tag(tag):
+                source = TagSource(view, tag)
+                if use_index:
+                    source.ensure_index()
+                sources[tag] = source
+    missing = [tag for tag in query.tags() if tag not in sources]
+    if missing:
+        raise EvaluationError(
+            f"no materialized view supplies query tags {missing}"
+        )
+    return sources
+
+
+def total_input_entries(sources: Mapping[str, TagSource]) -> int:
+    return sum(len(source) for source in sources.values())

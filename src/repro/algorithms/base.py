@@ -1,0 +1,180 @@
+"""Shared infrastructure for the evaluation algorithms.
+
+Besides wall-clock time (which the benchmark harness measures), every
+algorithm reports machine-independent **work counters** so the paper's
+relative results can be checked in a way that does not depend on the host:
+
+* ``elements_scanned`` — sequential cursor advances over stored lists;
+* ``pointer_jumps`` / ``entries_skipped`` — materialized-pointer
+  dereferences and how many list entries they skipped (the LE/LE_p payoff);
+* ``comparisons`` — structural label comparisons performed by join logic;
+* ``candidates_added`` — nodes admitted to the intermediate result;
+* ``matches`` — output tuples.
+
+:class:`CountingCursor` wraps a storage cursor and attributes every move to
+those counters, so all algorithms are instrumented identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.storage.lists import ListCursor
+from repro.storage.pager import IOStats
+from repro.storage.records import ElementEntry
+
+
+class Mode(enum.Enum):
+    """Output-buffering mode (paper Section IV, "Variations")."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+
+    @classmethod
+    def parse(cls, value: "Mode | str") -> "Mode":
+        if isinstance(value, Mode):
+            return value
+        return cls(value.strip().lower())
+
+
+@dataclass
+class Counters:
+    """Machine-independent work counters for one evaluation run."""
+
+    elements_scanned: int = 0
+    pointer_jumps: int = 0
+    entries_skipped: int = 0
+    comparisons: int = 0
+    getnext_calls: int = 0
+    candidates_added: int = 0
+    intermediate_tuples: int = 0
+    flushes: int = 0
+    matches: int = 0
+
+    def merge(self, other: "Counters") -> None:
+        self.elements_scanned += other.elements_scanned
+        self.pointer_jumps += other.pointer_jumps
+        self.entries_skipped += other.entries_skipped
+        self.comparisons += other.comparisons
+        self.getnext_calls += other.getnext_calls
+        self.candidates_added += other.candidates_added
+        self.intermediate_tuples += other.intermediate_tuples
+        self.flushes += other.flushes
+        self.matches += other.matches
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "elements_scanned": self.elements_scanned,
+            "pointer_jumps": self.pointer_jumps,
+            "entries_skipped": self.entries_skipped,
+            "comparisons": self.comparisons,
+            "getnext_calls": self.getnext_calls,
+            "candidates_added": self.candidates_added,
+            "intermediate_tuples": self.intermediate_tuples,
+            "flushes": self.flushes,
+            "matches": self.matches,
+        }
+
+    @property
+    def work(self) -> int:
+        """A single scalar summarizing CPU-side work (for quick ranking)."""
+        return (
+            self.elements_scanned
+            + self.pointer_jumps
+            + self.comparisons
+            + self.candidates_added
+            + self.intermediate_tuples
+        )
+
+
+Match = tuple[ElementEntry, ...]
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one query evaluation.
+
+    ``matches`` holds output tuples aligned with the query pattern's
+    preorder tags; it is empty when the run was started with
+    ``emit_matches=False`` (``match_count`` is always filled in).
+    """
+
+    matches: list[Match]
+    match_count: int
+    counters: Counters
+    io: IOStats = field(default_factory=IOStats)
+    peak_buffer_entries: int = 0
+    peak_buffer_bytes: int = 0
+    #: Time spent in the output phase (partition extension + match
+    #: enumeration + spill), as opposed to the filtering phase.  The
+    #: paper's lambda=1 choice rests on evaluation being CPU-bound; this
+    #: split makes the claim observable.
+    output_seconds: float = 0.0
+
+    def sorted_matches(self) -> list[Match]:
+        return sorted(
+            self.matches, key=lambda m: tuple(e.start for e in m)
+        )
+
+    def match_keys(self) -> list[tuple[int, ...]]:
+        """Canonical representation used by the differential tests."""
+        return sorted(tuple(e.start for e in m) for m in self.matches)
+
+
+class CountingCursor:
+    """A :class:`ListCursor` that attributes every move to counters."""
+
+    __slots__ = ("cursor", "counters")
+
+    def __init__(self, cursor: ListCursor, counters: Counters):
+        self.cursor = cursor
+        self.counters = counters
+
+    @property
+    def current(self):
+        return self.cursor.current
+
+    @property
+    def position(self) -> int:
+        return self.cursor.position
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor.current is None
+
+    def __len__(self) -> int:
+        return len(self.cursor.list)
+
+    def advance(self) -> None:
+        """Sequential move to the next entry."""
+        self.counters.elements_scanned += 1
+        self.cursor.advance()
+
+    def seek_pointer(self, index: int) -> None:
+        """Jump forward via a materialized pointer to entry ``index``.
+
+        Never moves backwards: pointer targets at or before the current
+        position are ignored (the cursor discipline of the algorithms only
+        skips forward over provably dead entries).
+        """
+        if index <= self.cursor.position:
+            return
+        self.counters.pointer_jumps += 1
+        self.counters.entries_skipped += index - self.cursor.position - 1
+        self.cursor.seek(index)
+
+    def peek(self, index: int):
+        return self.cursor.peek(index)
+
+
+def element_of(entry) -> ElementEntry:
+    """Project any stored entry onto its plain element record."""
+    if isinstance(entry, ElementEntry):
+        return entry
+    return entry.element
+
+
+def total_list_length(lists: Sequence) -> int:
+    return sum(len(stored) for stored in lists)

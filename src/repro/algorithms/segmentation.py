@@ -1,0 +1,238 @@
+"""View-segmented queries (paper Section IV-A).
+
+Given a query ``Q`` and a minimal covering view set ``V`` (tag-disjoint
+subpatterns of ``Q``), an edge of ``Q`` is **inter-view** when its endpoints
+are covered by different views, otherwise **intra-view**.  The
+view-segmented query ``Q'`` is obtained by
+
+1. removing every non-root node with no incident inter-view edge (children
+   of a removed node reattach to its parent with an ad-edge, which is
+   treated as intra-view), and
+2. grouping the remaining nodes connected by intra-view edges into
+   **segments**.
+
+Each segment is a tree pattern whose joins are precomputed inside one view;
+ViewJoin only performs structural comparisons across the inter-view edges
+between segments.  Construction is linear in ``|Q|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tpq.containment import covering_view_set, view_for_tag
+from repro.tpq.pattern import Axis, Pattern, PatternNode
+
+
+@dataclass
+class Segment:
+    """One segment of a view-segmented query.
+
+    Attributes:
+        index: position in ``SegmentedQuery.segments``.
+        view: the view whose precomputed joins cover this segment.
+        root_tag: segment root (its incoming Q' edge, if any, is inter-view).
+        tags: all member tags in Q'-preorder (root first).
+        parent: the parent segment, or None for the root segment.
+        parent_tag: the tag in the *parent* segment that is the Q'-parent of
+            this segment's root (None for the root segment).
+        children: child segments.
+    """
+
+    index: int
+    view: Pattern
+    root_tag: str
+    tags: list[str] = field(default_factory=list)
+    parent: "Segment | None" = None
+    parent_tag: str | None = None
+    children: list["Segment"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Segment({self.root_tag!r}, tags={self.tags})"
+
+
+@dataclass
+class SegmentedQuery:
+    """The view-segmented query Q' plus its bookkeeping maps.
+
+    Attributes:
+        query: the original query Q.
+        views: the covering view set V.
+        retained: Q'-tags in Q-preorder (root segment's root comes first).
+        parent_of: Q'-parent tag per retained tag (None at the root).
+        children_of: Q'-children per retained tag.
+        axis_of: axis of the incoming Q' edge per retained tag.  A contracted
+            edge (one that crossed removed nodes) is always ad.
+        inter_view: whether the incoming Q' edge is inter-view, per tag.
+        segments: all segments; ``segments[0]`` is the root segment.
+        segment_of: owning segment per retained tag.
+        removed: Q-tags not retained in Q', in Q-preorder.
+    """
+
+    query: Pattern
+    views: list[Pattern]
+    retained: list[str]
+    parent_of: dict[str, str | None]
+    children_of: dict[str, list[str]]
+    axis_of: dict[str, Axis]
+    inter_view: dict[str, bool]
+    segments: list[Segment]
+    segment_of: dict[str, Segment]
+    removed: list[str]
+
+    @property
+    def root_segment(self) -> Segment:
+        return self.segments[0]
+
+    @property
+    def root_tag(self) -> str:
+        return self.query.root.tag
+
+    def view_of(self, tag: str) -> Pattern:
+        return view_for_tag(self.views, tag)
+
+    def subtree_tags(self, tag: str) -> list[str]:
+        """Tags of the Q' subtree rooted at ``tag``, preorder."""
+        result = []
+        stack = [tag]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(reversed(self.children_of[current]))
+        return result
+
+    def inter_view_edge_count(self) -> int:
+        """Number of inter-view edges of Q w.r.t. V (Table III's #Cond)."""
+        count = 0
+        for parent, child in self.query.edges():
+            if self.view_of(parent.tag) is not self.view_of(child.tag):
+                count += 1
+        return count
+
+    def inter_view_edges_of(self, tag: str) -> int:
+        """Inter-view edges incident to query node ``tag`` in Q (the cost
+        model's ``e_q``, Section V uses the same quantity per view node)."""
+        qnode = self.query.node(tag)
+        count = 0
+        if qnode.parent is not None and self.view_of(
+            qnode.parent.tag
+        ) is not self.view_of(tag):
+            count += 1
+        for child in qnode.children:
+            if self.view_of(child.tag) is not self.view_of(tag):
+                count += 1
+        return count
+
+
+def segment_query(query: Pattern, views: list[Pattern]) -> SegmentedQuery:
+    """Compute the view-segmented query of ``query`` w.r.t. ``views``.
+
+    ``views`` must be a covering view set (validated); minimality is the
+    caller's concern (the view-selection module produces minimal sets).
+    """
+    views = covering_view_set(views, query)
+    view_of = {
+        tag: view for view in views for tag in view.tag_set()
+        if query.has_tag(tag)
+    }
+
+    def crosses(parent: PatternNode, child: PatternNode) -> bool:
+        return view_of[parent.tag] is not view_of[child.tag]
+
+    # A node is retained iff it is the query root or touches an inter-view edge.
+    retained_set: set[str] = {query.root.tag}
+    for parent, child in query.edges():
+        if crosses(parent, child):
+            retained_set.add(parent.tag)
+            retained_set.add(child.tag)
+
+    retained: list[str] = []
+    removed: list[str] = []
+    parent_of: dict[str, str | None] = {}
+    axis_of: dict[str, Axis] = {}
+    inter_view: dict[str, bool] = {}
+    children_of: dict[str, list[str]] = {}
+
+    # Walk Q in preorder, tracking each node's nearest retained ancestor and
+    # whether the contracted path to it is longer than one original edge.
+    nearest: dict[str, tuple[str | None, bool]] = {}  # tag -> (anchor, contracted)
+    for qnode in query.nodes:
+        tag = qnode.tag
+        if qnode.parent is None:
+            anchor, contracted = None, False
+        else:
+            parent_tag = qnode.parent.tag
+            if parent_tag in retained_set:
+                anchor, contracted = parent_tag, False
+            else:
+                anchor, contracted = nearest[parent_tag][0], True
+        nearest[tag] = (anchor, contracted) if tag not in retained_set else (tag, False)
+        if tag not in retained_set:
+            removed.append(tag)
+            continue
+        retained.append(tag)
+        children_of[tag] = []
+        parent_of[tag] = anchor
+        if anchor is None:
+            axis_of[tag] = qnode.axis
+            inter_view[tag] = False
+        else:
+            children_of[anchor].append(tag)
+            if contracted:
+                # Contracted edges skip removed nodes, which have only
+                # intra-view edges, so the contraction stays intra-view.
+                axis_of[tag] = Axis.DESCENDANT
+                inter_view[tag] = False
+            else:
+                axis_of[tag] = qnode.axis
+                inter_view[tag] = view_of[tag] is not view_of[anchor]
+
+    segments = _group_segments(retained, parent_of, inter_view, view_of)
+    segment_of = {
+        tag: segment for segment in segments for tag in segment.tags
+    }
+    return SegmentedQuery(
+        query=query,
+        views=views,
+        retained=retained,
+        parent_of=parent_of,
+        children_of=children_of,
+        axis_of=axis_of,
+        inter_view=inter_view,
+        segments=segments,
+        segment_of=segment_of,
+        removed=removed,
+    )
+
+
+def _group_segments(
+    retained: list[str],
+    parent_of: dict[str, str | None],
+    inter_view: dict[str, bool],
+    view_of: dict[str, Pattern],
+) -> list[Segment]:
+    segments: list[Segment] = []
+    segment_by_tag: dict[str, Segment] = {}
+    for tag in retained:  # Q-preorder, so parents precede children
+        parent_tag = parent_of[tag]
+        if parent_tag is None or inter_view[tag]:
+            segment = Segment(
+                index=len(segments),
+                view=view_of[tag],
+                root_tag=tag,
+            )
+            segments.append(segment)
+            if parent_tag is not None:
+                parent_segment = segment_by_tag[parent_tag]
+                segment.parent = parent_segment
+                segment.parent_tag = parent_tag
+                parent_segment.children.append(segment)
+        else:
+            segment = segment_by_tag[parent_tag]
+        segment.tags.append(tag)
+        segment_by_tag[tag] = segment
+    return segments

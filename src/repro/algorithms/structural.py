@@ -1,0 +1,57 @@
+"""Binary structural join (Al-Khalifa et al., ICDE 2002).
+
+The stack-based ancestor-descendant merge join over two document-ordered
+element lists — the primitive underlying PathStack and the binary joins
+inside InterJoin.  Exposed on its own both as a building block and for the
+unit tests that pin down the join semantics shared by every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms.base import Counters
+
+
+def structural_join(
+    ancestors: Sequence,
+    descendants: Sequence,
+    parent_child: bool = False,
+    counters: Counters | None = None,
+) -> list[tuple]:
+    """All ``(a, d)`` pairs with ``a`` an ancestor (or parent) of ``d``.
+
+    Args:
+        ancestors: candidate ancestor entries in document order.
+        descendants: candidate descendant entries in document order.
+        parent_child: restrict to parent-child pairs (checked via level).
+        counters: optional counters to attribute comparisons to.
+
+    Returns:
+        Pairs sorted by ``(a.start, d.start)`` — the Stack-Tree-Anc output
+        order, which downstream merge steps rely on.
+    """
+    if counters is None:
+        counters = Counters()
+    out: list[tuple] = []
+    stack: list = []
+    ai = 0
+    total = len(ancestors)
+    for desc in descendants:
+        while ai < total and ancestors[ai].start < desc.start:
+            candidate = ancestors[ai]
+            ai += 1
+            counters.comparisons += 1
+            while stack and stack[-1].end < candidate.start:
+                stack.pop()
+            stack.append(candidate)
+        while stack and stack[-1].end < desc.start:
+            counters.comparisons += 1
+            stack.pop()
+        for anc in stack:
+            counters.comparisons += 1
+            if parent_child and anc.level != desc.level - 1:
+                continue
+            out.append((anc, desc))
+    out.sort(key=lambda pair: (pair[0].start, pair[1].start))
+    return out

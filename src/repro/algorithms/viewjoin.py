@@ -1,0 +1,417 @@
+"""ViewJoin (paper Section IV): holistic TPQ evaluation over view segments.
+
+The evaluation follows Algorithm 1:
+
+1. compute the view-segmented query Q' (:mod:`segmentation`);
+2. stream the per-tag lists of the Q' tags with one cursor each, produce
+   solution nodes in document order via a segment-level ``get_next``
+   (Function 3), and collect them in the DAG buffer ``F``;
+3. when a new Q'-root solution falls outside the current partition, extend
+   ``F`` to the query tags outside Q' via the views' materialized pointers
+   (or pager-accounted binary search under the element scheme) and emit the
+   partition's matches.
+
+Skipping (``advance_pointers``, Function 4) dereferences following and
+child pointers to jump cursors over entries that are provably dead.  Two
+safety guards tighten the paper's pseudocode (documented in DESIGN.md §6):
+
+* a following-pointer jump is taken only when the view node has no parent
+  in its view — for parent-constrained nodes the pointer's
+  same-lowest-ancestor group may hop over live entries, so those cursors
+  advance sequentially;
+* a child-pointer refresh is taken only when no buffered parent candidate
+  region can still cover the entries being skipped
+  (:meth:`DagBuffer.max_buffered_end`), and only across ad view edges.
+
+Both guards only ever *reduce* skipping, never correctness: every engine in
+this repository is differentially tested against the naive oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algorithms.access import TagSource
+from repro.algorithms.base import Counters, CountingCursor, EvalResult, Mode
+from repro.algorithms.dag import DagBuffer
+from repro.algorithms.segmentation import Segment, SegmentedQuery, segment_query
+from repro.storage.pager import Pager
+from repro.storage.records import ElementEntry
+from repro.tpq.pattern import Axis, Pattern
+
+_INF = float("inf")
+
+
+def viewjoin(
+    query: Pattern,
+    sources: Mapping[str, TagSource],
+    view_patterns: list[Pattern],
+    mode: Mode = Mode.MEMORY,
+    emit_matches: bool = True,
+    spill_pager: Pager | None = None,
+    sink=None,
+) -> EvalResult:
+    """Evaluate ``query`` with ViewJoin over a covering view set.
+
+    Args:
+        query: the tree pattern query.
+        sources: per-tag access to the materialized views (E, LE or LE_p).
+        view_patterns: the covering view patterns (define the segmentation).
+        mode: memory- or disk-based output approach.
+        emit_matches: materialize output tuples (False counts only).
+        spill_pager: pager for the disk-based spill.
+
+    Returns:
+        The evaluation result; matches equal those of every other engine.
+    """
+    run = _ViewJoinRun(
+        query, sources, view_patterns, mode, emit_matches, spill_pager,
+        sink=sink,
+    )
+    return run.execute()
+
+
+class _ViewJoinRun:
+    def __init__(
+        self,
+        query: Pattern,
+        sources: Mapping[str, TagSource],
+        view_patterns: list[Pattern],
+        mode: Mode,
+        emit_matches: bool,
+        spill_pager: Pager | None,
+        sink=None,
+    ):
+        self.query = query
+        self.sources = sources
+        self.seg: SegmentedQuery = segment_query(query, view_patterns)
+        self.counters = Counters()
+        self._own_spill = False
+        if Mode.parse(mode) is Mode.DISK and spill_pager is None:
+            spill_pager = Pager(file_backed=True)
+            self._own_spill = True
+        self.spill_pager = spill_pager if Mode.parse(mode) is Mode.DISK else None
+        self.dag = DagBuffer(
+            query, self.counters, emit_matches, self.spill_pager, sink=sink
+        )
+        self.cursors: dict[str, CountingCursor] = {
+            tag: sources[tag].cursor(self.counters)
+            for tag in self.seg.retained
+        }
+        # Cached solutions (Function 2 lines 3-5): tag -> cursor position
+        # proven to be a solution but not yet admitted to F.
+        self.sol: dict[str, int] = {}
+        # View nodes with no parent inside their view: their following
+        # pointers are unconstrained, hence safe for skip-jumps.
+        self._unconstrained = {
+            tag
+            for tag in self.seg.retained
+            if self.seg.view_of(tag).node(tag).parent is None
+        }
+
+    # -- driver (Algorithm 1) ---------------------------------------------------
+
+    def execute(self) -> EvalResult:
+        try:
+            root_tag = self.seg.root_tag
+            root_segment = self.seg.root_segment
+            while True:
+                result = self._get_next(root_segment)
+                if result is None:
+                    break
+                tag, entry = result
+                if tag == root_tag:
+                    if self.dag.partition_root is None:
+                        self.dag.set_partition_root(entry)
+                    elif entry.start > self.dag.partition_end:
+                        self.dag.flush(self._extend)
+                        self.dag.set_partition_root(entry)
+                self._add_nodes(tag)
+            self.dag.flush(self._extend)
+            return EvalResult(
+                matches=self.dag.matches,
+                match_count=self.dag.match_count,
+                counters=self.counters,
+                peak_buffer_entries=self.dag.peak_entries,
+                peak_buffer_bytes=self.dag.peak_bytes,
+                output_seconds=self.dag.output_seconds,
+            )
+        finally:
+            if self._own_spill and self.spill_pager is not None:
+                self.spill_pager.close()
+
+    # -- get_next (Function 3) -----------------------------------------------------
+
+    def _get_next(self, segment: Segment) -> tuple[str, ElementEntry] | None:
+        """Next solution node reachable through ``segment``, or None when
+        the segment can produce no further solutions.
+
+        A None child is skipped rather than propagated: its tags may still
+        pair with already-buffered candidates, so sibling segments continue.
+        """
+        self.counters.getnext_calls += 1
+        root_tag = segment.root_tag
+        root_cursor = self.cursors[root_tag]
+        if segment.is_leaf:
+            if root_cursor.exhausted:
+                return None
+            return (root_tag, root_cursor.current)
+        # Note: the paper's Function 3 also short-circuits on a cached
+        # solution (sol) for non-leaf segments.  That hides smaller pending
+        # solutions in child segments and can flush a partition before they
+        # are admitted (DESIGN.md §6), so cached solutions here only exempt
+        # their entries from being skipped, never from recursion.
+
+        while True:
+            solutions: list[tuple[str, ElementEntry]] = []
+            restart = False
+            for child in segment.children:
+                settled = self._get_next(child)
+                if settled is None:
+                    continue
+                s_tag, s_entry = settled
+                if s_tag != child.root_tag:
+                    # A deeper blocking solution; propagate for admission.
+                    solutions.append(settled)
+                    continue
+                parent_tag = child.parent_tag
+                assert parent_tag is not None
+                parent_cursor = self.cursors[parent_tag]
+                parent_head = parent_cursor.current
+                p_start = parent_head.start if parent_head else _INF
+                p_end = parent_head.end if parent_head else _INF
+                self.counters.comparisons += 1
+                if s_entry.start < p_start:
+                    if self.dag.has_open_ancestor(parent_tag, s_entry):
+                        solutions.append(settled)
+                    else:
+                        self._advance_segment_root(
+                            child.root_tag, parent_tag, p_start
+                        )
+                        restart = True
+                        break
+                elif s_entry.start > p_end:
+                    # parent head cannot contain this (or any later) child
+                    # solution: skip dead parent entries via pointers.
+                    self._advance_pointers(parent_tag, s_entry.start)
+                    restart = True
+                    break
+                else:
+                    solutions.append(settled)
+            if not restart:
+                break
+
+        for tag in segment.tags:
+            cursor = self.cursors[tag]
+            if cursor.current is not None:
+                solutions.append((tag, cursor.current))
+        if not solutions:
+            return None
+        return min(solutions, key=lambda item: item[1].start)
+
+    # -- add_nodes (Function 2) -------------------------------------------------------
+
+    def _add_nodes(self, tag: str) -> None:
+        """Admit the Q' subtree of ``tag`` to F in top-down order.
+
+        A node whose cursor starts after its (already advanced) parent
+        cursor may belong under a later parent candidate: it is cached as a
+        known solution (``sol``) instead, and get_next short-circuits on it.
+        """
+        root_tag = self.seg.root_tag
+        for qi in self.seg.subtree_tags(tag):
+            cursor = self.cursors[qi]
+            if cursor.current is None:
+                continue
+            if qi != root_tag:
+                parent_cursor = self.cursors[self.seg.parent_of[qi]]
+                parent_head = parent_cursor.current
+                self.counters.comparisons += 1
+                if (
+                    parent_head is not None
+                    and cursor.current.start > parent_head.start
+                ):
+                    self.sol[qi] = cursor.position
+                    break
+            self.dag.add(qi, cursor.current)
+            self.sol.pop(qi, None)
+            cursor.advance()
+
+    # -- skipping (Function 4) -----------------------------------------------------------
+
+    def _advance_segment_root(
+        self, tag: str, parent_tag: str, bound: float
+    ) -> None:
+        """Advance a child-segment root past entries that start before the
+        parent head and have no buffered parent candidate (lines 15-16)."""
+        cursor = self.cursors[tag]
+        cursor.advance()
+        while cursor.current is not None and cursor.current.start < bound:
+            self.counters.comparisons += 1
+            if self.dag.has_open_ancestor(parent_tag, cursor.current):
+                break
+            cursor.advance()
+
+    def _advance_pointers(self, parent_tag: str, limit: int) -> None:
+        """Skip dead ``parent_tag`` entries (end < limit), then refresh the
+        cursors of its Q' descendants via materialized pointers."""
+        self._advance_tag_past(parent_tag, limit)
+        self._refresh_descendants(parent_tag)
+
+    def _advance_tag_past(self, tag: str, limit: int) -> None:
+        """Advance ``tag``'s cursor until its head's end reaches ``limit``.
+
+        Entries with ``end < limit`` cannot contain the next (or any later)
+        child-segment solution, so they are dead.  When the view node is
+        unconstrained its following pointer jumps the dead entry's whole
+        subtree (a null pointer proves every remaining entry is a
+        descendant of the dead head, exhausting the list); otherwise the
+        cursor advances sequentially.
+        """
+        cursor = self.cursors[tag]
+        use_pointers = (
+            tag in self._unconstrained and self.sources[tag].has_pointers
+        )
+        while cursor.current is not None:
+            self.counters.comparisons += 1
+            entry = cursor.current
+            if entry.end >= limit:
+                break
+            if use_pointers:
+                target = entry.following
+                if target >= 0:
+                    cursor.seek_pointer(target)
+                    continue
+                if target == -1:  # NULL: remaining entries nest inside entry
+                    cursor.seek_pointer(len(cursor))
+                    continue
+                # UNMATERIALIZED (LE_p): the target is adjacent.
+            cursor.advance()
+
+    def _refresh_descendants(self, tag: str) -> None:
+        """Move the cursors of ``tag``'s Q' descendants up to the freshly
+        advanced ancestor context (Function 4 lines 3-13).
+
+        Jump rules (each provably skips only dead entries):
+
+        * only when no buffered parent candidate region still covers the
+          entries being skipped;
+        * via the parent head's child pointer when the Q' edge is also an
+          ad view edge with a materialized pointer;
+        * otherwise sequentially up to the parent head's start.
+        """
+        for qi in self.seg.subtree_tags(tag)[1:]:
+            parent_tag = self.seg.parent_of[qi]
+            parent_head = self.cursors[parent_tag].current
+            if parent_head is None:
+                continue
+            cursor = self.cursors[qi]
+            if cursor.current is None:
+                continue
+            if self.sol.get(qi) == cursor.position:
+                continue  # never skip a cached solution
+            point = cursor.current.start
+            self.counters.comparisons += 1
+            if self.dag.max_buffered_end(parent_tag) > point:
+                continue  # a buffered ancestor may still pair with skipped entries
+            target = self._pointer_target(parent_tag, parent_head, qi)
+            if target is not None:
+                cursor.seek_pointer(target)
+                continue
+            while (
+                cursor.current is not None
+                and cursor.current.start < parent_head.start
+            ):
+                self.counters.comparisons += 1
+                cursor.advance()
+
+    def _pointer_target(
+        self, parent_tag: str, parent_head, child_tag: str
+    ) -> int | None:
+        """Entry index of the parent head's first ``child_tag`` partner, if
+        a materialized ad child pointer provides it."""
+        source = self.sources[parent_tag]
+        if not source.has_pointers:
+            return None
+        view = self.seg.view_of(parent_tag)
+        if not view.has_tag(child_tag):
+            return None
+        child_node = view.node(child_tag)
+        if child_node.parent is None or child_node.parent.tag != parent_tag:
+            return None
+        if child_node.axis is not Axis.DESCENDANT:
+            return None  # pc pointers may overshoot ad candidates
+        slot = source.child_slot(child_tag)
+        if slot is None:
+            return None
+        target = parent_head.children[slot]
+        if target < 0:
+            return None
+        return target
+
+    # -- flush extension (Algorithm 1 line 10) ----------------------------------------------
+
+    def _extend(self, buffered: Mapping[str, list]) -> dict[str, list]:
+        """Complete the candidate lists with the query tags outside Q'.
+
+        Tags outside Q' were never scanned; their entries are fetched per
+        partition from the regions of their view-parent candidates — via
+        materialized child pointers under LE/LE_p, or pager-accounted
+        binary search under the element scheme (Section III-B advantage 3).
+        """
+        candidates: dict[str, list] = {
+            tag: list(entries) for tag, entries in buffered.items()
+        }
+        for tag in self.seg.retained:
+            candidates.setdefault(tag, [])
+        for view in self.seg.views:
+            for qnode in view.nodes:
+                tag = qnode.tag
+                if tag in candidates:
+                    continue
+                assert qnode.parent is not None, "view roots are always in Q'"
+                parents = candidates[qnode.parent.tag]
+                candidates[tag] = self._fetch_in_regions(
+                    tag, parents, use_pointer=(qnode.axis is Axis.DESCENDANT),
+                    parent_tag=qnode.parent.tag,
+                )
+        return candidates
+
+    def _fetch_in_regions(
+        self,
+        tag: str,
+        parents: list,
+        use_pointer: bool,
+        parent_tag: str,
+    ) -> list:
+        """All ``tag`` entries inside the outermost parent regions."""
+        source = self.sources[tag]
+        parent_source = self.sources[parent_tag]
+        slot = (
+            parent_source.child_slot(tag)
+            if use_pointer and parent_source.has_pointers
+            else None
+        )
+        result: list = []
+        last_end = -1
+        total = len(source.stored)
+        for parent in parents:
+            if parent.start < last_end:
+                continue  # nested inside the previous region: already fetched
+            last_end = parent.end
+            if slot is not None and parent.children[slot] >= 0:
+                index = parent.children[slot]
+                self.counters.pointer_jumps += 1
+            elif slot is not None:
+                continue  # null child pointer: no partner in this region
+            else:
+                index = source.bisect_start(parent.start, self.counters)
+            while index < total:
+                entry = source.stored.read(index)
+                self.counters.comparisons += 1
+                if entry.start >= parent.end:
+                    break
+                result.append(entry)
+                self.counters.elements_scanned += 1
+                index += 1
+        return result

@@ -1,0 +1,20 @@
+"""Benchmark harness: run engine combos, collect time + counters, render
+the paper's tables and series as text (consumed by ``benchmarks/``)."""
+
+from repro.bench.harness import (
+    RunRecord,
+    default_combos,
+    run_combo,
+    run_query_matrix,
+)
+from repro.bench.report import format_records, format_series, format_table
+
+__all__ = [
+    "RunRecord",
+    "default_combos",
+    "run_combo",
+    "run_query_matrix",
+    "format_records",
+    "format_series",
+    "format_table",
+]

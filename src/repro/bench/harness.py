@@ -1,0 +1,189 @@
+"""Run engine combinations and collect comparable measurements.
+
+A :class:`RunRecord` captures one (query × algorithm × scheme × mode) run:
+wall-clock seconds, the machine-independent work counters, I/O statistics
+and peak buffer size.  ``run_query_matrix`` executes a whole Fig. 5-style
+grid and is the primitive every benchmark file builds on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algorithms.base import Counters, Mode
+from repro.algorithms.engine import Algorithm, combo_label, evaluate
+from repro.storage.catalog import Scheme, ViewCatalog
+from repro.storage.pager import IOStats
+from repro.tpq.pattern import Pattern
+from repro.workloads.spec import QuerySpec
+from repro.xmltree.document import Document
+
+Combo = tuple[str, str]
+
+#: All seven engine combinations of paper Table I.
+ALL_COMBOS: tuple[Combo, ...] = (
+    ("IJ", "T"),
+    ("TS", "E"), ("TS", "LE"), ("TS", "LEp"),
+    ("VJ", "E"), ("VJ", "LE"), ("VJ", "LEp"),
+)
+
+#: The six combinations applicable to twig queries (no InterJoin).
+TWIG_COMBOS: tuple[Combo, ...] = ALL_COMBOS[1:]
+
+
+def default_combos(spec: QuerySpec) -> tuple[Combo, ...]:
+    """The paper's combo set for a query: all seven for path queries with
+    path views (Fig. 5(a)/(b)), six otherwise (Fig. 5(c)/(d))."""
+    if spec.is_path and spec.views_are_paths:
+        return ALL_COMBOS
+    return TWIG_COMBOS
+
+
+@dataclass
+class RunRecord:
+    """One measured evaluation run."""
+
+    dataset: str
+    query: str
+    combo: str
+    mode: str
+    elapsed_s: float
+    matches: int
+    counters: Counters
+    io: IOStats
+    peak_buffer_entries: int = 0
+    peak_buffer_bytes: int = 0
+    output_seconds: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        return self.counters.work
+
+    def row(self) -> dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "query": self.query,
+            "combo": self.combo,
+            "mode": self.mode,
+            "ms": round(self.elapsed_s * 1e3, 2),
+            "matches": self.matches,
+            "work": self.work,
+            "scanned": self.counters.elements_scanned,
+            "jumps": self.counters.pointer_jumps,
+            "skipped": self.counters.entries_skipped,
+            "cmp": self.counters.comparisons,
+            "pages": self.io.logical_reads,
+            "io_ms": round(self.io.io_seconds * 1e3, 3),
+            "out_ms": round(self.output_seconds * 1e3, 3),
+            **self.extra,
+        }
+
+
+def run_combo(
+    catalog: ViewCatalog,
+    query: Pattern,
+    views: Sequence[Pattern],
+    algorithm: Algorithm | str,
+    scheme: Scheme | str,
+    mode: Mode | str = Mode.MEMORY,
+    dataset: str = "",
+    query_name: str | None = None,
+    emit_matches: bool = False,
+    repeats: int = 1,
+) -> RunRecord:
+    """Evaluate and record time, counters and I/O.
+
+    With ``repeats > 1`` the evaluation runs that many times and the
+    record carries the *median* wall-clock (counters/io of the last run —
+    they are deterministic per input)."""
+    timings = []
+    result = None
+    for __ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        result = evaluate(
+            query, catalog, views, algorithm, scheme,
+            mode=mode, emit_matches=emit_matches,
+        )
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    elapsed = timings[len(timings) // 2]
+    assert result is not None
+    return RunRecord(
+        dataset=dataset or catalog.document.name,
+        query=query_name or (query.name or query.to_xpath()),
+        combo=combo_label(algorithm, scheme),
+        mode=Mode.parse(mode).value,
+        elapsed_s=elapsed,
+        matches=result.match_count,
+        counters=result.counters,
+        io=result.io,
+        peak_buffer_entries=result.peak_buffer_entries,
+        peak_buffer_bytes=result.peak_buffer_bytes,
+        output_seconds=result.output_seconds,
+    )
+
+
+def run_query_matrix(
+    document: Document,
+    specs: Sequence[QuerySpec],
+    combos: Sequence[Combo] | None = None,
+    mode: Mode | str = Mode.MEMORY,
+    dataset: str = "",
+    catalog: ViewCatalog | None = None,
+) -> list[RunRecord]:
+    """Run every (query × combo) cell of a Fig. 5-style grid.
+
+    Views are materialized once per scheme through a shared catalog, so
+    repeated combos do not re-pay materialization.
+    """
+    owned = catalog is None
+    if catalog is None:
+        catalog = ViewCatalog(document)
+    records: list[RunRecord] = []
+    try:
+        for spec in specs:
+            for algorithm, scheme in (combos or default_combos(spec)):
+                records.append(
+                    run_combo(
+                        catalog,
+                        spec.query,
+                        spec.views,
+                        algorithm,
+                        scheme,
+                        mode=mode,
+                        dataset=dataset or document.name,
+                        query_name=spec.name,
+                    )
+                )
+        return records
+    finally:
+        if owned:
+            catalog.close()
+
+
+def speedup(records: Sequence[RunRecord], base: str, other: str) -> dict[str, float]:
+    """Per-query wall-clock ratio ``base / other`` (``>1`` means ``other``
+    is faster), keyed by query name."""
+    by_query: dict[str, dict[str, RunRecord]] = {}
+    for record in records:
+        by_query.setdefault(record.query, {})[record.combo] = record
+    result = {}
+    for query, combos in by_query.items():
+        if base in combos and other in combos and combos[other].elapsed_s > 0:
+            result[query] = combos[base].elapsed_s / combos[other].elapsed_s
+    return result
+
+
+def work_ratio(records: Sequence[RunRecord], base: str, other: str) -> dict[str, float]:
+    """Per-query work-counter ratio ``base / other`` (machine-independent)."""
+    by_query: dict[str, dict[str, RunRecord]] = {}
+    for record in records:
+        by_query.setdefault(record.query, {})[record.combo] = record
+    result = {}
+    for query, combos in by_query.items():
+        if base in combos and other in combos and combos[other].work > 0:
+            result[query] = combos[base].work / combos[other].work
+    return result

@@ -1,0 +1,94 @@
+"""Plain-text rendering of benchmark results.
+
+The benchmark files print each experiment in the paper's table/figure
+shape (rows per query, one column per combo; or a series per document
+scale) so EXPERIMENTS.md can record paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.harness import RunRecord
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned fixed-width text table."""
+    columns = [list(map(_cell, column)) for column in zip(headers, *rows)]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    lines.append(
+        "  ".join(
+            _cell(name).ljust(width) for name, width in zip(headers, widths)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _cell(value).ljust(width) for value, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_records(
+    records: Sequence[RunRecord],
+    metric: str = "ms",
+    row_key: str = "query",
+    column_key: str = "combo",
+) -> str:
+    """Pivot run records into a per-query × per-combo table.
+
+    Args:
+        records: the measured runs.
+        metric: a key of :meth:`RunRecord.row` to display in cells.
+        row_key / column_key: the pivot dimensions.
+    """
+    rows_order: list[str] = []
+    columns_order: list[str] = []
+    cells: dict[tuple[str, str], object] = {}
+    for record in records:
+        row = record.row()
+        r, c = str(row[row_key]), str(row[column_key])
+        if r not in rows_order:
+            rows_order.append(r)
+        if c not in columns_order:
+            columns_order.append(c)
+        cells[(r, c)] = row.get(metric, "")
+    headers = [row_key] + columns_order
+    body = [
+        [r] + [cells.get((r, c), "-") for c in columns_order]
+        for r in rows_order
+    ]
+    return format_table(headers, body)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[object, object]]],
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Render named (x, y) series as a table with one column per series —
+    the textual analogue of a line figure (e.g. Fig. 7)."""
+    xs: list[object] = []
+    for points in series.values():
+        for x, __ in points:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + [f"{name} ({y_label})" for name in series]
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    rows = [
+        [x] + [lookup[name].get(x, "-") for name in series] for x in xs
+    ]
+    return format_table(headers, rows)

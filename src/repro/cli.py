@@ -1,0 +1,337 @@
+"""Command-line interface: ``viewjoin`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``generate`` — write a synthetic XMark/NASA document to an XML file;
+* ``stats`` — show document statistics;
+* ``run`` — evaluate a query over views with a chosen engine combo;
+* ``select`` — run the cost-based view-selection heuristic;
+* ``workload`` — run a whole benchmark workload grid and print the table;
+* ``space`` — view sizes and pointer counts per storage scheme (Table IV);
+* ``scalability`` — scale sweep of ViewJoin work/memory (Fig. 7 shape);
+* ``materialize`` — build a persistent view store from an XML document;
+* ``query`` — answer a query from a persistent store (planner-driven);
+* ``advise`` — recommend views worth materializing for a query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms.engine import evaluate
+from repro.bench.harness import run_query_matrix
+from repro.bench.report import format_records, format_table
+from repro.datasets import nasa as nasa_data
+from repro.datasets import xmark as xmark_data
+from repro.selection import select_views
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.parser import parse_pattern
+from repro.workloads import nasa as nasa_workload
+from repro.workloads import xmark as xmark_workload
+from repro.xmltree.parser import parse_xml_file
+from repro.xmltree.writer import write_xml_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "run": _cmd_run,
+        "select": _cmd_select,
+        "workload": _cmd_workload,
+        "space": _cmd_space,
+        "scalability": _cmd_scalability,
+        "materialize": _cmd_materialize,
+        "query": _cmd_query,
+        "advise": _cmd_advise,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="viewjoin",
+        description="ViewJoin (ICDE 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("dataset", choices=("xmark", "nasa"))
+    gen.add_argument("output", help="output XML file path")
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser("stats", help="show document statistics")
+    stats.add_argument("input", help="XML file path")
+
+    run = sub.add_parser("run", help="evaluate a query using views")
+    run.add_argument("input", help="XML file path")
+    run.add_argument("query", help="TPQ in the {/, //, []} XPath fragment")
+    run.add_argument(
+        "--view", action="append", required=True, dest="views",
+        help="covering view (repeatable)",
+    )
+    run.add_argument("--algorithm", default="VJ",
+                     choices=("IJ", "TS", "PS", "VJ"))
+    run.add_argument("--scheme", default="LEp",
+                     choices=("T", "E", "LE", "LEp"))
+    run.add_argument("--mode", default="memory", choices=("memory", "disk"))
+    run.add_argument("--show-matches", type=int, default=0, metavar="N",
+                     help="print the first N matches")
+
+    sel = sub.add_parser("select", help="cost-based view selection")
+    sel.add_argument("input", help="XML file path")
+    sel.add_argument("query")
+    sel.add_argument("--candidate", action="append", required=True,
+                     dest="candidates", help="candidate view (repeatable)")
+    sel.add_argument("--lam", type=float, default=1.0,
+                     help="cost-model weight lambda (paper uses 1.0)")
+
+    wl = sub.add_parser("workload", help="run a benchmark workload grid")
+    wl.add_argument("name", choices=("xmark-paths", "xmark-twigs",
+                                     "nasa-paths", "nasa-twigs"))
+    wl.add_argument("--scale", type=float, default=1.0)
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--metric", default="ms",
+                    choices=("ms", "work", "scanned", "cmp", "pages",
+                             "jumps", "skipped", "matches"))
+
+    space = sub.add_parser(
+        "space", help="view size/pointers per scheme (Table IV shape)"
+    )
+    space.add_argument("input", help="XML file path")
+    space.add_argument("--view", action="append", required=True,
+                       dest="views", help="view pattern (repeatable)")
+
+    scal = sub.add_parser(
+        "scalability", help="scale sweep of ViewJoin (Fig. 7 shape)"
+    )
+    scal.add_argument("query", help="TPQ to sweep")
+    scal.add_argument("--view", action="append", required=True,
+                      dest="views", help="covering view (repeatable)")
+    scal.add_argument("--dataset", default="xmark",
+                      choices=("xmark", "nasa"))
+    scal.add_argument("--scales", default="0.5,1,1.5,2",
+                      help="comma-separated generator scales")
+    scal.add_argument("--seed", type=int, default=42)
+
+    mat = sub.add_parser(
+        "materialize", help="build a persistent view store"
+    )
+    mat.add_argument("input", help="XML file path")
+    mat.add_argument("store", help="store directory to create")
+    mat.add_argument("--view", action="append", required=True,
+                     dest="views", help="view pattern (repeatable)")
+    mat.add_argument("--scheme", default="LEp",
+                     choices=("T", "E", "LE", "LEp"))
+
+    qry = sub.add_parser(
+        "query", help="answer a query from a persistent store"
+    )
+    qry.add_argument("store", help="store directory (from `materialize`)")
+    qry.add_argument("query", help="TPQ to answer")
+    qry.add_argument("--show-matches", type=int, default=0, metavar="N")
+
+    adv = sub.add_parser(
+        "advise", help="recommend views to materialize for a query"
+    )
+    adv.add_argument("input", help="XML file path")
+    adv.add_argument("query", help="TPQ to optimize for")
+    adv.add_argument("--max-size", type=int, default=4,
+                     help="largest candidate view (nodes)")
+    adv.add_argument("--top", type=int, default=10,
+                     help="show this many ranked candidates")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = xmark_data if args.dataset == "xmark" else nasa_data
+    document = generator.generate(scale=args.scale, seed=args.seed)
+    write_xml_file(document, args.output)
+    print(f"wrote {args.output}: {document.summary()}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    document = parse_xml_file(args.input)
+    summary = document.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    tag_counts = sorted(
+        ((tag, document.tag_count(tag)) for tag in document.tags()),
+        key=lambda item: -item[1],
+    )
+    print(format_table(["stat", "value"], rows))
+    print()
+    print(format_table(["tag", "count"], tag_counts[:20]))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    document = parse_xml_file(args.input)
+    query = parse_pattern(args.query)
+    views = [parse_pattern(text) for text in args.views]
+    with ViewCatalog(document) as catalog:
+        result = evaluate(
+            query, catalog, views, args.algorithm, args.scheme,
+            mode=args.mode, emit_matches=args.show_matches > 0,
+        )
+    print(f"matches: {result.match_count}")
+    print(f"counters: {result.counters.as_dict()}")
+    print(f"io: {result.io.as_dict()}")
+    for match in result.matches[: args.show_matches]:
+        print("  " + ", ".join(
+            f"{tag}@{entry.start}" for tag, entry in zip(query.tags(), match)
+        ))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    document = parse_xml_file(args.input)
+    query = parse_pattern(args.query)
+    candidates = [parse_pattern(text) for text in args.candidates]
+    selection = select_views(document, candidates, query, lam=args.lam)
+    rows = [
+        [key, round(cost.io_term, 1), round(cost.cpu_term, 1),
+         round(cost.total, 1)]
+        for key, cost in selection.costs.items()
+    ]
+    print(format_table(["view", "io", "cpu", "c(v,Q)"], rows))
+    print()
+    print("selected:", [view.to_xpath() for view in selection.selected])
+    print("complete cover:", selection.complete)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    dataset, kind = args.name.split("-")
+    if dataset == "xmark":
+        document = xmark_data.generate(scale=args.scale, seed=args.seed)
+        specs = (xmark_workload.PATH_QUERIES if kind == "paths"
+                 else xmark_workload.TWIG_QUERIES)
+    else:
+        document = nasa_data.generate(scale=args.scale, seed=args.seed)
+        specs = (nasa_workload.PATH_QUERIES if kind == "paths"
+                 else nasa_workload.TWIG_QUERIES)
+    records = run_query_matrix(document, specs, dataset=args.name)
+    print(format_records(records, metric=args.metric))
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    from repro.storage.catalog import materialize
+
+    document = parse_xml_file(args.input)
+    rows = []
+    for text in args.views:
+        pattern = parse_pattern(text)
+        sizes = {}
+        pointers = {}
+        for scheme in ("E", "T", "LE", "LEp"):
+            view = materialize(document, pattern, scheme)
+            sizes[scheme] = view.size_bytes
+            stats = getattr(view, "pointer_stats", None)
+            if stats is not None:
+                pointers[scheme] = stats.total
+        rows.append(
+            [text, sizes["E"], sizes["T"], sizes["LE"], sizes["LEp"],
+             pointers.get("LE", 0), pointers.get("LEp", 0)]
+        )
+    print(format_table(
+        ["view", "E", "T", "LE", "LEp", "#ptr LE", "#ptr LEp"], rows
+    ))
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_combo
+
+    generator = xmark_data if args.dataset == "xmark" else nasa_data
+    query = parse_pattern(args.query)
+    views = [parse_pattern(text) for text in args.views]
+    rows = []
+    for scale_text in args.scales.split(","):
+        scale = float(scale_text)
+        document = generator.generate(scale=scale, seed=args.seed)
+        with ViewCatalog(document) as catalog:
+            record = run_combo(
+                catalog, query, views, "VJ", "LE",
+                dataset=f"{args.dataset}@{scale}",
+            )
+        rows.append(
+            [scale, len(document), round(record.elapsed_s * 1e3, 2),
+             record.work, record.peak_buffer_bytes, record.matches]
+        )
+    print(format_table(
+        ["scale", "nodes", "ms", "work", "peak buffer B", "matches"], rows
+    ))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.selection.advisor import recommend_views
+
+    document = parse_xml_file(args.input)
+    query = parse_pattern(args.query)
+    result = recommend_views(document, query, max_view_size=args.max_size)
+    rows = [
+        [rec.view.to_xpath(), round(rec.estimated_cost), round(rec.base_cost),
+         round(rec.saving)]
+        for rec in result.candidates[: args.top]
+    ]
+    print(format_table(
+        ["candidate view", "est. cost", "base cost", "saving"], rows
+    ))
+    print()
+    print("recommended:", [v.to_xpath() for v in result.recommended])
+    if result.uncovered:
+        print("left to base views:", result.uncovered)
+    print(f"total estimated saving: {round(result.total_saving)}")
+    return 0
+
+
+def _cmd_materialize(args: argparse.Namespace) -> int:
+    from repro.storage.persistence import save_catalog
+
+    document = parse_xml_file(args.input)
+    with ViewCatalog(document) as catalog:
+        for text in args.views:
+            info = catalog.add(parse_pattern(text, name=text), args.scheme)
+            print(
+                f"materialized {text} [{args.scheme}]:"
+                f" {info.size_bytes} bytes, {info.num_pointers} pointers"
+            )
+        save_catalog(catalog, args.store)
+    print(f"store written to {args.store}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.planner import Planner
+    from repro.storage.persistence import load_catalog
+
+    catalog = load_catalog(args.store)
+    try:
+        planner = Planner(catalog)
+        planner.adopt_catalog_views()
+        plan, result = planner.answer(
+            args.query, emit_matches=args.show_matches > 0
+        )
+        print(plan.describe())
+        print(f"matches: {result.match_count}")
+        print(f"counters: {result.counters.as_dict()}")
+        query = plan.query
+        for match in result.matches[: args.show_matches]:
+            print("  " + ", ".join(
+                f"{tag}@{entry.start}"
+                for tag, entry in zip(query.tags(), match)
+            ))
+    finally:
+        catalog.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

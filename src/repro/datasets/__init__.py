@@ -1,0 +1,13 @@
+"""Synthetic dataset generators.
+
+* :mod:`repro.datasets.xmark` — an XMark-schema auction-site generator
+  (stands in for the original ``xmlgen`` tool; see DESIGN.md §1);
+* :mod:`repro.datasets.nasa` — a NASA-ADC-schema generator with skewed
+  element distribution;
+* :mod:`repro.datasets.random_trees` — bounded random trees for property
+  tests and micro-benchmarks.
+"""
+
+from repro.datasets import nasa, random_trees, xmark
+
+__all__ = ["nasa", "random_trees", "xmark"]

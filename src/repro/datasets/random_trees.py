@@ -1,0 +1,65 @@
+"""Bounded random document generator.
+
+Produces random region-labelled trees with controllable size, depth,
+fanout and tag alphabet.  Depth is bounded so the differential tests can
+compare engines against the exponential naive oracle without blow-ups,
+while still exercising recursion (the same tag nesting inside itself),
+which is where pointer-skipping logic is most fragile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.xmltree.document import Document, DocumentBuilder
+
+
+def generate(
+    size: int = 200,
+    tags: Sequence[str] = ("a", "b", "c", "d", "e", "f"),
+    max_depth: int = 8,
+    max_fanout: int = 4,
+    seed: int | None = None,
+    root_tag: str = "root",
+) -> Document:
+    """Generate a random document.
+
+    Args:
+        size: approximate number of non-root nodes.
+        tags: tag alphabet for non-root nodes (uniformly drawn).
+        max_depth: maximum node level (root is level 0).
+        max_fanout: maximum children attached per expansion step.
+        seed: RNG seed for reproducibility.
+        root_tag: tag of the single root element.
+
+    Returns:
+        A document with at most ``size`` non-root nodes.
+    """
+    rng = random.Random(seed)
+    builder = DocumentBuilder(name=f"random-{seed}")
+    remaining = size
+
+    def grow(depth: int) -> None:
+        nonlocal remaining
+        if depth >= max_depth or remaining <= 0:
+            return
+        for _ in range(rng.randint(0, max_fanout)):
+            if remaining <= 0:
+                return
+            remaining -= 1
+            builder.open(rng.choice(list(tags)))
+            grow(depth + 1)
+            builder.close()
+
+    builder.open(root_tag)
+    # Keep expanding top-level subtrees until the size budget is used, so
+    # small fanout rolls cannot end the document prematurely.
+    while remaining > 0:
+        before = remaining
+        grow(1)
+        if remaining == before:
+            remaining -= 1
+            builder.leaf(rng.choice(list(tags)))
+    builder.close()
+    return builder.build()

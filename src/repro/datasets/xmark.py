@@ -1,0 +1,217 @@
+"""Synthetic XMark auction-site generator.
+
+A from-scratch generator for the XMark benchmark schema (Schmidt et al.,
+"The XML Benchmark Project"), standing in for the original ``xmlgen`` C
+tool (see DESIGN.md §1).  It reproduces the structural properties the
+evaluation depends on:
+
+* the six-continent ``regions`` hierarchy with nested ``item`` structure;
+* the recursive ``description -> parlist -> listitem -> parlist`` text
+  markup (the recursion that stresses same-tag nesting);
+* one-to-many fan-outs (``bidder`` per auction, ``interest`` per person,
+  ``incategory`` per item) that drive tuple-scheme redundancy;
+* a ``scale`` knob analogous to XMark's scaling factor — document size
+  grows linearly in ``scale`` (``scale=1.0`` is roughly 6k elements, so
+  the paper's 100MB..700MB sweep maps to ``scale`` 1..7 shape-wise).
+
+Element and attribute *values* are irrelevant to tree pattern matching and
+are not generated.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.document import Document, DocumentBuilder
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+#: Probability that a description holds a recursive parlist (vs flat text).
+_PARLIST_PROBABILITY = 0.3
+_MAX_PARLIST_DEPTH = 3
+
+
+def generate(scale: float = 1.0, seed: int = 0) -> Document:
+    """Generate an XMark-schema document.
+
+    Args:
+        scale: linear size factor (entity counts scale with it).
+        seed: RNG seed; identical (scale, seed) pairs yield identical
+            documents.
+
+    Returns:
+        The region-labelled document rooted at ``site``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = random.Random(seed)
+    gen = _XMarkGenerator(rng, scale)
+    return gen.run()
+
+
+class _XMarkGenerator:
+    def __init__(self, rng: random.Random, scale: float):
+        self.rng = rng
+        self.builder = DocumentBuilder(name=f"xmark-{scale}")
+        self.items_per_region = max(1, round(25 * scale))
+        self.categories = max(1, round(25 * scale))
+        self.persons = max(2, round(80 * scale))
+        self.open_auctions = max(1, round(60 * scale))
+        self.closed_auctions = max(1, round(40 * scale))
+
+    def run(self) -> Document:
+        b = self.builder
+        with b.element("site"):
+            with b.element("regions"):
+                for region in REGIONS:
+                    with b.element(region):
+                        for _ in range(self.items_per_region):
+                            self._item()
+            with b.element("categories"):
+                for _ in range(self.categories):
+                    with b.element("category"):
+                        b.leaf("name")
+                        self._description()
+            with b.element("catgraph"):
+                for _ in range(self.categories):
+                    b.leaf("edge")
+            with b.element("people"):
+                for _ in range(self.persons):
+                    self._person()
+            with b.element("open_auctions"):
+                for _ in range(self.open_auctions):
+                    self._open_auction()
+            with b.element("closed_auctions"):
+                for _ in range(self.closed_auctions):
+                    self._closed_auction()
+        return b.build()
+
+    # -- entities ------------------------------------------------------------
+
+    def _item(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("item"):
+            b.leaf("location")
+            b.leaf("quantity")
+            b.leaf("name")
+            b.leaf("payment")
+            self._description()
+            b.leaf("shipping")
+            for _ in range(rng.randint(1, 4)):
+                b.leaf("incategory")
+            if rng.random() < 0.8:
+                with b.element("mailbox"):
+                    for _ in range(rng.randint(0, 3)):
+                        with b.element("mail"):
+                            b.leaf("from")
+                            b.leaf("to")
+                            b.leaf("date")
+                            self._text()
+
+    def _description(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("description"):
+            if rng.random() < _PARLIST_PROBABILITY:
+                self._parlist(depth=1)
+            else:
+                self._text()
+
+    def _parlist(self, depth: int) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("parlist"):
+            for _ in range(rng.randint(1, 3)):
+                with b.element("listitem"):
+                    if depth < _MAX_PARLIST_DEPTH and rng.random() < 0.35:
+                        self._parlist(depth + 1)
+                    else:
+                        self._text()
+
+    def _text(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("text"):
+            # Keyword-heavy markup: real XMark text is dense with keyword
+            # elements, which is what makes //item//text//keyword tuples
+            # redundant (a keyword joins every (item, text) ancestor pair).
+            for _ in range(rng.randint(2, 6)):
+                if rng.random() < 0.65:
+                    b.leaf("keyword")
+                else:
+                    b.leaf(rng.choice(("bold", "emph")))
+
+    def _person(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("person"):
+            b.leaf("name")
+            b.leaf("emailaddress")
+            if rng.random() < 0.5:
+                b.leaf("phone")
+            if rng.random() < 0.6:
+                with b.element("address"):
+                    b.leaf("street")
+                    b.leaf("city")
+                    b.leaf("country")
+                    b.leaf("zipcode")
+            if rng.random() < 0.3:
+                b.leaf("homepage")
+            if rng.random() < 0.5:
+                b.leaf("creditcard")
+            if rng.random() < 0.75:
+                with b.element("profile"):
+                    for _ in range(rng.randint(0, 4)):
+                        b.leaf("interest")
+                    if rng.random() < 0.45:
+                        b.leaf("education")
+                    if rng.random() < 0.8:
+                        b.leaf("gender")
+                    b.leaf("business")
+                    if rng.random() < 0.7:
+                        b.leaf("age")
+            if rng.random() < 0.4:
+                with b.element("watches"):
+                    for _ in range(rng.randint(0, 3)):
+                        b.leaf("watch")
+
+    def _open_auction(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("open_auction"):
+            b.leaf("initial")
+            if rng.random() < 0.55:
+                b.leaf("reserve")
+            for _ in range(rng.randint(0, 5)):
+                with b.element("bidder"):
+                    b.leaf("date")
+                    b.leaf("time")
+                    b.leaf("personref")
+                    b.leaf("increase")
+            b.leaf("current")
+            if rng.random() < 0.4:
+                b.leaf("privacy")
+            b.leaf("itemref")
+            b.leaf("seller")
+            if rng.random() < 0.75:
+                self._annotation()
+            b.leaf("quantity")
+            b.leaf("type")
+            with b.element("interval"):
+                b.leaf("start")
+                b.leaf("end")
+
+    def _closed_auction(self) -> None:
+        b, rng = self.builder, self.rng
+        with b.element("closed_auction"):
+            b.leaf("seller")
+            b.leaf("buyer")
+            b.leaf("itemref")
+            b.leaf("price")
+            b.leaf("date")
+            b.leaf("quantity")
+            b.leaf("type")
+            if rng.random() < 0.7:
+                self._annotation()
+
+    def _annotation(self) -> None:
+        b = self.builder
+        with b.element("annotation"):
+            b.leaf("author")
+            self._description()
+            b.leaf("happiness")

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when XML text cannot be parsed into a document tree."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PatternParseError(ReproError):
+    """Raised when an XPath-fragment string cannot be parsed into a TPQ."""
+
+
+class PatternError(ReproError):
+    """Raised when a tree pattern violates a structural requirement.
+
+    For example: duplicate element types inside one pattern, or a view set
+    that shares element types across views (both disallowed in the paper's
+    simplified query model, Section II).
+    """
+
+
+class CoverageError(ReproError):
+    """Raised when a view set cannot answer a query (not a covering set)."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-layer failures (bad pages, bad pointers, codecs)."""
+
+
+class PagerError(StorageError):
+    """Raised for page-file level failures (out-of-range page ids, etc.)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a query cannot be evaluated with the requested engine.
+
+    For example: asking InterJoin to evaluate a twig query, or asking for a
+    storage scheme the chosen algorithm does not support (paper Table I).
+    """
+
+
+class SelectionError(ReproError):
+    """Raised when view selection cannot produce a covering subset."""

@@ -1,0 +1,243 @@
+"""End-to-end query planning over a view catalog.
+
+The paper's components assume the caller hands the engine a covering view
+set.  A downstream user wants the database experience instead: *register
+whatever views you have, then just ask queries*.  :class:`Planner` closes
+the loop:
+
+1. candidate discovery — every registered view that is a subpattern of the
+   query (Section II containment) is usable;
+2. cover construction — the Section V greedy heuristic picks a minimal
+   covering subset by cost (exact sizes when the views are materialized);
+3. base-view fallback — query nodes no view covers are served by implicit
+   single-tag *base views* (the raw per-type element lists every
+   structural-join algorithm assumes), materialized on demand;
+4. dispatch — ViewJoin by default; InterJoin/TwigStack/PathStack on
+   request, with the Table I combination rules enforced.
+
+Answering with only base views degenerates to classic TwigStack/ViewJoin
+over raw element streams — the "no views" baseline the InterJoin paper
+compared against, reproduced in ``benchmarks/test_views_vs_no_views.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.base import EvalResult, Mode
+from repro.algorithms.engine import Algorithm, evaluate
+from repro.errors import SelectionError
+from repro.selection.greedy import select_views
+from repro.storage.catalog import Scheme, ViewCatalog
+from repro.tpq.containment import is_subpattern
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Pattern, PatternNode
+
+
+@dataclass
+class Plan:
+    """A chosen evaluation strategy for one query."""
+
+    query: Pattern
+    views: list[Pattern]
+    base_views: list[Pattern]
+    algorithm: Algorithm
+    scheme: Scheme
+    explanation: list[str] = field(default_factory=list)
+
+    @property
+    def all_views(self) -> list[Pattern]:
+        return self.views + self.base_views
+
+    def describe(self) -> str:
+        lines = [f"query: {self.query.to_xpath()}"]
+        lines += [f"  view: {view.to_xpath()}" for view in self.views]
+        lines += [
+            f"  base view (fallback): {view.to_xpath()}"
+            for view in self.base_views
+        ]
+        lines.append(
+            f"  engine: {self.algorithm.value}+{self.scheme.value}"
+        )
+        lines.extend(f"  note: {note}" for note in self.explanation)
+        return "\n".join(lines)
+
+
+class Planner:
+    """Answers TPQs from a catalog of registered view patterns.
+
+    Args:
+        catalog: the view catalog over the target document.
+        scheme: storage scheme used for newly materialized views.
+        algorithm: default evaluation algorithm.
+    """
+
+    def __init__(
+        self,
+        catalog: ViewCatalog,
+        scheme: Scheme | str = Scheme.LINKED_PARTIAL,
+        algorithm: Algorithm | str = Algorithm.VIEWJOIN,
+        prune_with_dataguide: bool = True,
+    ):
+        self.catalog = catalog
+        self.scheme = Scheme.parse(scheme)
+        self.algorithm = Algorithm.parse(algorithm)
+        self.prune_with_dataguide = prune_with_dataguide
+        self._registered: list[Pattern] = []
+        self._dataguide = None
+
+    def _guide(self):
+        if self._dataguide is None:
+            from repro.xmltree.dataguide import DataGuide
+
+            self._dataguide = DataGuide(self.catalog.document)
+        return self._dataguide
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, pattern: Pattern | str, name: str | None = None) -> Pattern:
+        """Register (and materialize) a view pattern."""
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern, name=name)
+        self.catalog.add(pattern, self.scheme)
+        self._registered.append(pattern)
+        return pattern
+
+    def adopt_catalog_views(self) -> int:
+        """Register every view already present in the catalog (e.g. after
+        :func:`repro.storage.persistence.load_catalog`); returns how many."""
+        adopted = 0
+        known = {view.to_xpath() for view in self._registered}
+        for info in self.catalog.views():
+            if info.pattern.to_xpath() in known:
+                continue
+            self._registered.append(info.pattern)
+            known.add(info.pattern.to_xpath())
+            adopted += 1
+        return adopted
+
+    @property
+    def registered(self) -> list[Pattern]:
+        return list(self._registered)
+
+    # -- planning -----------------------------------------------------------------
+
+    def plan(self, query: Pattern | str) -> Plan:
+        """Build an evaluation plan for ``query``.
+
+        Greedily covers as many query nodes as possible with registered
+        views (tag-disjointly), then fills the gaps with base views.
+        """
+        if isinstance(query, str):
+            query = parse_pattern(query)
+        explanation: list[str] = []
+        usable = [
+            view for view in self._registered if is_subpattern(view, query)
+        ]
+        skipped = len(self._registered) - len(usable)
+        if skipped:
+            explanation.append(
+                f"{skipped} registered view(s) are not subpatterns of the"
+                " query and were skipped"
+            )
+
+        chosen: list[Pattern] = []
+        if usable:
+            selection = select_views(
+                self.catalog.document, usable, query, lam=1.0
+            )
+            chosen = self._drop_overlaps(selection.selected, explanation)
+
+        covered = {
+            tag for view in chosen for tag in view.tag_set()
+            if query.has_tag(tag)
+        }
+        base_views = [
+            self._base_view(qnode)
+            for qnode in query.nodes
+            if qnode.tag not in covered
+        ]
+        if base_views:
+            explanation.append(
+                f"{len(base_views)} query node(s) fall back to base views"
+            )
+
+        algorithm = self.algorithm
+        if algorithm is Algorithm.INTERJOIN and not query.is_path():
+            algorithm = Algorithm.VIEWJOIN
+            explanation.append(
+                "InterJoin cannot evaluate twig queries; using ViewJoin"
+            )
+        return Plan(
+            query=query,
+            views=chosen,
+            base_views=base_views,
+            algorithm=algorithm,
+            scheme=(
+                Scheme.TUPLE
+                if algorithm is Algorithm.INTERJOIN
+                else self.scheme
+            ),
+            explanation=explanation,
+        )
+
+    @staticmethod
+    def _drop_overlaps(
+        selected: list[Pattern], explanation: list[str]
+    ) -> list[Pattern]:
+        """Enforce tag-disjointness across the chosen views (the greedy
+        may pick overlapping candidates when benefits tie)."""
+        chosen: list[Pattern] = []
+        seen: set[str] = set()
+        for view in selected:
+            if seen & view.tag_set():
+                explanation.append(
+                    f"dropped {view.to_xpath()}: overlaps an earlier choice"
+                )
+                continue
+            chosen.append(view)
+            seen |= view.tag_set()
+        return chosen
+
+    def _base_view(self, qnode: PatternNode) -> Pattern:
+        return Pattern(PatternNode(qnode.tag), name=f"base:{qnode.tag}")
+
+    # -- execution -------------------------------------------------------------------
+
+    def answer(
+        self,
+        query: Pattern | str,
+        mode: Mode | str = Mode.MEMORY,
+        emit_matches: bool = True,
+    ) -> tuple[Plan, EvalResult]:
+        """Plan and evaluate ``query``; returns (plan, result).
+
+        Unsatisfiable queries (refuted by the document's DataGuide path
+        summary) return an empty result without materializing or reading
+        any view.
+        """
+        plan = self.plan(query)
+        if self.prune_with_dataguide and not self._guide().may_match(
+            plan.query
+        ):
+            plan.explanation.append(
+                "DataGuide refutation: no document path can match;"
+                " evaluation skipped"
+            )
+            from repro.algorithms.base import Counters
+
+            return plan, EvalResult(
+                matches=[], match_count=0, counters=Counters()
+            )
+        if not plan.all_views:
+            raise SelectionError("nothing covers the query")
+        result = evaluate(
+            plan.query,
+            self.catalog,
+            plan.all_views,
+            plan.algorithm,
+            plan.scheme,
+            mode=mode,
+            emit_matches=emit_matches,
+        )
+        return plan, result

@@ -1,0 +1,189 @@
+"""View recommendation: which views are worth materializing for a query?
+
+Section V selects among *given* materialized views.  The complementary
+question a deployment faces first — which views to materialize at all —
+is answered here with the same cost model:
+
+1. enumerate the connected subpatterns of the query up to a size bound
+   (every one is a valid candidate view whose joins ViewJoin can reuse);
+2. score each candidate by its estimated *saving*: evaluating its tags
+   from base (single-tag) views costs ``sum |L_t| * e_t`` with full tag
+   counts and no precomputed joins, while the candidate costs
+   ``c(v, Q)`` on its (smaller) estimated solution lists;
+3. greedily pick a tag-disjoint set of candidates by saving, leaving the
+   uncovered tags to base views.
+
+Only one pass of document statistics is needed
+(:class:`repro.selection.estimates.DocumentStatistics`) — no candidate is
+materialized while advising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.selection.cost import residual_edges
+from repro.selection.estimates import (
+    DocumentStatistics,
+    estimate_list_size,
+)
+from repro.tpq.pattern import Pattern, PatternNode
+from repro.xmltree.document import Document
+
+
+@dataclass
+class Recommendation:
+    """One scored candidate view."""
+
+    view: Pattern
+    estimated_cost: float
+    base_cost: float
+
+    @property
+    def saving(self) -> float:
+        return self.base_cost - self.estimated_cost
+
+
+@dataclass
+class AdvisorResult:
+    """Ranked candidates plus the greedy disjoint pick."""
+
+    candidates: list[Recommendation]
+    recommended: list[Pattern]
+    uncovered: list[str]
+    total_saving: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+
+def enumerate_connected_subpatterns(
+    query: Pattern, min_size: int = 2, max_size: int = 5
+) -> list[Pattern]:
+    """All connected subpatterns of ``query`` within the size bounds.
+
+    A connected subpattern is a connected subtree of the query that keeps
+    the query's own edges/axes (Section II) — exactly the views whose
+    joins are fully reusable by ViewJoin segments.
+    """
+    results: list[Pattern] = []
+
+    def grow(root: PatternNode, chosen: set[str], frontier: list[PatternNode]):
+        if min_size <= len(chosen) <= max_size:
+            results.append(_project(root, chosen))
+        if len(chosen) >= max_size or not frontier:
+            return
+        # Branch on the first frontier node: include it (expanding the
+        # frontier with its children) or exclude it permanently.
+        head, *rest = frontier
+        grow(root, chosen | {head.tag}, rest + list(head.children))
+        grow(root, chosen, rest)
+
+    for qnode in query.nodes:
+        grow(qnode, {qnode.tag}, list(qnode.children))
+    # Deduplicate structurally (different grow orders reach the same set).
+    unique: dict[str, Pattern] = {}
+    for pattern in results:
+        unique.setdefault(pattern.to_xpath(), pattern)
+    return list(unique.values())
+
+
+def _project(root: PatternNode, chosen: set[str]) -> Pattern:
+    from repro.tpq.pattern import Axis
+
+    def clone(qnode: PatternNode) -> PatternNode:
+        # A standalone view anchors its root with the descendant axis
+        # (//root...), whatever the root's incoming axis was in the query.
+        axis = Axis.DESCENDANT if qnode is root else qnode.axis
+        copy = PatternNode(qnode.tag, axis)
+        for child in qnode.children:
+            if child.tag in chosen:
+                copy.add_child(clone(child))
+        return copy
+
+    return Pattern(clone(root))
+
+
+def base_plan_cost(stats: DocumentStatistics, query: Pattern,
+                   tags: set[str]) -> float:
+    """Cost of serving ``tags`` from base views: full tag counts, every
+    incident edge evaluated at query time."""
+    total = 0.0
+    for tag in tags:
+        qnode = query.node(tag)
+        degree = len(qnode.children) + (0 if qnode.parent is None else 1)
+        total += stats.count(tag) * max(degree, 1)
+    return total
+
+
+def candidate_cost(stats: DocumentStatistics, view: Pattern,
+                   query: Pattern) -> float:
+    """``c(v, Q)`` at lambda=1 on estimated solution-list sizes, plus a
+    residual-free floor of one pass over the lists (reading is never free)."""
+    total = 0.0
+    for vnode in view.nodes:
+        size = estimate_list_size(stats, view, vnode.tag)
+        edges = residual_edges(view, query, vnode.tag)
+        total += size * max(edges, 1)
+    return total
+
+
+def recommend_views(
+    document: Document,
+    query: Pattern,
+    max_view_size: int = 5,
+    max_recommendations: int | None = None,
+    stats: DocumentStatistics | None = None,
+) -> AdvisorResult:
+    """Recommend a tag-disjoint set of views to materialize for ``query``.
+
+    Args:
+        document: the data tree (statistics are collected once).
+        query: the query to optimize for.
+        max_view_size: largest candidate view (paper's views have <= 5
+            nodes; larger views reuse more but generalize to fewer queries).
+        max_recommendations: cap on the number of picked views.
+        stats: precollected statistics (collected here when omitted).
+    """
+    if stats is None:
+        stats = DocumentStatistics.collect(document)
+    candidates = []
+    for view in enumerate_connected_subpatterns(
+        query, min_size=2, max_size=max_view_size
+    ):
+        estimated = candidate_cost(stats, view, query)
+        base = base_plan_cost(stats, query, view.tag_set())
+        candidates.append(
+            Recommendation(view=view, estimated_cost=estimated,
+                           base_cost=base)
+        )
+    candidates.sort(key=lambda rec: -rec.saving)
+
+    recommended: list[Pattern] = []
+    covered: set[str] = set()
+    total_saving = 0.0
+    notes: list[str] = []
+    for rec in candidates:
+        if rec.saving <= 0:
+            notes.append(
+                f"stopped at {rec.view.to_xpath()}: no further positive"
+                " savings"
+            )
+            break
+        if covered & rec.view.tag_set():
+            continue
+        recommended.append(rec.view)
+        covered |= rec.view.tag_set()
+        total_saving += rec.saving
+        if (
+            max_recommendations is not None
+            and len(recommended) >= max_recommendations
+        ):
+            notes.append("recommendation cap reached")
+            break
+    uncovered = [tag for tag in query.tags() if tag not in covered]
+    return AdvisorResult(
+        candidates=candidates,
+        recommended=recommended,
+        uncovered=uncovered,
+        total_saving=total_saving,
+        notes=notes,
+    )

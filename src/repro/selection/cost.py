@@ -1,0 +1,112 @@
+"""Evaluation cost model for ViewJoin (paper Section V).
+
+For a query ``Q`` and a candidate view ``v`` (a subpattern of ``Q``)::
+
+    c(v, Q) = (1 - lambda) * sum_q |L_q|  +  lambda * sum_q |L_q| * e_q
+
+where the sums range over the query nodes covered by ``v``, ``|L_q|`` is
+the size of the view's q-type list, and ``e_q`` is the number of edges of
+``q`` in ``Q`` that are *not* present in ``v`` (the joins left to compute —
+the interleaving conditions).  The first term models the I/O of reading the
+view; the second the CPU cost of the residual structural joins.
+
+The paper observes query evaluation is CPU-bound and fixes ``lambda = 1``;
+the ablation benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SelectionError
+from repro.tpq.containment import is_subpattern
+from repro.tpq.matching import solution_nodes
+from repro.tpq.pattern import Pattern, PatternNode
+from repro.xmltree.document import Document
+
+
+@dataclass
+class ViewCost:
+    """Cost breakdown of evaluating a query with one view."""
+
+    view: Pattern
+    io_term: float
+    cpu_term: float
+    lam: float
+
+    @property
+    def total(self) -> float:
+        return (1.0 - self.lam) * self.io_term + self.lam * self.cpu_term
+
+
+def residual_edges(view: Pattern, query: Pattern, tag: str) -> int:
+    """``e_q``: edges of query node ``tag`` in Q that are not edges of ``v``.
+
+    An edge of Q incident to ``tag`` is "present in v" when both endpoints
+    belong to ``v`` and they are adjacent in ``v`` as well (the join is
+    precomputed); every other incident Q-edge must be evaluated at query
+    time and charges ``|L_q|`` comparisons.
+    """
+    qnode = query.node(tag)
+    count = 0
+    for neighbour in _neighbours(qnode):
+        if not view.has_tag(neighbour.tag):
+            count += 1
+            continue
+        vnode = view.node(tag)
+        vparent = vnode.parent.tag if vnode.parent is not None else None
+        vchildren = {child.tag for child in vnode.children}
+        if neighbour.tag != vparent and neighbour.tag not in vchildren:
+            count += 1
+    return count
+
+
+def _neighbours(qnode: PatternNode) -> list[PatternNode]:
+    result = list(qnode.children)
+    if qnode.parent is not None:
+        result.append(qnode.parent)
+    return result
+
+
+def view_cost(
+    document: Document,
+    view: Pattern,
+    query: Pattern,
+    lam: float = 1.0,
+    list_sizes: dict[str, int] | None = None,
+) -> ViewCost:
+    """Compute ``c(v, Q)`` against a document (or precomputed list sizes).
+
+    Args:
+        document: the data tree (sizes of the materialized lists come from
+            the view's solution nodes on it).
+        view: candidate view; must be a subpattern of ``query``.
+        query: the query.
+        lam: the weight parameter (paper default 1.0 — CPU-bound).
+        list_sizes: optional precomputed ``|L_q|`` map to avoid
+            re-materializing when costing many views.
+
+    Raises:
+        SelectionError: if ``view`` is not a subpattern of ``query`` or
+            ``lam`` is outside [0, 1].
+    """
+    if not 0.0 <= lam <= 1.0:
+        raise SelectionError(f"lambda must be in [0, 1], got {lam}")
+    if not is_subpattern(view, query):
+        raise SelectionError(
+            f"view {view.to_xpath()} is not a subpattern of {query.to_xpath()}"
+            " and cannot be used to answer it"
+        )
+    if list_sizes is None:
+        lists = solution_nodes(document, view)
+        list_sizes = {tag: len(nodes) for tag, nodes in lists.items()}
+    io_term = 0.0
+    cpu_term = 0.0
+    for vnode in view.nodes:
+        tag = vnode.tag
+        if not query.has_tag(tag):
+            continue
+        size = list_sizes.get(tag, 0)
+        io_term += size
+        cpu_term += size * residual_edges(view, query, tag)
+    return ViewCost(view=view, io_term=io_term, cpu_term=cpu_term, lam=lam)

@@ -1,0 +1,200 @@
+"""Statistics-based cardinality estimation for view selection.
+
+The Section V cost model needs the materialized list sizes ``|L_q|`` of
+every candidate view.  Materializing each candidate just to cost it is
+wasteful when the candidate pool is large, so this module estimates the
+sizes from one-pass document statistics — the classic System-R style
+independence assumption applied to structural predicates:
+
+    |L_q| ~= count(tag) * prod P(has alpha-ancestor)   for view ancestors
+                        * prod P(has delta-descendant) for subtree tags
+
+The statistics themselves are exact (computed in one ancestor-walk pass):
+per-tag node counts, the number of ``t``-nodes with at least one
+``a``-tagged ancestor, and the number of ``a``-nodes with at least one
+``t``-tagged descendant.  Only the independence combination is
+approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SelectionError
+from repro.selection.cost import ViewCost, residual_edges
+from repro.tpq.containment import is_subpattern
+from repro.tpq.pattern import Pattern, PatternNode
+from repro.xmltree.document import Document
+
+
+@dataclass
+class DocumentStatistics:
+    """One-pass structural statistics of a document.
+
+    Attributes:
+        tag_counts: nodes per tag.
+        with_ancestor: ``(tag, ancestor_tag) ->`` number of ``tag``-nodes
+            having at least one ``ancestor_tag`` proper ancestor.
+        with_descendant: ``(tag, descendant_tag) ->`` number of
+            ``tag``-nodes having at least one ``descendant_tag`` proper
+            descendant.
+        total_nodes: document size.
+    """
+
+    tag_counts: dict[str, int] = field(default_factory=dict)
+    with_ancestor: dict[tuple[str, str], int] = field(default_factory=dict)
+    with_descendant: dict[tuple[str, str], int] = field(default_factory=dict)
+    total_nodes: int = 0
+
+    @classmethod
+    def collect(cls, document: Document) -> "DocumentStatistics":
+        """Gather the statistics in one ancestor-walk over the document."""
+        stats = cls(total_nodes=len(document))
+        seen_desc: set[tuple[int, str]] = set()
+        for node in document:
+            stats.tag_counts[node.tag] = stats.tag_counts.get(node.tag, 0) + 1
+            ancestor_tags: set[str] = set()
+            ancestor = document.parent(node)
+            while ancestor is not None:
+                ancestor_tags.add(ancestor.tag)
+                key = (ancestor.index, node.tag)
+                if key not in seen_desc:
+                    seen_desc.add(key)
+                    pair = (ancestor.tag, node.tag)
+                    stats.with_descendant[pair] = (
+                        stats.with_descendant.get(pair, 0) + 1
+                    )
+                ancestor = document.parent(ancestor)
+            for tag in ancestor_tags:
+                pair = (node.tag, tag)
+                stats.with_ancestor[pair] = (
+                    stats.with_ancestor.get(pair, 0) + 1
+                )
+        return stats
+
+    # -- probabilities ---------------------------------------------------------
+
+    def count(self, tag: str) -> int:
+        return self.tag_counts.get(tag, 0)
+
+    def p_has_ancestor(self, tag: str, ancestor_tag: str) -> float:
+        total = self.count(tag)
+        if total == 0:
+            return 0.0
+        return self.with_ancestor.get((tag, ancestor_tag), 0) / total
+
+    def p_has_descendant(self, tag: str, descendant_tag: str) -> float:
+        total = self.count(tag)
+        if total == 0:
+            return 0.0
+        return self.with_descendant.get((tag, descendant_tag), 0) / total
+
+
+def estimate_list_size(
+    stats: DocumentStatistics, view: Pattern, tag: str
+) -> float:
+    """Estimated ``|L_tag|`` of ``view``'s materialization.
+
+    A node survives into the view's solution lists iff it has matching
+    partners along every view edge above and below it; the factors are
+    combined under independence.
+    """
+    qnode = view.node(tag)
+    estimate = float(stats.count(tag))
+    ancestor = qnode.parent
+    while ancestor is not None:
+        estimate *= stats.p_has_ancestor(tag, ancestor.tag)
+        ancestor = ancestor.parent
+    for below in _proper_subtree(qnode):
+        estimate *= stats.p_has_descendant(tag, below.tag)
+    return estimate
+
+
+def _proper_subtree(qnode: PatternNode):
+    for node in qnode.iter_subtree():
+        if node is not qnode:
+            yield node
+
+
+def estimate_view_cost(
+    stats: DocumentStatistics,
+    view: Pattern,
+    query: Pattern,
+    lam: float = 1.0,
+) -> ViewCost:
+    """The Section V cost ``c(v, Q)`` using estimated list sizes."""
+    if not 0.0 <= lam <= 1.0:
+        raise SelectionError(f"lambda must be in [0, 1], got {lam}")
+    if not is_subpattern(view, query):
+        raise SelectionError(
+            f"view {view.to_xpath()} is not a subpattern of {query.to_xpath()}"
+        )
+    io_term = 0.0
+    cpu_term = 0.0
+    for vnode in view.nodes:
+        if not query.has_tag(vnode.tag):
+            continue
+        size = estimate_list_size(stats, view, vnode.tag)
+        io_term += size
+        cpu_term += size * residual_edges(view, query, vnode.tag)
+    return ViewCost(view=view, io_term=io_term, cpu_term=cpu_term, lam=lam)
+
+
+def select_views_estimated(
+    stats: DocumentStatistics,
+    candidates: list[Pattern],
+    query: Pattern,
+    lam: float = 1.0,
+    require_complete: bool = False,
+):
+    """Greedy selection (Section V) driven by estimated costs.
+
+    Same procedure as :func:`repro.selection.greedy.select_views` but costs
+    come from :func:`estimate_view_cost`, so no candidate is materialized.
+    """
+    from repro.selection.greedy import SelectionResult, _key
+
+    usable: list[Pattern] = []
+    costs: dict[str, ViewCost] = {}
+    for view in candidates:
+        if not is_subpattern(view, query):
+            continue
+        costs[_key(view)] = estimate_view_cost(stats, view, query, lam=lam)
+        usable.append(view)
+
+    query_tags = query.tag_set()
+    covered: set[str] = set()
+    selected: list[Pattern] = []
+    trace: list[tuple[str, float]] = []
+    remaining = list(usable)
+    while covered != query_tags and remaining:
+        best: Pattern | None = None
+        best_benefit = 0.0
+        for view in remaining:
+            newly = (view.tag_set() & query_tags) - covered
+            if not newly:
+                continue
+            cost = costs[_key(view)].total
+            benefit = len(newly) / cost if cost > 0 else float("inf")
+            if best is None or benefit > best_benefit:
+                best, best_benefit = view, benefit
+        if best is None:
+            break
+        selected.append(best)
+        covered |= best.tag_set() & query_tags
+        remaining = [view for view in remaining if view is not best]
+        trace.append((_key(best), best_benefit))
+
+    complete = covered == query_tags
+    if require_complete and not complete:
+        raise SelectionError(
+            f"candidates cannot answer the query; uncovered:"
+            f" {sorted(query_tags - covered)}"
+        )
+    return SelectionResult(
+        selected=selected,
+        costs=costs,
+        covered=covered,
+        complete=complete,
+        trace=trace,
+    )

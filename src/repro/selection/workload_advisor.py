@@ -1,0 +1,173 @@
+"""Workload-level view recommendation under a space budget.
+
+A deployment materializes views for a *workload*, not one query: a view
+shared by several queries amortizes its storage.  This module extends the
+single-query advisor to that setting (the direction of the multi-view
+selection work the paper cites as [25]):
+
+1. candidates are the connected subpatterns of every workload query
+   (deduplicated structurally — the same ``//b//c`` may serve many
+   queries);
+2. a candidate's benefit is the *sum of savings* over all queries it is a
+   subpattern of, each computed with the Section V cost model on
+   estimated list sizes;
+3. a greedy knapsack picks candidates by benefit density
+   (benefit / estimated bytes) under the space budget, keeping per-query
+   usability tag-disjoint (a query uses a view only if it shares no tag
+   with a view already assigned to that query).
+
+Per-query assignments come back with the result, ready to feed
+:class:`repro.planner.Planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.selection.advisor import (
+    base_plan_cost,
+    candidate_cost,
+    enumerate_connected_subpatterns,
+)
+from repro.selection.estimates import DocumentStatistics, estimate_list_size
+from repro.storage.records import element_codec
+from repro.tpq.containment import is_subpattern
+from repro.tpq.pattern import Pattern
+from repro.xmltree.document import Document
+
+
+@dataclass
+class WorkloadCandidate:
+    """A candidate view scored against the whole workload."""
+
+    view: Pattern
+    per_query_saving: dict[str, float]
+    estimated_bytes: float
+
+    @property
+    def total_saving(self) -> float:
+        return sum(self.per_query_saving.values())
+
+    @property
+    def density(self) -> float:
+        return self.total_saving / max(self.estimated_bytes, 1.0)
+
+
+@dataclass
+class WorkloadAdvice:
+    """Chosen views, their per-query assignments and bookkeeping."""
+
+    chosen: list[WorkloadCandidate]
+    assignments: dict[str, list[Pattern]]
+    budget_bytes: float
+    used_bytes: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def views(self) -> list[Pattern]:
+        return [candidate.view for candidate in self.chosen]
+
+
+def _estimate_view_bytes(
+    stats: DocumentStatistics, view: Pattern
+) -> float:
+    """Rough LE-footprint estimate: label + two pointers + child slots."""
+    width = element_codec().width
+    total = 0.0
+    for vnode in view.nodes:
+        per_record = width + 4 * (2 + len(vnode.children))
+        total += per_record * estimate_list_size(stats, view, vnode.tag)
+    return total
+
+
+def recommend_for_workload(
+    document: Document,
+    queries: list[Pattern],
+    budget_bytes: float = float("inf"),
+    max_view_size: int = 4,
+    stats: DocumentStatistics | None = None,
+) -> WorkloadAdvice:
+    """Pick a shared view set for ``queries`` within ``budget_bytes``.
+
+    Args:
+        document: the data tree.
+        queries: workload queries (each named, else keyed by xpath).
+        budget_bytes: storage budget for the chosen views.
+        max_view_size: largest candidate view size in nodes.
+        stats: precollected document statistics.
+
+    Returns:
+        The advice with chosen candidates (benefit-density order) and a
+        tag-disjoint per-query view assignment.
+    """
+    if stats is None:
+        stats = DocumentStatistics.collect(document)
+
+    def key_of(query: Pattern) -> str:
+        return query.name or query.to_xpath()
+
+    # 1. structurally-deduplicated candidate pool across all queries
+    pool: dict[str, Pattern] = {}
+    for query in queries:
+        for view in enumerate_connected_subpatterns(
+            query, min_size=2, max_size=max_view_size
+        ):
+            pool.setdefault(view.to_xpath(), view)
+
+    # 2. per-query savings for each candidate
+    candidates: list[WorkloadCandidate] = []
+    for view in pool.values():
+        savings: dict[str, float] = {}
+        for query in queries:
+            if not is_subpattern(view, query):
+                continue
+            saving = base_plan_cost(
+                stats, query, view.tag_set()
+            ) - candidate_cost(stats, view, query)
+            if saving > 0:
+                savings[key_of(query)] = saving
+        if savings:
+            candidates.append(
+                WorkloadCandidate(
+                    view=view,
+                    per_query_saving=savings,
+                    estimated_bytes=_estimate_view_bytes(stats, view),
+                )
+            )
+    candidates.sort(key=lambda c: -c.density)
+
+    # 3. greedy knapsack with tag-disjoint per-query assignment
+    chosen: list[WorkloadCandidate] = []
+    assignments: dict[str, list[Pattern]] = {
+        key_of(query): [] for query in queries
+    }
+    assigned_tags: dict[str, set[str]] = {
+        key_of(query): set() for query in queries
+    }
+    used = 0.0
+    notes: list[str] = []
+    for candidate in candidates:
+        if used + candidate.estimated_bytes > budget_bytes:
+            notes.append(
+                f"skipped {candidate.view.to_xpath()}: over budget"
+            )
+            continue
+        usable_for = [
+            name
+            for name in candidate.per_query_saving
+            if not assigned_tags[name] & candidate.view.tag_set()
+        ]
+        if not usable_for:
+            continue
+        chosen.append(candidate)
+        used += candidate.estimated_bytes
+        for name in usable_for:
+            assignments[name].append(candidate.view)
+            assigned_tags[name] |= candidate.view.tag_set()
+    return WorkloadAdvice(
+        chosen=chosen,
+        assignments=assignments,
+        budget_bytes=budget_bytes,
+        used_bytes=used,
+        notes=notes,
+    )

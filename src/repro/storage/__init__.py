@@ -1,0 +1,54 @@
+"""Storage layer: pager, record codecs, and the four view storage schemes.
+
+The paper compares four physical organizations for materialized TPQ views
+(Table I): the **tuple** scheme (T) used by InterJoin, the conventional
+**element** scheme (E), and the two schemes contributed by the paper —
+**linked-element** (LE) and **partial linked-element** (LE\\_p).  All four are
+implemented here on top of a shared page-based storage substrate with
+I/O accounting, so benchmark runs can report pages read as well as bytes.
+"""
+
+from repro.storage.pager import BufferPool, IOStats, PageFile, Pager
+from repro.storage.records import (
+    NULL_POINTER,
+    UNMATERIALIZED_POINTER,
+    ElementEntry,
+    LinkedEntry,
+    element_codec,
+    linked_codec,
+    tuple_codec,
+)
+from repro.storage.element import ElementView
+from repro.storage.tuples import TupleView
+from repro.storage.linked import LinkedElementView, PointerKind, PointerStats
+from repro.storage.catalog import AnyView, Scheme, ViewCatalog, ViewInfo, materialize
+from repro.storage.lists import ListCursor, SlottedList, StoredList
+from repro.storage.result_views import materialize_from_matches
+
+__all__ = [
+    "BufferPool",
+    "IOStats",
+    "PageFile",
+    "Pager",
+    "NULL_POINTER",
+    "UNMATERIALIZED_POINTER",
+    "ElementEntry",
+    "LinkedEntry",
+    "element_codec",
+    "linked_codec",
+    "tuple_codec",
+    "ElementView",
+    "TupleView",
+    "LinkedElementView",
+    "PointerKind",
+    "PointerStats",
+    "AnyView",
+    "Scheme",
+    "ViewCatalog",
+    "ViewInfo",
+    "materialize",
+    "ListCursor",
+    "SlottedList",
+    "StoredList",
+    "materialize_from_matches",
+]

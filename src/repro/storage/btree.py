@@ -1,0 +1,147 @@
+"""Bulk-loaded B+-tree index over a stored list's start labels.
+
+The structural-join literature the paper builds on (Section VII: XR-trees,
+XB-trees, indexed structural joins) accelerates "find the first element at
+or after position x" with a page-based index instead of scanning.  This
+module provides that substrate: a static B+-tree bulk-loaded over the
+start labels of any stored list, living in the same pager (so lookups are
+I/O-accounted like everything else).
+
+Layout: leaf pages hold ``(start, entry_index)`` pairs; inner pages hold
+``(first_start_of_child, child_page_id)`` separators.  All nodes are built
+bottom-up from the sorted list, so the tree is perfectly packed and never
+mutated afterwards.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+
+_PAIR = struct.Struct("<II")
+_HEADER = struct.Struct("<HH")  # (is_leaf, count)
+
+
+class BPlusTreeIndex:
+    """A static B+-tree mapping start labels to list entry indexes."""
+
+    def __init__(self, pager: Pager, name: str = "index"):
+        self.pager = pager
+        self.name = name
+        self.root_page: int | None = None
+        self.height = 0
+        self.num_keys = 0
+        self._fanout = (pager.page_size - _HEADER.size) // _PAIR.size
+        if self._fanout < 2:
+            raise StorageError(
+                f"page size {pager.page_size} too small for a B+-tree node"
+            )
+        self._decoder_id = id(self)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, pager: Pager, starts: Sequence[int], name: str = "index"
+    ) -> "BPlusTreeIndex":
+        """Bulk-load an index over ascending ``starts``.
+
+        ``starts[i]`` must be the start label of list entry ``i``.
+        """
+        index = cls(pager, name)
+        index.num_keys = len(starts)
+        if not starts:
+            return index
+        # Leaf level: (start, entry_index) pairs.
+        level = index._write_level(
+            [(start, i) for i, start in enumerate(starts)], is_leaf=True
+        )
+        index.height = 1
+        # Inner levels: (first_start, child_page) separators.
+        while len(level) > 1:
+            level = index._write_level(level, is_leaf=False)
+            index.height += 1
+        index.root_page = level[0][1]
+        return index
+
+    def _write_level(
+        self, pairs: list[tuple[int, int]], is_leaf: bool
+    ) -> list[tuple[int, int]]:
+        """Pack one level into pages; returns the next level's pairs."""
+        parents: list[tuple[int, int]] = []
+        for offset in range(0, len(pairs), self._fanout):
+            chunk = pairs[offset : offset + self._fanout]
+            payload = bytearray(_HEADER.pack(1 if is_leaf else 0, len(chunk)))
+            for key, value in chunk:
+                payload += _PAIR.pack(key, value)
+            page_id = self.pager.page_file.allocate()
+            self.pager.page_file.write_page(page_id, bytes(payload))
+            parents.append((chunk[0][0], page_id))
+        return parents
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _read_node(self, page_id: int) -> tuple[bool, list[tuple[int, int]]]:
+        return self.pager.pool.get(page_id, self._decoder_id, _decode_node)
+
+    def first_geq(self, start: int) -> int | None:
+        """Entry index of the first key ``>= start``, or None past the end.
+
+        Descends root-to-leaf through the buffer pool: O(height) page
+        touches instead of O(log2 n) probes of the data pages.
+        """
+        if self.root_page is None:
+            return None
+        page_id = self.root_page
+        while True:
+            is_leaf, pairs = self._read_node(page_id)
+            if is_leaf:
+                for key, value in pairs:
+                    if key >= start:
+                        return value
+                # Continue into the next leaf via the parent level — with a
+                # packed static tree the next key is simply value+1 when it
+                # exists.
+                last_value = pairs[-1][1]
+                next_index = last_value + 1
+                return next_index if next_index < self.num_keys else None
+            # Choose the last child whose separator is <= start.
+            chosen = pairs[0][1]
+            for key, value in pairs:
+                if key <= start:
+                    chosen = value
+                else:
+                    break
+            page_id = chosen
+
+    def first_greater(self, start: int) -> int | None:
+        """Entry index of the first key strictly greater than ``start``.
+
+        Keys are integer start labels, so this is ``first_geq(start + 1)``.
+        """
+        return self.first_geq(start + 1)
+
+    @property
+    def num_pages(self) -> int:
+        if self.root_page is None:
+            return 0
+        total, nodes = 0, [self.root_page]
+        while nodes:
+            page_id = nodes.pop()
+            total += 1
+            is_leaf, pairs = self._read_node(page_id)
+            if not is_leaf:
+                nodes.extend(value for __, value in pairs)
+        return total
+
+
+def _decode_node(raw: bytes) -> tuple[bool, list[tuple[int, int]]]:
+    is_leaf, count = _HEADER.unpack_from(raw, 0)
+    pairs = [
+        _PAIR.unpack_from(raw, _HEADER.size + i * _PAIR.size)
+        for i in range(count)
+    ]
+    return bool(is_leaf), pairs

@@ -1,0 +1,231 @@
+"""View materialization and the view catalog.
+
+:func:`materialize` evaluates a view pattern over a document and stores the
+result in any of the four schemes; :class:`ViewCatalog` keeps a collection
+of materialized views for one document, sharing a pager, and answers the
+size/pointer statistics the paper reports in Table IV.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import StorageError
+from repro.storage.element import ElementView
+from repro.storage.linked import LinkedElementView
+from repro.storage.pager import Pager
+from repro.storage.tuples import TupleView
+from repro.tpq.enumeration import enumerate_matches
+from repro.tpq.matching import solution_nodes
+from repro.tpq.pattern import Pattern
+from repro.xmltree.document import Document
+
+AnyView = Union[ElementView, TupleView, LinkedElementView]
+
+
+class Scheme(enum.Enum):
+    """The four view storage schemes of paper Table I."""
+
+    TUPLE = "T"
+    ELEMENT = "E"
+    LINKED = "LE"
+    LINKED_PARTIAL = "LEp"
+
+    @classmethod
+    def parse(cls, value: "Scheme | str") -> "Scheme":
+        if isinstance(value, Scheme):
+            return value
+        normalized = value.strip().lower().replace("_", "").replace("-", "")
+        aliases = {
+            "t": cls.TUPLE, "tuple": cls.TUPLE,
+            "e": cls.ELEMENT, "element": cls.ELEMENT,
+            "le": cls.LINKED, "linked": cls.LINKED,
+            "linkedelement": cls.LINKED,
+            "lep": cls.LINKED_PARTIAL, "partial": cls.LINKED_PARTIAL,
+            "linkedpartial": cls.LINKED_PARTIAL,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise StorageError(f"unknown storage scheme {value!r}") from None
+
+
+def materialize(
+    document: Document,
+    pattern: Pattern,
+    scheme: Scheme | str,
+    pager: Pager | None = None,
+    partial_distance: int = 1,
+) -> AnyView:
+    """Materialize ``pattern`` over ``document`` in the given ``scheme``.
+
+    Args:
+        document: the data tree.
+        pattern: the view pattern.
+        scheme: one of :class:`Scheme` (or its string alias).
+        pager: storage target; a fresh in-memory pager is created if omitted.
+        partial_distance: LE_p materialization threshold (Section III-C
+            uses 1: materialize only pointers that skip more than one entry).
+
+    Returns:
+        The materialized view object for the scheme.
+    """
+    scheme = Scheme.parse(scheme)
+    if pager is None:
+        pager = Pager()
+    lists = solution_nodes(document, pattern)
+    if scheme is Scheme.TUPLE:
+        matches = enumerate_matches(pattern, lists)
+        return TupleView(pattern, pager, matches)
+    if scheme is Scheme.ELEMENT:
+        return ElementView(pattern, pager, lists)
+    return LinkedElementView(
+        pattern,
+        pager,
+        document,
+        lists,
+        partial=(scheme is Scheme.LINKED_PARTIAL),
+        partial_distance=partial_distance,
+    )
+
+
+@dataclass
+class ViewInfo:
+    """Catalog row: a materialized view plus its statistics."""
+
+    pattern: Pattern
+    scheme: Scheme
+    view: AnyView
+
+    @property
+    def size_bytes(self) -> int:
+        return self.view.size_bytes
+
+    @property
+    def num_pages(self) -> int:
+        return self.view.num_pages
+
+    @property
+    def num_pointers(self) -> int:
+        if isinstance(self.view, LinkedElementView):
+            return self.view.pointer_stats.total
+        return 0
+
+
+class ViewCatalog:
+    """Materialized views over one document, sharing a pager.
+
+    The catalog is keyed by ``(view name or xpath, scheme)`` so the same
+    pattern can coexist in several schemes — exactly what the comparative
+    experiments need.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        pager: Pager | None = None,
+        partial_distance: int = 1,
+    ):
+        self.document = document
+        self.pager = pager if pager is not None else Pager()
+        self.partial_distance = partial_distance
+        self._views: dict[tuple[str, Scheme], ViewInfo] = {}
+
+    @staticmethod
+    def _key_name(pattern: Pattern) -> str:
+        return pattern.name or pattern.to_xpath()
+
+    def add(self, pattern: Pattern, scheme: Scheme | str) -> ViewInfo:
+        """Materialize and register ``pattern`` under ``scheme``.
+
+        Re-registering an existing (pattern, scheme) pair returns the
+        already-materialized view.
+        """
+        scheme = Scheme.parse(scheme)
+        key = (self._key_name(pattern), scheme)
+        existing = self._views.get(key)
+        if existing is not None:
+            return existing
+        view = materialize(
+            self.document,
+            pattern,
+            scheme,
+            pager=self.pager,
+            partial_distance=self.partial_distance,
+        )
+        info = ViewInfo(pattern, scheme, view)
+        self._views[key] = info
+        return info
+
+    def add_all(
+        self, patterns: Iterable[Pattern], scheme: Scheme | str
+    ) -> list[ViewInfo]:
+        return [self.add(pattern, scheme) for pattern in patterns]
+
+    def add_result_view(
+        self, query: Pattern, matches, scheme: Scheme | str
+    ) -> ViewInfo:
+        """Register an already-evaluated query result as a view.
+
+        Implements the paper's Section IV-B feature 2: ViewJoin's
+        intermediate DAG is the linked-element structure, so query results
+        can be stored as materialized views and reused by later queries.
+        The new view is keyed like any other (by the query's name/xpath).
+        """
+        from repro.storage.result_views import materialize_from_matches
+
+        scheme = Scheme.parse(scheme)
+        key = (self._key_name(query), scheme)
+        existing = self._views.get(key)
+        if existing is not None:
+            return existing
+        view = materialize_from_matches(
+            self.document,
+            query,
+            matches,
+            scheme,
+            pager=self.pager,
+            partial_distance=self.partial_distance,
+        )
+        info = ViewInfo(query, scheme, view)
+        self._views[key] = info
+        return info
+
+    def get(self, pattern: Pattern, scheme: Scheme | str) -> AnyView:
+        scheme = Scheme.parse(scheme)
+        key = (self._key_name(pattern), scheme)
+        try:
+            return self._views[key].view
+        except KeyError:
+            raise StorageError(
+                f"view {key[0]!r} not materialized in scheme {scheme.value}"
+            ) from None
+
+    def views(self) -> list[ViewInfo]:
+        return list(self._views.values())
+
+    def space_report(self) -> list[dict[str, object]]:
+        """Per-view size/pointer rows (the shape of paper Table IV)."""
+        rows = []
+        for (name, scheme), info in self._views.items():
+            rows.append(
+                {
+                    "view": name,
+                    "scheme": scheme.value,
+                    "bytes": info.size_bytes,
+                    "pages": info.num_pages,
+                    "pointers": info.num_pointers,
+                }
+            )
+        return rows
+
+    def close(self) -> None:
+        self.pager.close()
+
+    def __enter__(self) -> "ViewCatalog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,119 @@
+"""Containment forests (Chien et al., VLDB 2002) — paper Section VII.
+
+A containment forest organizes all same-type element instances as a forest
+that mirrors their containment relationships: each node carries a
+*first-child* pointer (its first same-type descendant) and a
+*right-sibling* pointer (the next same-type node sharing its nearest
+same-type ancestor — or the next root when it has none).  The paper's DAG
+structure generalizes this idea to mixed types via the additional child
+pointers; restricted to a single type, the LE scheme's descendant pointer
+is exactly *first-child* and its (unconstrained) following pointer is the
+root-level *right-sibling*.
+
+The structure is provided both as a standalone index (useful for subtree
+skipping over one element list) and to back the claim above, which
+`tests/test_containment_forest.py` verifies against the LE pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+NULL = -1
+
+
+@dataclass
+class ForestNode:
+    """One same-type instance inside the containment forest."""
+
+    start: int
+    end: int
+    level: int
+    first_child: int = NULL
+    right_sibling: int = NULL
+    parent: int = NULL
+
+
+class ContainmentForest:
+    """Containment forest over one document-ordered same-type node list.
+
+    Built in a single stack sweep: ancestors of the current node are
+    exactly the open regions on the stack.
+    """
+
+    def __init__(self, entries: Sequence):
+        self.nodes: list[ForestNode] = [
+            ForestNode(entry.start, entry.end, entry.level)
+            for entry in entries
+        ]
+        self.roots: list[int] = []
+        self._build()
+
+    def _build(self) -> None:
+        stack: list[int] = []  # open (containing) node indexes
+        last_child_of: dict[int, int] = {}
+        last_root = NULL
+        for i, node in enumerate(self.nodes):
+            while stack and self.nodes[stack[-1]].end < node.start:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                node.parent = parent
+                previous = last_child_of.get(parent, NULL)
+                if previous == NULL:
+                    self.nodes[parent].first_child = i
+                else:
+                    self.nodes[previous].right_sibling = i
+                last_child_of[parent] = i
+            else:
+                self.roots.append(i)
+                if last_root != NULL:
+                    self.nodes[last_root].right_sibling = i
+                last_root = i
+            stack.append(i)
+
+    # -- navigation ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def children(self, index: int) -> Iterator[int]:
+        child = self.nodes[index].first_child
+        while child != NULL:
+            yield child
+            child = self.nodes[child].right_sibling
+
+    def subtree_size(self, index: int) -> int:
+        """Number of same-type nodes inside ``index``'s region (inclusive)."""
+        total = 1
+        for child in self.children(index):
+            total += self.subtree_size(child)
+        return total
+
+    def skip_subtree(self, index: int) -> int:
+        """The next node in document order outside ``index``'s region, or
+        ``NULL`` — the forest-based equivalent of the LE following jump."""
+        current = index
+        while current != NULL:
+            sibling = self.nodes[current].right_sibling
+            if sibling != NULL:
+                return sibling
+            current = self.nodes[current].parent
+        return NULL
+
+    def depth(self, index: int) -> int:
+        """Nesting depth of ``index`` within the forest (roots are 0)."""
+        depth = 0
+        current = self.nodes[index].parent
+        while current != NULL:
+            depth += 1
+            current = self.nodes[current].parent
+        return depth
+
+    def max_nesting(self) -> int:
+        """Deepest same-type nesting — 0 means the type never recurses
+        (the regime where the paper's pointer jumps are always safe)."""
+        if not self.nodes:
+            return 0
+        return max(self.depth(i) for i in range(len(self.nodes)))

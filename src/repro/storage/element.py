@@ -1,0 +1,79 @@
+"""Element storage scheme (E).
+
+An *n*-node view is materialized as *n* single-element lists, one per view
+node, each holding the view's solution nodes of that element type in
+document order with no duplicates (paper Section I).  The precomputed joins
+of the view pattern are *not* explicit — evaluation algorithms must redo the
+structural joins — but the scheme is the most compact (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import StorageError
+from repro.storage.lists import ListCursor, StoredList
+from repro.storage.pager import Pager
+from repro.storage.records import ElementEntry, element_codec
+from repro.tpq.pattern import Pattern
+from repro.xmltree.document import Node
+
+
+class ElementView:
+    """A view materialized in the element scheme.
+
+    Attributes:
+        pattern: the view's tree pattern.
+        lists: one :class:`StoredList` of :class:`ElementEntry` per view tag.
+    """
+
+    scheme_name = "E"
+
+    def __init__(self, pattern: Pattern, pager: Pager,
+                 solution_lists: Mapping[str, Sequence[Node]]):
+        self.pattern = pattern
+        self.pager = pager
+        self.lists: dict[str, StoredList] = {}
+        for qnode in pattern.nodes:
+            nodes = solution_lists.get(qnode.tag)
+            if nodes is None:
+                raise StorageError(
+                    f"no solution list supplied for view node {qnode.tag!r}"
+                )
+            stored = StoredList(pager, element_codec(), name=qnode.tag)
+            for node in nodes:
+                stored.append(ElementEntry(node.start, node.end, node.level))
+            self.lists[qnode.tag] = stored.finalize()
+
+    # -- access ------------------------------------------------------------------
+
+    def tags(self) -> list[str]:
+        return self.pattern.tags()
+
+    def list_for(self, tag: str) -> StoredList:
+        try:
+            return self.lists[tag]
+        except KeyError:
+            raise StorageError(f"view has no list for tag {tag!r}") from None
+
+    def cursor(self, tag: str) -> ListCursor:
+        return self.list_for(tag).cursor()
+
+    def list_length(self, tag: str) -> int:
+        return len(self.list_for(tag))
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(stored.size_bytes for stored in self.lists.values())
+
+    @property
+    def num_pages(self) -> int:
+        return sum(stored.num_pages for stored in self.lists.values())
+
+    def entry_counts(self) -> dict[str, int]:
+        return {tag: len(stored) for tag, stored in self.lists.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ElementView({self.pattern.to_xpath()!r}, bytes={self.size_bytes})"

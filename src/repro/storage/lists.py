@@ -1,0 +1,359 @@
+"""Paged fixed-width record lists and read cursors.
+
+A :class:`StoredList` owns a contiguous run of pages inside a pager and
+packs fixed-width records into them.  Reads are served through the pager's
+buffer pool; pages are decoded into record tuples at most once per pool
+residency.  :class:`ListCursor` provides the sequential/seekable access
+pattern every join algorithm in the paper uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from typing import Iterator, Sequence
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+
+_DECODER_IDS = iter(range(1, 1 << 30))
+
+
+class StoredList:
+    """A sequence of fixed-width records stored across pages.
+
+    Build with :meth:`append` calls followed by :meth:`finalize`; afterwards
+    the list is immutable and randomly addressable by entry index.
+    """
+
+    def __init__(self, pager: Pager, codec, name: str = "list"):
+        self.pager = pager
+        self.codec = codec
+        self.name = name
+        self.records_per_page = pager.page_size // codec.width
+        if self.records_per_page == 0:
+            raise StorageError(
+                f"record width {codec.width} exceeds page size {pager.page_size}"
+            )
+        self._decoder_id = next(_DECODER_IDS)
+        self._page_ids: list[int] = []
+        self._length = 0
+        self._write_buffer = bytearray()
+        self._finalized = False
+
+    # -- construction -----------------------------------------------------------
+
+    def append(self, record) -> int:
+        """Append one record; returns its entry index."""
+        if self._finalized:
+            raise StorageError(f"list {self.name!r} is finalized")
+        raw = self.codec.encode(record)
+        self._write_buffer.extend(raw)
+        index = self._length
+        self._length += 1
+        if len(self._write_buffer) + self.codec.width > self.pager.page_size:
+            self._flush_page()
+        return index
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def _flush_page(self) -> None:
+        page_id = self.pager.page_file.allocate()
+        self.pager.page_file.write_page(page_id, bytes(self._write_buffer))
+        self._page_ids.append(page_id)
+        self._write_buffer.clear()
+
+    def finalize(self) -> "StoredList":
+        """Flush pending records and freeze the list."""
+        if self._finalized:
+            return self
+        if self._write_buffer:
+            self._flush_page()
+        self._finalized = True
+        return self
+
+    # -- persistence ---------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """Metadata needed to re-attach this list to its page file."""
+        return {"page_ids": list(self._page_ids), "length": self._length}
+
+    @classmethod
+    def attach(cls, pager: Pager, codec, manifest: dict,
+               name: str = "list") -> "StoredList":
+        """Reconstruct a finalized list over existing pages."""
+        stored = cls(pager, codec, name=name)
+        stored._page_ids = list(manifest["page_ids"])
+        stored._length = int(manifest["length"])
+        stored._finalized = True
+        return stored
+
+    # -- metadata ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload bytes actually occupied by records."""
+        return self._length * self.codec.width
+
+    def page_of(self, index: int) -> tuple[int, int]:
+        """Map an entry index to its ``(page_id, slot)`` address."""
+        self._check_index(index)
+        return (
+            self._page_ids[index // self.records_per_page],
+            index % self.records_per_page,
+        )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._length:
+            raise StorageError(
+                f"entry index {index} out of range for list {self.name!r}"
+                f" of length {self._length}"
+            )
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read(self, index: int):
+        """Read one record through the buffer pool."""
+        if not self._finalized:
+            raise StorageError(f"list {self.name!r} not finalized")
+        self._check_index(index)
+        page_number = index // self.records_per_page
+        slot = index % self.records_per_page
+        page = self.pager.pool.get(
+            self._page_ids[page_number], self._decoder_id, self._decode_page
+        )
+        return page[slot]
+
+    def _decode_page(self, raw: bytes) -> Sequence:
+        decode = self.codec.decode
+        width = self.codec.width
+        return [
+            decode(raw, offset)
+            for offset in range(0, self.records_per_page * width, width)
+        ]
+
+    def scan(self) -> Iterator:
+        """Yield all records in order (through the buffer pool)."""
+        for index in range(self._length):
+            yield self.read(index)
+
+    def cursor(self) -> "ListCursor":
+        return ListCursor(self)
+
+
+class SlottedList:
+    """A sequence of variable-width records in slotted pages.
+
+    Page layout: ``u16 record-count``, ``u16 offset`` per record (from the
+    page start), then the packed records.  An in-memory page directory maps
+    an entry index to its page, so the read API matches
+    :class:`StoredList` exactly (records stay addressable by list-local
+    entry index, which is what the LE_p pointers store).
+    """
+
+    _HEADER = 2
+    _SLOT = 2
+
+    def __init__(self, pager: Pager, codec, name: str = "list"):
+        self.pager = pager
+        self.codec = codec
+        self.name = name
+        if codec.max_width + self._HEADER + self._SLOT > pager.page_size:
+            raise StorageError(
+                f"record width {codec.max_width} exceeds page size"
+                f" {pager.page_size}"
+            )
+        self._decoder_id = next(_DECODER_IDS)
+        # directory rows: (first_index, count, page_id)
+        self._directory: list[tuple[int, int, int]] = []
+        self._length = 0
+        self._payload_bytes = 0
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self._finalized = False
+
+    # -- construction ------------------------------------------------------------
+
+    def append(self, record) -> int:
+        if self._finalized:
+            raise StorageError(f"list {self.name!r} is finalized")
+        raw = self.codec.encode(record)
+        projected = (
+            self._HEADER
+            + (len(self._pending) + 1) * self._SLOT
+            + self._pending_bytes
+            + len(raw)
+        )
+        if projected > self.pager.page_size and self._pending:
+            self._flush_page()
+        self._pending.append(raw)
+        self._pending_bytes += len(raw)
+        index = self._length
+        self._length += 1
+        return index
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def _flush_page(self) -> None:
+        count = len(self._pending)
+        header = bytearray(struct.pack("<H", count))
+        offset = self._HEADER + count * self._SLOT
+        offsets = []
+        for raw in self._pending:
+            offsets.append(offset)
+            offset += len(raw)
+        for value in offsets:
+            header += struct.pack("<H", value)
+        payload = bytes(header) + b"".join(self._pending)
+        page_id = self.pager.page_file.allocate()
+        self.pager.page_file.write_page(page_id, payload)
+        first_index = self._length - len(self._pending)
+        self._directory.append((first_index, count, page_id))
+        self._payload_bytes += len(payload)
+        self._pending = []
+        self._pending_bytes = 0
+
+    def finalize(self) -> "SlottedList":
+        if self._finalized:
+            return self
+        if self._pending:
+            self._flush_page()
+        self._finalized = True
+        return self
+
+    # -- persistence ---------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """Metadata needed to re-attach this list to its page file."""
+        return {
+            "directory": [list(row) for row in self._directory],
+            "length": self._length,
+            "payload_bytes": self._payload_bytes,
+        }
+
+    @classmethod
+    def attach(cls, pager: Pager, codec, manifest: dict,
+               name: str = "list") -> "SlottedList":
+        """Reconstruct a finalized slotted list over existing pages."""
+        stored = cls(pager, codec, name=name)
+        stored._directory = [tuple(row) for row in manifest["directory"]]
+        stored._length = int(manifest["length"])
+        stored._payload_bytes = int(manifest["payload_bytes"])
+        stored._finalized = True
+        return stored
+
+    # -- metadata ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._directory)
+
+    @property
+    def size_bytes(self) -> int:
+        """Occupied bytes: headers, slot directories and packed records."""
+        return self._payload_bytes
+
+    def page_of(self, index: int) -> tuple[int, int]:
+        self._check_index(index)
+        row = self._locate(index)
+        return (row[2], index - row[0])
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._length:
+            raise StorageError(
+                f"entry index {index} out of range for list {self.name!r}"
+                f" of length {self._length}"
+            )
+
+    def _locate(self, index: int) -> tuple[int, int, int]:
+        firsts = [row[0] for row in self._directory]
+        position = bisect_right(firsts, index) - 1
+        return self._directory[position]
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read(self, index: int):
+        if not self._finalized:
+            raise StorageError(f"list {self.name!r} not finalized")
+        self._check_index(index)
+        first_index, count, page_id = self._locate(index)
+        page = self.pager.pool.get(page_id, self._decoder_id, self._decode_page)
+        return page[index - first_index]
+
+    def _decode_page(self, raw: bytes) -> Sequence:
+        (count,) = struct.unpack_from("<H", raw, 0)
+        entries = []
+        for slot in range(count):
+            (offset,) = struct.unpack_from(
+                "<H", raw, self._HEADER + slot * self._SLOT
+            )
+            entry, __ = self.codec.decode(raw, offset)
+            entries.append(entry)
+        return entries
+
+    def scan(self) -> Iterator:
+        for index in range(self._length):
+            yield self.read(index)
+
+    def cursor(self) -> "ListCursor":
+        return ListCursor(self)
+
+
+class ListCursor:
+    """Forward cursor with seek support over a :class:`StoredList`.
+
+    Exposes the cursor discipline of the paper's algorithms: ``current`` is
+    the entry under the cursor (None past the end), :meth:`advance` moves to
+    the next entry, and :meth:`seek` jumps to an arbitrary entry index (used
+    when dereferencing materialized pointers).
+    """
+
+    __slots__ = ("list", "position", "current")
+
+    def __init__(self, stored_list: StoredList):
+        self.list = stored_list
+        self.position = 0
+        self.current = stored_list.read(0) if len(stored_list) else None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.current is None
+
+    def advance(self) -> None:
+        """Move to the next entry (no-op past the end)."""
+        if self.current is None:
+            return
+        self.position += 1
+        if self.position < len(self.list):
+            self.current = self.list.read(self.position)
+        else:
+            self.current = None
+
+    def seek(self, index: int) -> None:
+        """Position the cursor on entry ``index`` (or past the end)."""
+        if index >= len(self.list):
+            self.position = len(self.list)
+            self.current = None
+            return
+        if index < 0:
+            raise StorageError(f"cannot seek to negative index {index}")
+        self.position = index
+        self.current = self.list.read(index)
+
+    def peek(self, index: int):
+        """Read an arbitrary entry without moving the cursor."""
+        return self.list.read(index)

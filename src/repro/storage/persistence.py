@@ -1,0 +1,199 @@
+"""Persisting and reloading view catalogs.
+
+A materialized-view store is only useful if it survives the process:
+``save_catalog`` writes the document (as XML), one compacted page file
+holding every view's pages, and a JSON manifest describing each view
+(pattern, scheme, per-tag list metadata, pointer statistics);
+``load_catalog`` reopens the store without re-materializing anything —
+view pages are read lazily through the buffer pool on first use.
+
+Store layout::
+
+    <directory>/
+      document.xml     the data tree
+      pages.bin        all views' pages, compacted
+      manifest.json    catalog metadata
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.errors import StorageError
+from repro.storage.catalog import Scheme, ViewCatalog, ViewInfo
+from repro.storage.element import ElementView
+from repro.storage.linked import LinkedElementView, PointerStats
+from repro.storage.lists import SlottedList, StoredList
+from repro.storage.pager import Pager
+from repro.storage.records import (
+    compact_linked_codec,
+    element_codec,
+    linked_codec,
+    tuple_codec,
+)
+from repro.storage.tuples import TupleView
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.parser import parse_xml_file
+from repro.xmltree.writer import write_xml_file
+
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
+    """Write the catalog (document + views + pages) to ``directory``."""
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    write_xml_file(catalog.document, target / "document.xml")
+
+    out_pager = Pager(target / "pages.bin", page_size=catalog.pager.page_size)
+    try:
+        views = []
+        for info in catalog.views():
+            views.append(_save_view(info, catalog.pager, out_pager))
+        manifest = {
+            "format": _FORMAT_VERSION,
+            "page_size": catalog.pager.page_size,
+            "partial_distance": catalog.partial_distance,
+            "document": catalog.document.name,
+            "views": views,
+        }
+        (target / "manifest.json").write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+    finally:
+        out_pager.page_file.close()
+
+
+def _copy_pages(source: Pager, target: Pager, page_ids) -> list[int]:
+    new_ids = []
+    for page_id in page_ids:
+        data = source.page_file.read_page(page_id)
+        new_id = target.page_file.allocate()
+        target.page_file.write_page(new_id, data)
+        new_ids.append(new_id)
+    return new_ids
+
+
+def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
+    view = info.view
+    record: dict = {
+        "name": info.pattern.name,
+        "xpath": info.pattern.to_xpath(),
+        "scheme": info.scheme.value,
+    }
+    if isinstance(view, TupleView):
+        manifest = view.tuples.manifest()
+        manifest["page_ids"] = _copy_pages(
+            source, target, manifest["page_ids"]
+        )
+        record["tuples"] = manifest
+        return record
+    lists = {}
+    for tag, stored in view.lists.items():
+        manifest = stored.manifest()
+        if "page_ids" in manifest:
+            manifest["page_ids"] = _copy_pages(
+                source, target, manifest["page_ids"]
+            )
+        else:
+            old_rows = [tuple(row) for row in manifest["directory"]]
+            new_ids = _copy_pages(source, target, [row[2] for row in old_rows])
+            manifest["directory"] = [
+                [first, count, new_id]
+                for (first, count, __), new_id in zip(old_rows, new_ids)
+            ]
+        lists[tag] = manifest
+    record["lists"] = lists
+    if isinstance(view, LinkedElementView):
+        record["pointer_stats"] = view.pointer_stats.as_dict()
+        record["partial_distance"] = view.partial_distance
+    return record
+
+
+def load_catalog(
+    directory: str | os.PathLike, pool_capacity: int = 64
+) -> ViewCatalog:
+    """Reopen a saved catalog; view pages load lazily on access."""
+    source = pathlib.Path(directory)
+    manifest_path = source / "manifest.json"
+    if not manifest_path.exists():
+        raise StorageError(f"no catalog manifest under {source}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported catalog format {manifest.get('format')!r}"
+        )
+    document = parse_xml_file(source / "document.xml")
+    document.name = manifest.get("document", document.name)
+    pager = Pager(
+        source / "pages.bin",
+        page_size=manifest["page_size"],
+        pool_capacity=pool_capacity,
+        create=False,  # reopen, never truncate
+    )
+    catalog = ViewCatalog(
+        document, pager=pager,
+        partial_distance=manifest.get("partial_distance", 1),
+    )
+    for record in manifest["views"]:
+        info = _load_view(record, document, pager)
+        key = (info.pattern.name or info.pattern.to_xpath(), info.scheme)
+        catalog._views[key] = info
+    return catalog
+
+
+def _load_view(record: dict, document, pager: Pager) -> ViewInfo:
+    pattern = parse_pattern(record["xpath"], name=record.get("name"))
+    scheme = Scheme.parse(record["scheme"])
+    if scheme is Scheme.TUPLE:
+        view = TupleView.__new__(TupleView)
+        view.pattern = pattern
+        view.pager = pager
+        view.tags = pattern.tags()
+        view.tuples = StoredList.attach(
+            pager, tuple_codec(len(view.tags)), record["tuples"],
+            name=pattern.to_xpath(),
+        )
+        return ViewInfo(pattern, scheme, view)
+    if scheme is Scheme.ELEMENT:
+        view = ElementView.__new__(ElementView)
+        view.pattern = pattern
+        view.pager = pager
+        view.lists = {
+            tag: StoredList.attach(
+                pager, element_codec(), manifest, name=tag
+            )
+            for tag, manifest in record["lists"].items()
+        }
+        return ViewInfo(pattern, scheme, view)
+
+    partial = scheme is Scheme.LINKED_PARTIAL
+    view = LinkedElementView.__new__(LinkedElementView)
+    view.pattern = pattern
+    view.pager = pager
+    view.partial = partial
+    view.partial_distance = record.get("partial_distance", 1)
+    stats = record.get("pointer_stats", {})
+    view.pointer_stats = PointerStats(
+        child=stats.get("child", 0),
+        descendant=stats.get("descendant", 0),
+        following=stats.get("following", 0),
+    )
+    view.child_tag_order = {
+        qnode.tag: [child.tag for child in qnode.children]
+        for qnode in pattern.nodes
+    }
+    view.lists = {}
+    for tag, manifest in record["lists"].items():
+        children = len(view.child_tag_order[tag])
+        if partial:
+            view.lists[tag] = SlottedList.attach(
+                pager, compact_linked_codec(children), manifest, name=tag
+            )
+        else:
+            view.lists[tag] = StoredList.attach(
+                pager, linked_codec(children), manifest, name=tag
+            )
+    return ViewInfo(pattern, scheme, view)

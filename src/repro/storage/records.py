@@ -1,0 +1,261 @@
+"""Fixed-width record codecs for the storage schemes.
+
+All schemes pack region labels as little-endian unsigned 32-bit integers.
+Pointers are list-local entry indexes (equivalent to the paper's
+page-number/byte-offset pairs under fixed-width records) with two reserved
+sentinels:
+
+* ``NULL_POINTER`` — the pointed node does not exist (paper Section III-A);
+* ``UNMATERIALIZED_POINTER`` — the pointer exists conceptually but was not
+  materialized under the LE\\_p heuristic (Section III-C); readers must fall
+  back to sequential advancement.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import NamedTuple
+
+NULL_POINTER = -1
+UNMATERIALIZED_POINTER = -2
+
+_NULL_RAW = 0xFFFFFFFF
+_UNMATERIALIZED_RAW = 0xFFFFFFFE
+
+_LABEL = struct.Struct("<III")
+
+
+class ElementEntry(NamedTuple):
+    """One record of an element-scheme list (and the node part of others)."""
+
+    start: int
+    end: int
+    level: int
+
+
+class LinkedEntry(NamedTuple):
+    """One record of a linked-element list.
+
+    ``following`` / ``descendant`` / ``children[i]`` are entry indexes into
+    the respective lists, or a pointer sentinel.  ``children`` is aligned
+    with the view node's child query nodes in pattern order.
+    """
+
+    start: int
+    end: int
+    level: int
+    following: int
+    descendant: int
+    children: tuple[int, ...]
+
+    @property
+    def element(self) -> ElementEntry:
+        return ElementEntry(self.start, self.end, self.level)
+
+
+def _encode_pointer(value: int) -> int:
+    if value == NULL_POINTER:
+        return _NULL_RAW
+    if value == UNMATERIALIZED_POINTER:
+        return _UNMATERIALIZED_RAW
+    if not 0 <= value < _UNMATERIALIZED_RAW:
+        raise ValueError(f"pointer {value} out of encodable range")
+    return value
+
+
+def _decode_pointer(raw: int) -> int:
+    if raw == _NULL_RAW:
+        return NULL_POINTER
+    if raw == _UNMATERIALIZED_RAW:
+        return UNMATERIALIZED_POINTER
+    return raw
+
+
+class ElementCodec:
+    """Codec for element records: ``<start, end, level>``."""
+
+    width = _LABEL.size
+
+    def encode(self, entry: ElementEntry) -> bytes:
+        return _LABEL.pack(entry.start, entry.end, entry.level)
+
+    def decode(self, raw: bytes, offset: int = 0) -> ElementEntry:
+        return ElementEntry(*_LABEL.unpack_from(raw, offset))
+
+
+class LinkedCodec:
+    """Codec for linked-element records.
+
+    Layout: label (12 bytes) + following + descendant + one pointer per
+    child query node, each 4 bytes.
+    """
+
+    def __init__(self, num_children: int):
+        if num_children < 0:
+            raise ValueError("num_children must be >= 0")
+        self.num_children = num_children
+        self._struct = struct.Struct(f"<III{2 + num_children}I")
+        self.width = self._struct.size
+
+    def encode(self, entry: LinkedEntry) -> bytes:
+        if len(entry.children) != self.num_children:
+            raise ValueError(
+                f"expected {self.num_children} child pointers,"
+                f" got {len(entry.children)}"
+            )
+        pointers = [_encode_pointer(entry.following),
+                    _encode_pointer(entry.descendant)]
+        pointers.extend(_encode_pointer(child) for child in entry.children)
+        return self._struct.pack(entry.start, entry.end, entry.level, *pointers)
+
+    def decode(self, raw: bytes, offset: int = 0) -> LinkedEntry:
+        values = self._struct.unpack_from(raw, offset)
+        start, end, level = values[:3]
+        following = _decode_pointer(values[3])
+        descendant = _decode_pointer(values[4])
+        children = tuple(_decode_pointer(v) for v in values[5:])
+        return LinkedEntry(start, end, level, following, descendant, children)
+
+
+class TupleCodec:
+    """Codec for tuple-scheme records: ``arity`` concatenated labels.
+
+    A decoded tuple record is a flat tuple of :class:`ElementEntry`, one per
+    view node in the view's preorder.
+    """
+
+    def __init__(self, arity: int):
+        if arity <= 0:
+            raise ValueError("tuple arity must be positive")
+        self.arity = arity
+        self._struct = struct.Struct(f"<{3 * arity}I")
+        self.width = self._struct.size
+
+    def encode(self, entries: tuple[ElementEntry, ...]) -> bytes:
+        if len(entries) != self.arity:
+            raise ValueError(
+                f"expected {self.arity} components, got {len(entries)}"
+            )
+        flat: list[int] = []
+        for entry in entries:
+            flat.extend((entry.start, entry.end, entry.level))
+        return self._struct.pack(*flat)
+
+    def decode(self, raw: bytes, offset: int = 0) -> tuple[ElementEntry, ...]:
+        values = self._struct.unpack_from(raw, offset)
+        return tuple(
+            ElementEntry(values[i], values[i + 1], values[i + 2])
+            for i in range(0, len(values), 3)
+        )
+
+
+class CompactLinkedCodec:
+    """Variable-width codec for LE_p records.
+
+    The LE_p heuristic leaves many following/descendant pointer slots
+    unmaterialized; paying 4 bytes for each anyway would make LE_p as large
+    as LE on disk, whereas the paper's Table IV shows LE_p strictly smaller.
+    This codec stores a 2-byte flag word plus only the pointers that carry
+    a real target:
+
+    * 2 bits each for the following and descendant pointers
+      (00 null, 01 unmaterialized, 10 present);
+    * 1 bit per child pointer (0 null, 1 present) — child pointers are
+      always *materialized* under LE_p, but a null target needs no bytes.
+
+    Records are variable width, so they live in slotted pages
+    (:class:`repro.storage.lists.SlottedList`) instead of fixed-slot ones.
+    """
+
+    _FLAGS = struct.Struct("<H")
+    _LABEL = _LABEL
+    _POINTER = struct.Struct("<I")
+    MAX_CHILDREN = 12
+
+    def __init__(self, num_children: int):
+        if not 0 <= num_children <= self.MAX_CHILDREN:
+            raise ValueError(
+                f"compact codec supports up to {self.MAX_CHILDREN} child"
+                f" pointers, got {num_children}"
+            )
+        self.num_children = num_children
+        # Upper bound on one record's width (used for page-fit checks).
+        self.max_width = 2 + 12 + 4 * (2 + num_children)
+
+    @staticmethod
+    def _two_bit(value: int) -> int:
+        if value == NULL_POINTER:
+            return 0
+        if value == UNMATERIALIZED_POINTER:
+            return 1
+        return 2
+
+    def encode(self, entry: LinkedEntry) -> bytes:
+        if len(entry.children) != self.num_children:
+            raise ValueError(
+                f"expected {self.num_children} child pointers,"
+                f" got {len(entry.children)}"
+            )
+        flags = self._two_bit(entry.following)
+        flags |= self._two_bit(entry.descendant) << 2
+        present: list[int] = []
+        if entry.following >= 0:
+            present.append(entry.following)
+        if entry.descendant >= 0:
+            present.append(entry.descendant)
+        for i, child in enumerate(entry.children):
+            if child == UNMATERIALIZED_POINTER:
+                raise ValueError("child pointers are always materialized")
+            if child >= 0:
+                flags |= 1 << (4 + i)
+                present.append(child)
+        parts = [self._FLAGS.pack(flags),
+                 self._LABEL.pack(entry.start, entry.end, entry.level)]
+        parts.extend(self._POINTER.pack(p) for p in present)
+        return b"".join(parts)
+
+    def decode(self, raw: bytes, offset: int = 0) -> tuple[LinkedEntry, int]:
+        """Decode one record; returns ``(entry, width)``."""
+        (flags,) = self._FLAGS.unpack_from(raw, offset)
+        start, end, level = self._LABEL.unpack_from(raw, offset + 2)
+        cursor = offset + 14
+        decoded: list[int] = []
+        for shift in (0, 2):
+            kind = (flags >> shift) & 0b11
+            if kind == 0:
+                decoded.append(NULL_POINTER)
+            elif kind == 1:
+                decoded.append(UNMATERIALIZED_POINTER)
+            else:
+                (value,) = self._POINTER.unpack_from(raw, cursor)
+                cursor += 4
+                decoded.append(value)
+        children: list[int] = []
+        for i in range(self.num_children):
+            if flags & (1 << (4 + i)):
+                (value,) = self._POINTER.unpack_from(raw, cursor)
+                cursor += 4
+                children.append(value)
+            else:
+                children.append(NULL_POINTER)
+        entry = LinkedEntry(
+            start, end, level, decoded[0], decoded[1], tuple(children)
+        )
+        return entry, cursor - offset
+
+
+def element_codec() -> ElementCodec:
+    """Shared element codec instance factory."""
+    return ElementCodec()
+
+
+def compact_linked_codec(num_children: int) -> CompactLinkedCodec:
+    return CompactLinkedCodec(num_children)
+
+
+def linked_codec(num_children: int) -> LinkedCodec:
+    return LinkedCodec(num_children)
+
+
+def tuple_codec(arity: int) -> TupleCodec:
+    return TupleCodec(arity)

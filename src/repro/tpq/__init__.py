@@ -1,0 +1,35 @@
+"""Tree pattern queries: model, parsing, matching and containment.
+
+A tree pattern query (TPQ) is the XPath fragment using only ``/``, ``//`` and
+``[]`` (Section II).  Every query node is an output node, following the
+structural/twig-join line of work the paper builds on.
+"""
+
+from repro.tpq.pattern import Axis, Pattern, PatternNode
+from repro.tpq.parser import parse_pattern
+from repro.tpq.naive import find_embeddings, find_solution_nodes_naive
+from repro.tpq.matching import solution_nodes
+from repro.tpq.containment import (
+    covering_view_set,
+    find_subpattern_mapping,
+    is_connected_subpattern,
+    is_covering_view_set,
+    is_minimal_covering_view_set,
+    is_subpattern,
+)
+
+__all__ = [
+    "Axis",
+    "Pattern",
+    "PatternNode",
+    "parse_pattern",
+    "find_embeddings",
+    "find_solution_nodes_naive",
+    "solution_nodes",
+    "covering_view_set",
+    "find_subpattern_mapping",
+    "is_connected_subpattern",
+    "is_covering_view_set",
+    "is_minimal_covering_view_set",
+    "is_subpattern",
+]

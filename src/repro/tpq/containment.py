@@ -1,0 +1,144 @@
+"""Pattern containment: subpatterns, connected subpatterns, covering sets.
+
+Definitions follow Section II of the paper.  Because patterns have no
+duplicate element types, the candidate mapping from a subpattern's nodes to a
+query's nodes is unique (tag-to-tag), which keeps all the checks linear in
+the pattern sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import CoverageError, PatternError
+from repro.tpq.pattern import Pattern, PatternNode
+
+
+def find_subpattern_mapping(
+    candidate: Pattern, query: Pattern
+) -> dict[str, str] | None:
+    """The (unique) subpattern mapping from ``candidate`` into ``query``.
+
+    Returns a tag-to-tag dict if ``candidate`` is a subpattern of ``query``
+    (Section II), else None.  Conditions verified:
+
+    * every candidate tag occurs in the query;
+    * a pc-edge of the candidate maps to a pc-edge of the query;
+    * an ad-edge of the candidate maps to a (proper) descendant
+      relationship in the query's pattern tree.
+    """
+    for tag in candidate.tag_set():
+        if not query.has_tag(tag):
+            return None
+    for parent, child in candidate.edges():
+        q_child = query.node(child.tag)
+        q_parent = query.node(parent.tag)
+        if child.axis.is_pc:
+            if q_child.parent is not q_parent or not q_child.axis.is_pc:
+                return None
+        else:
+            if not _is_pattern_descendant(q_child, q_parent):
+                return None
+    return {tag: tag for tag in candidate.tag_set()}
+
+
+def is_subpattern(candidate: Pattern, query: Pattern) -> bool:
+    """True iff ``candidate`` is a subpattern of ``query``."""
+    return find_subpattern_mapping(candidate, query) is not None
+
+
+def is_connected_subpattern(candidate: Pattern, query: Pattern) -> bool:
+    """True iff ``candidate`` is a *connected* subpattern of ``query``.
+
+    In addition to being a subpattern, every edge of the candidate must map
+    to an actual edge of the query, i.e. the candidate's image is a connected
+    subtree of the query (the paper's Example 2.1: ``v1 = //a//e`` is a
+    subpattern of Q but not connected, because (a, e) is not an edge of Q).
+    """
+    if not is_subpattern(candidate, query):
+        return False
+    for parent, child in candidate.edges():
+        q_child = query.node(child.tag)
+        if q_child.parent is None or q_child.parent.tag != parent.tag:
+            return False
+    return True
+
+
+def _is_pattern_descendant(node: PatternNode, ancestor: PatternNode) -> bool:
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def is_covering_view_set(views: Sequence[Pattern], query: Pattern) -> bool:
+    """True iff ``views`` is a covering view set of ``query``.
+
+    Every query node must be covered by some view that (a) contains a node
+    of the same element type and (b) is a subpattern of the query.
+    """
+    covered: set[str] = set()
+    for view in views:
+        if is_subpattern(view, query):
+            covered |= view.tag_set() & query.tag_set()
+    return covered == query.tag_set()
+
+
+def is_minimal_covering_view_set(views: Sequence[Pattern], query: Pattern) -> bool:
+    """True iff ``views`` covers ``query`` and no proper subset does."""
+    if not is_covering_view_set(views, query):
+        return False
+    for i in range(len(views)):
+        reduced = [view for j, view in enumerate(views) if j != i]
+        if is_covering_view_set(reduced, query):
+            return False
+    return True
+
+
+def covering_view_set(
+    views: Iterable[Pattern], query: Pattern
+) -> list[Pattern]:
+    """Validate and return a covering view set for ``query``.
+
+    Enforces the paper's working assumptions for view-based evaluation:
+    views are pairwise tag-disjoint, each is a subpattern of the query, and
+    together they cover every query node.
+
+    Raises:
+        PatternError: if views share element types or are not subpatterns.
+        CoverageError: if some query node is not covered.
+    """
+    selected = list(views)
+    seen_tags: set[str] = set()
+    for view in selected:
+        overlap = seen_tags & view.tag_set()
+        if overlap:
+            raise PatternError(
+                f"views share element types {sorted(overlap)}; the paper's"
+                " model requires tag-disjoint views"
+            )
+        if not is_subpattern(view, query):
+            raise PatternError(
+                f"view {view.to_xpath()} is not a subpattern of"
+                f" {query.to_xpath()}"
+            )
+        seen_tags |= view.tag_set()
+    missing = query.tag_set() - seen_tags
+    if missing:
+        raise CoverageError(
+            f"query nodes {sorted(missing)} are not covered by any view"
+        )
+    return selected
+
+
+def view_for_tag(views: Sequence[Pattern], tag: str) -> Pattern:
+    """The unique view containing query node ``tag``.
+
+    Assumes tag-disjoint views (validated by :func:`covering_view_set`).
+    """
+    for view in views:
+        if view.has_tag(tag):
+            return view
+    raise CoverageError(f"no view covers query node {tag!r}")

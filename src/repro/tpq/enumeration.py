@@ -1,0 +1,133 @@
+"""Output enumeration: expand per-node candidate lists into full matches.
+
+Given a pattern and, for every pattern node, a document-ordered list of
+candidate data nodes (any objects carrying ``start``/``end``/``level``),
+:func:`enumerate_matches` produces every embedding that can be assembled
+from the candidates.  Structural checks are done purely on region labels:
+
+* ad-edge: the child candidate's region nests inside the parent's;
+* pc-edge: nesting plus ``child.level == parent.level + 1`` (region labels
+  of ancestors have pairwise distinct levels, so this pins the parent).
+
+The routine is output-sensitive: candidates inside a parent's region are
+located by binary search, and subtrees that yield no match prune the
+enumeration immediately.  It is shared by the tuple-scheme materializer and
+by every algorithm's final "output matches" phase, which guarantees all
+engines emit byte-identical results whenever their filtered candidate sets
+agree.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Mapping, Sequence, TypeVar
+
+from repro.errors import PatternError
+from repro.tpq.pattern import Pattern, PatternNode
+
+Entry = TypeVar("Entry")
+
+
+def enumerate_matches(
+    pattern: Pattern,
+    candidates: Mapping[str, Sequence[Entry]],
+) -> list[tuple[Entry, ...]]:
+    """All matches assembled from ``candidates``, sorted by start labels.
+
+    Args:
+        pattern: the query pattern; output tuples follow ``pattern.tags()``
+            (preorder) component order.
+        candidates: per-tag candidate lists in document order.
+
+    Returns:
+        Matches sorted lexicographically by their tuple of start labels.
+    """
+    matches = list(iter_matches(pattern, candidates))
+    matches.sort(key=lambda match: tuple(entry.start for entry in match))
+    return matches
+
+
+def iter_matches(
+    pattern: Pattern,
+    candidates: Mapping[str, Sequence[Entry]],
+) -> Iterator[tuple[Entry, ...]]:
+    """Yield matches in unspecified order."""
+    tags = pattern.tags()
+    missing = [tag for tag in tags if tag not in candidates]
+    if missing:
+        raise PatternError(f"candidate lists missing for tags {missing}")
+    slot_of = {tag: i for i, tag in enumerate(tags)}
+    starts_cache = {
+        tag: [entry.start for entry in candidates[tag]] for tag in tags
+    }
+    assignment: list[Entry | None] = [None] * len(tags)
+
+    def expand(qnode: PatternNode, chosen: Entry) -> Iterator[None]:
+        """Bind ``qnode`` and recursively bind its whole subtree."""
+        assignment[slot_of[qnode.tag]] = chosen
+
+        def bind_children(child_pos: int) -> Iterator[None]:
+            if child_pos == len(qnode.children):
+                yield None
+                return
+            child = qnode.children[child_pos]
+            pool = candidates[child.tag]
+            starts = starts_cache[child.tag]
+            lo = bisect_right(starts, chosen.start)
+            for i in range(lo, len(pool)):
+                entry = pool[i]
+                if entry.start >= chosen.end:
+                    break
+                if child.axis.is_pc and entry.level != chosen.level + 1:
+                    continue
+                for _ in expand(child, entry):
+                    yield from bind_children(child_pos + 1)
+
+        yield from bind_children(0)
+
+    root = pattern.root
+    for root_entry in candidates[root.tag]:
+        for _ in expand(root, root_entry):
+            yield tuple(assignment)  # type: ignore[arg-type]
+
+
+def count_matches(
+    pattern: Pattern,
+    candidates: Mapping[str, Sequence[Entry]],
+) -> int:
+    """Number of matches without materializing them.
+
+    Uses a bottom-up dynamic count: the number of embeddings rooted at a
+    candidate is the product over child edges of the sum of counts of
+    compatible child candidates.  Linear passes + binary searches, no
+    enumeration — useful for cardinality-style assertions in benchmarks.
+    """
+    counts: dict[str, list[int]] = {}
+    starts_cache = {
+        tag: [entry.start for entry in pool]
+        for tag, pool in candidates.items()
+    }
+    for qnode in reversed(pattern.nodes):
+        pool = candidates[qnode.tag]
+        node_counts = []
+        for entry in pool:
+            total = 1
+            for child in qnode.children:
+                child_pool = candidates[child.tag]
+                child_counts = counts[child.tag]
+                starts = starts_cache[child.tag]
+                lo = bisect_right(starts, entry.start)
+                subtotal = 0
+                for i in range(lo, len(child_pool)):
+                    child_entry = child_pool[i]
+                    if child_entry.start >= entry.end:
+                        break
+                    if child.axis.is_pc and child_entry.level != entry.level + 1:
+                        continue
+                    subtotal += child_counts[i]
+                total *= subtotal
+                if total == 0:
+                    break
+            node_counts.append(total)
+        counts[qnode.tag] = node_counts
+    return sum(counts[pattern.root.tag])

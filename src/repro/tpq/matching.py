@@ -1,0 +1,131 @@
+"""Efficient computation of TPQ solution nodes.
+
+This is the materialization engine: given a view pattern ``v`` and a data
+tree ``T``, the materialized view ``T_v`` consists exactly of the solution
+nodes of ``v`` (every node participating in at least one embedding), grouped
+by query node.  The two-pass algorithm here runs in
+``O(sum_q |L_q| * deg(q))`` using region-label sweeps:
+
+1. **Bottom-up viability** — a data node is viable for query node ``q`` if
+   for every child edge of ``q`` it has a viable partner below it.
+2. **Top-down reachability** — a viable node is a solution node if it is the
+   pattern root, or it has a solution-node partner above it.
+
+Both passes exploit the nesting property of region labels: two regions are
+either disjoint or nested, so "has a viable descendant" reduces to a binary
+search over start labels, and "has a solution ancestor" to a stack sweep.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.tpq.pattern import Pattern, PatternNode
+from repro.xmltree.document import Document, Node
+
+
+def solution_nodes(document: Document, pattern: Pattern) -> dict[str, list[Node]]:
+    """Solution nodes of ``pattern`` in ``document``, per query-node tag.
+
+    Returns a dict mapping each pattern tag to its solution nodes in
+    document order.  If any tag has no solution node, all lists are empty
+    (the pattern has no match at all).
+    """
+    viable = _bottom_up_viable(document, pattern)
+    solutions = _top_down_solutions(pattern, viable)
+    if any(not nodes for nodes in solutions.values()):
+        return {tag: [] for tag in pattern.tags()}
+    return solutions
+
+
+def _bottom_up_viable(
+    document: Document, pattern: Pattern
+) -> dict[str, list[Node]]:
+    """First pass: per query node, the nodes satisfying the subtree below it."""
+    viable: dict[str, list[Node]] = {}
+    # Process pattern nodes children-first (reverse preorder works since
+    # preorder lists parents before children).
+    for qnode in reversed(pattern.nodes):
+        candidates = document.tag_list(qnode.tag)
+        survivors: Sequence[Node] = candidates
+        for child in qnode.children:
+            survivors = _filter_has_partner_below(
+                document, survivors, viable[child.tag], child
+            )
+            if not survivors:
+                break
+        viable[qnode.tag] = list(survivors)
+    return viable
+
+
+def _filter_has_partner_below(
+    document: Document,
+    candidates: Sequence[Node],
+    partners: Sequence[Node],
+    child_qnode: PatternNode,
+) -> list[Node]:
+    """Keep candidates with a partner below them along ``child_qnode.axis``."""
+    if not partners:
+        return []
+    if child_qnode.axis.is_pc:
+        parent_indexes = {node.parent_index for node in partners}
+        return [node for node in candidates if node.index in parent_indexes]
+    starts = [node.start for node in partners]
+    result = []
+    for node in candidates:
+        i = bisect_right(starts, node.start)
+        # Nesting property: any partner whose start lies inside the
+        # candidate's region is a descendant of the candidate.
+        if i < len(starts) and starts[i] < node.end:
+            result.append(node)
+    return result
+
+
+def _top_down_solutions(
+    pattern: Pattern, viable: dict[str, list[Node]]
+) -> dict[str, list[Node]]:
+    """Second pass: keep viable nodes reachable from a solution ancestor."""
+    solutions: dict[str, list[Node]] = {}
+    for qnode in pattern.nodes:  # preorder: parents first
+        candidates = viable[qnode.tag]
+        if qnode.parent is None:
+            solutions[qnode.tag] = list(candidates)
+            continue
+        above = solutions[qnode.parent.tag]
+        if qnode.axis.is_pc:
+            parent_indexes = {node.index for node in above}
+            solutions[qnode.tag] = [
+                node for node in candidates if node.parent_index in parent_indexes
+            ]
+        else:
+            solutions[qnode.tag] = _filter_has_ancestor_in(candidates, above)
+    return solutions
+
+
+def _filter_has_ancestor_in(
+    candidates: Sequence[Node], ancestors: Sequence[Node]
+) -> list[Node]:
+    """Keep candidates that have a proper ancestor among ``ancestors``.
+
+    Both inputs are in document order; a single merge sweep with a stack of
+    currently-open ancestor regions decides each candidate in amortized O(1).
+    """
+    result: list[Node] = []
+    stack: list[Node] = []
+    ai = 0
+    n_ancestors = len(ancestors)
+    for node in candidates:
+        # Open every ancestor region starting before this candidate.
+        while ai < n_ancestors and ancestors[ai].start < node.start:
+            ancestor = ancestors[ai]
+            ai += 1
+            while stack and stack[-1].end < ancestor.start:
+                stack.pop()
+            stack.append(ancestor)
+        # Close regions that ended before this candidate starts.
+        while stack and stack[-1].end < node.start:
+            stack.pop()
+        if stack and node.end < stack[-1].end:
+            result.append(node)
+    return result

@@ -1,0 +1,88 @@
+"""Exhaustive (oracle) TPQ evaluation by brute-force embedding enumeration.
+
+This module is the correctness reference for every other engine in the
+repository: it enumerates *all* embeddings of a pattern into a document by
+trying every combination of candidate nodes, checking the two embedding
+conditions of Section II directly (type preservation and structural
+preservation).  It is exponential in the worst case and intended only for
+tests and small documents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.tpq.pattern import Pattern, PatternNode
+from repro.xmltree.document import Document, Node
+
+Match = tuple[Node, ...]
+"""One query match: data nodes in the order of ``pattern.nodes`` (preorder)."""
+
+
+def find_embeddings(document: Document, pattern: Pattern) -> list[Match]:
+    """All matches of ``pattern`` in ``document``, sorted lexicographically
+    by the start labels of the match tuple.
+
+    Every query node is an output node, so a match is a full assignment of
+    data nodes to pattern nodes.
+    """
+    return sorted(
+        iter_embeddings(document, pattern),
+        key=lambda match: tuple(node.start for node in match),
+    )
+
+
+def iter_embeddings(document: Document, pattern: Pattern) -> Iterator[Match]:
+    """Yield matches of ``pattern`` in ``document`` in unspecified order."""
+    order = list(pattern.nodes)  # preorder: parents precede children
+    index_of = {id(qnode): i for i, qnode in enumerate(order)}
+    assignment: list[Node | None] = [None] * len(order)
+
+    def extend(position: int) -> Iterator[Match]:
+        if position == len(order):
+            yield tuple(assignment)  # type: ignore[arg-type]
+            return
+        qnode = order[position]
+        for candidate in _candidates(document, qnode, assignment, index_of):
+            assignment[position] = candidate
+            yield from extend(position + 1)
+        assignment[position] = None
+
+    yield from extend(0)
+
+
+def _candidates(
+    document: Document,
+    qnode: PatternNode,
+    assignment: list[Node | None],
+    index_of: dict[int, int],
+) -> Iterator[Node]:
+    if qnode.parent is None:
+        yield from document.tag_list(qnode.tag)
+        return
+    parent_data = assignment[index_of[id(qnode.parent)]]
+    assert parent_data is not None  # preorder guarantees the parent is bound
+    if qnode.axis.is_pc:
+        for node in document.children(parent_data):
+            if node.tag == qnode.tag:
+                yield node
+    else:
+        yield from document.descendants_by_tag(parent_data, qnode.tag)
+
+
+def find_solution_nodes_naive(
+    document: Document, pattern: Pattern
+) -> dict[str, list[Node]]:
+    """Solution nodes per query node tag, computed from full embeddings.
+
+    A data node is a solution node iff it occurs in at least one match
+    (Section II).  Returned lists are sorted in document order.
+    """
+    tags = pattern.tags()
+    found: dict[str, set[Node]] = {tag: set() for tag in tags}
+    for match in iter_embeddings(document, pattern):
+        for tag, node in zip(tags, match):
+            found[tag].add(node)
+    return {
+        tag: sorted(nodes, key=lambda n: n.start) for tag, nodes in found.items()
+    }

@@ -1,0 +1,115 @@
+"""Parser for the ``{/, //, []}`` XPath fragment into :class:`Pattern` trees.
+
+Grammar (whitespace-insensitive)::
+
+    pattern    :=  step+
+    step       :=  axis name predicate*
+    axis       :=  '//' | '/'
+    predicate  :=  '[' inner_pattern ']'
+    inner      :=  pattern, but the first step's axis may be omitted,
+                   in which case it defaults to the child axis ('/')
+    name       :=  [A-Za-z_][A-Za-z0-9_.-]*
+
+Examples accepted (all appear in the paper)::
+
+    //a//b[//c/d]//e
+    //journal[//suffix][title]/date/year
+    //dataset[//definition/footnote]//history//revision//para
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternParseError
+from repro.tpq.pattern import Axis, Pattern, PatternNode
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789_.-")
+
+
+def parse_pattern(text: str, name: str | None = None) -> Pattern:
+    """Parse an XPath-fragment string into a TPQ.
+
+    Args:
+        text: the XPath expression, e.g. ``"//a[b]//c"``.
+        name: optional name stored on the resulting pattern (views are often
+            named ``v1``, ``PV2`` etc. in the workloads).
+
+    Raises:
+        PatternParseError: on syntax errors.
+        PatternError: if the pattern repeats an element type.
+    """
+    scanner = _Scanner(text)
+    root = scanner.parse_steps(default_axis=None)
+    scanner.expect_end()
+    return Pattern(root, name=name)
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text.strip()
+        self.pos = 0
+        self.length = len(self.text)
+
+    # -- primitives ----------------------------------------------------------
+
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def _fail(self, message: str) -> None:
+        raise PatternParseError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+    def read_axis(self, default_axis: Axis | None) -> Axis:
+        """Read '//' or '/'; if absent, fall back to ``default_axis``."""
+        if self.text.startswith("//", self.pos):
+            self.pos += 2
+            return Axis.DESCENDANT
+        if self.text.startswith("/", self.pos):
+            self.pos += 1
+            return Axis.CHILD
+        if default_axis is not None and self._peek() in _NAME_START:
+            return default_axis
+        self._fail("expected '/' or '//'")
+        raise AssertionError  # unreachable
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self._peek() not in _NAME_START:
+            self._fail("expected an element name")
+        self.pos += 1
+        while self._peek() in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_steps(self, default_axis: Axis | None) -> PatternNode:
+        """Parse a chain of steps; returns the first step's node (the root
+        of this sub-chain)."""
+        axis = self.read_axis(default_axis)
+        node = PatternNode(self.read_name(), axis)
+        self.parse_predicates(node)
+        current = node
+        while self._peek() == "/":
+            axis = self.read_axis(None)
+            child = PatternNode(self.read_name(), axis)
+            self.parse_predicates(child)
+            # Keep the spine as the *last* child so to_xpath round-trips.
+            current.add_child(child)
+            current = child
+        return node
+
+    def parse_predicates(self, node: PatternNode) -> None:
+        while self._peek() == "[":
+            self.pos += 1
+            # Inside a predicate, a bare name means the child axis.
+            child = self.parse_steps(default_axis=Axis.CHILD)
+            node.add_child(child)
+            if self._peek() != "]":
+                self._fail("expected ']'")
+            self.pos += 1
+
+    def expect_end(self) -> None:
+        if self.pos != self.length:
+            self._fail("unexpected trailing input")

@@ -1,0 +1,13 @@
+"""Benchmark workloads: the paper's queries and view sets.
+
+* :mod:`repro.workloads.xmark` — the 14 XPath queries derived from the
+  XMark benchmark (6 path + 8 twig), each with a default covering view set;
+* :mod:`repro.workloads.nasa` — queries N1-N8, the interleaving study
+  queries N_p / N_t with view sets PV1-PV4 / TV1-TV4 (paper Table III),
+  and the Table II view-selection candidates.
+"""
+
+from repro.workloads.spec import QuerySpec, validate_spec
+from repro.workloads import nasa, xmark
+
+__all__ = ["QuerySpec", "validate_spec", "nasa", "xmark"]

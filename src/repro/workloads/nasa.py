@@ -1,0 +1,169 @@
+"""NASA dataset workload (paper Section VI).
+
+The paper generated four path (N1-N4) and four twig (N5-N8) queries on the
+NASA dataset; their texts are given verbatim in the paper and reproduced
+here.  Each query carries a default covering view set (the paper does not
+publish the Fig. 5 view sets, so these are designed to reproduce the
+discussed properties — e.g. N1's high tuple redundancy).
+
+The module also defines the interleaving-study inputs of Section VI-B:
+queries N_p and N_t with the view sets PV1-PV4 / TV1-TV4 of Table III, and
+the Table II candidate views for the view-selection experiment.
+"""
+
+from __future__ import annotations
+
+from repro.tpq.parser import parse_pattern
+from repro.workloads.spec import QuerySpec, make_spec
+
+#: Path queries N1-N4 (texts from the paper).
+PATH_QUERIES: list[QuerySpec] = [
+    make_spec(
+        "N1",
+        "//field//footnote//para",
+        ["//field//para", "//footnote"],
+        note="field recurs per para -> high tuple redundancy"
+             " (paper: IJ significantly worse on N1)",
+    ),
+    make_spec(
+        "N2",
+        "//dataset//definition//footnote",
+        ["//dataset", "//definition//footnote"],
+        note="1:1 views (IJ-friendly)",
+    ),
+    make_spec(
+        "N3",
+        "//revision/creator/lastname",
+        ["//revision", "//creator/lastname"],
+        note="pc-edge path",
+    ),
+    make_spec(
+        "N4",
+        "//reference//journal//date//year",
+        ["//reference//date", "//journal//year"],
+        note="interleaved 1:1 views",
+    ),
+]
+
+#: Twig queries N5-N8 (texts from the paper; N8 read as
+#: //descriptions[//observatory]//description//para).
+TWIG_QUERIES: list[QuerySpec] = [
+    make_spec(
+        "N5",
+        "//dataset[//definition/footnote]//history//revision//para",
+        ["//dataset//history//revision", "//definition/footnote", "//para"],
+    ),
+    make_spec(
+        "N6",
+        "//journal[//suffix][title]/date/year",
+        ["//journal[title]/date", "//suffix", "//year"],
+    ),
+    make_spec(
+        "N7",
+        "//dataset[//field//footnote]//journal[//bibcode]//lastname",
+        ["//dataset//journal", "//field//footnote", "//bibcode", "//lastname"],
+    ),
+    make_spec(
+        "N8",
+        "//descriptions[//observatory]//description//para",
+        ["//descriptions//description", "//observatory", "//para"],
+    ),
+]
+
+ALL_QUERIES: list[QuerySpec] = PATH_QUERIES + TWIG_QUERIES
+
+BY_NAME: dict[str, QuerySpec] = {spec.name: spec for spec in ALL_QUERIES}
+
+#: Scale standing in for the 23 MB NASA document.
+STANDARD_SCALE = 4.0
+
+# ---------------------------------------------------------------------------
+# Section VI-B: impact of interleaving conditions (Fig. 6, Table III)
+# ---------------------------------------------------------------------------
+
+#: N_p: the path query of Fig. 6(a).
+QUERY_NP = parse_pattern(
+    "//dataset//tableHead//field//definition//footnote//para", name="Np"
+)
+
+#: PV1-PV4 (paper Table III): view sets for N_p with 5, 4, 3, 2 inter-view
+#: edges respectively.
+PATH_VIEW_SETS: dict[str, list] = {
+    "PV1": [
+        parse_pattern("//dataset//field//footnote", name="PV1-a"),
+        parse_pattern("//tableHead//definition//para", name="PV1-b"),
+    ],
+    "PV2": [
+        parse_pattern("//dataset//field//footnote//para", name="PV2-a"),
+        parse_pattern("//tableHead//definition", name="PV2-b"),
+    ],
+    "PV3": [
+        parse_pattern("//dataset//field", name="PV3-a"),
+        parse_pattern("//tableHead//definition//footnote//para", name="PV3-b"),
+    ],
+    "PV4": [
+        parse_pattern("//tableHead", name="PV4-a"),
+        parse_pattern("//dataset//field//definition//footnote//para",
+                      name="PV4-b"),
+    ],
+}
+
+#: N_t: the twig query of Fig. 6(b) (same as the Table II query).
+QUERY_NT = parse_pattern(
+    "//dataset//tableHead[//tableLink//title]//field//definition//para",
+    name="Nt",
+)
+
+#: TV1-TV4 (paper Table III): view sets for N_t with 6, 4, 3, 2 inter-view
+#: edges respectively.
+TWIG_VIEW_SETS: dict[str, list] = {
+    "TV1": [
+        parse_pattern("//dataset[//tableLink]//definition", name="TV1-a"),
+        parse_pattern("//tableHead//title", name="TV1-b"),
+        parse_pattern("//field//para", name="TV1-c"),
+    ],
+    "TV2": [
+        parse_pattern("//dataset//tableHead", name="TV2-a"),
+        parse_pattern("//field//para", name="TV2-b"),
+        parse_pattern("//tableLink//title", name="TV2-c"),
+        parse_pattern("//definition", name="TV2-d"),
+    ],
+    "TV3": [
+        parse_pattern("//dataset//definition//para", name="TV3-a"),
+        parse_pattern("//tableHead//field", name="TV3-b"),
+        parse_pattern("//tableLink//title", name="TV3-c"),
+    ],
+    "TV4": [
+        parse_pattern("//field//definition//para", name="TV4-a"),
+        parse_pattern("//dataset//tableHead", name="TV4-b"),
+        parse_pattern("//tableLink//title", name="TV4-c"),
+    ],
+}
+
+#: Expected inter-view edge counts (#Cond column of Table III).
+EXPECTED_CONDITIONS = {
+    "PV1": 5, "PV2": 4, "PV3": 3, "PV4": 2,
+    "TV1": 6, "TV2": 4, "TV3": 3, "TV4": 2,
+}
+
+# ---------------------------------------------------------------------------
+# Section V example: view selection candidates (Table II)
+# ---------------------------------------------------------------------------
+
+#: The Table II query (same pattern as N_t).
+SELECTION_QUERY = QUERY_NT
+
+#: Candidate views v1-v6 of Table II.
+SELECTION_CANDIDATES = [
+    parse_pattern("//dataset//definition", name="v1"),
+    parse_pattern("//dataset//tableHead", name="v2"),
+    parse_pattern("//field//para", name="v3"),
+    parse_pattern("//definition", name="v4"),
+    parse_pattern("//tableLink//title", name="v5"),
+    parse_pattern("//field//definition//para", name="v6"),
+]
+
+#: The set the paper's cost-based heuristic selects …
+EXPECTED_SELECTION = ("v2", "v5", "v6")
+#: … and the set a size-only heuristic would select (1.93x slower).
+SIZE_ONLY_SELECTION = ("v2", "v3", "v4", "v5")

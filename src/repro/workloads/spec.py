@@ -1,0 +1,53 @@
+"""Workload specification records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpq.containment import covering_view_set
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Pattern
+
+
+@dataclass
+class QuerySpec:
+    """One benchmark query with its default covering view set.
+
+    Attributes:
+        name: the paper's query id (``Q1`` … ``Q20``, ``N1`` … ``N8``).
+        query: the TPQ.
+        views: the default covering view set used in Fig. 5-style runs.
+        note: the property the paper attributes to this query, if any.
+    """
+
+    name: str
+    query: Pattern
+    views: list[Pattern]
+    note: str = ""
+
+    @property
+    def is_path(self) -> bool:
+        return self.query.is_path()
+
+    @property
+    def views_are_paths(self) -> bool:
+        return all(view.is_path() for view in self.views)
+
+
+def make_spec(
+    name: str, query: str, views: list[str], note: str = ""
+) -> QuerySpec:
+    return QuerySpec(
+        name=name,
+        query=parse_pattern(query, name=name),
+        views=[
+            parse_pattern(text, name=f"{name}-v{i + 1}")
+            for i, text in enumerate(views)
+        ],
+        note=note,
+    )
+
+
+def validate_spec(spec: QuerySpec) -> None:
+    """Assert the spec satisfies the paper's model (raises otherwise)."""
+    covering_view_set(spec.views, spec.query)

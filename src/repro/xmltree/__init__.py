@@ -1,0 +1,38 @@
+"""XML substrate: region-labelled tree model, parser and writer.
+
+This subpackage implements the data layer the paper builds on (Section II):
+an XML document is a tree whose nodes carry ``<start, end, level>`` region
+labels (the Li & Moon scheme), from which ancestor / parent / following
+relationships are decided in O(1).
+"""
+
+from repro.xmltree.collection import combine_documents, member_of
+from repro.xmltree.dataguide import DataGuide
+from repro.xmltree.document import Document, DocumentBuilder, Node
+from repro.xmltree.labels import (
+    is_ancestor,
+    is_descendant,
+    is_following,
+    is_parent,
+    region_contains,
+)
+from repro.xmltree.parser import parse_xml, parse_xml_file
+from repro.xmltree.writer import write_xml, write_xml_file
+
+__all__ = [
+    "combine_documents",
+    "member_of",
+    "DataGuide",
+    "Document",
+    "DocumentBuilder",
+    "Node",
+    "is_ancestor",
+    "is_descendant",
+    "is_following",
+    "is_parent",
+    "region_contains",
+    "parse_xml",
+    "parse_xml_file",
+    "write_xml",
+    "write_xml_file",
+]

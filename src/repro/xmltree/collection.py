@@ -1,0 +1,96 @@
+"""Document collections: query several documents as one store.
+
+XML databases evaluate TPQs over *collections*; the region-label algebra,
+however, assumes a single global document order.  :func:`combine_documents`
+builds that order: member documents are re-labelled into disjoint label
+ranges under a synthetic collection root.  Because every query and view
+starts with ``//`` and the collection root's tag is reserved, no match can
+span two member documents — the combined document's matches are exactly
+the union of the members' matches, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.xmltree.document import Document, Node
+
+#: Reserved tag of the synthetic collection root.
+COLLECTION_ROOT_TAG = "__collection__"
+
+
+def combine_documents(
+    documents: Sequence[Document],
+    name: str = "collection",
+    root_tag: str = COLLECTION_ROOT_TAG,
+) -> Document:
+    """Combine ``documents`` into one tree under a synthetic root.
+
+    Args:
+        documents: member documents, kept in the given order.
+        name: name of the combined document.
+        root_tag: tag of the synthetic root; must not occur in any member
+            (otherwise queries could match across document boundaries).
+
+    Returns:
+        A document whose non-root nodes are the members' nodes with
+        shifted region labels (levels deepen by one).
+    """
+    if not documents:
+        raise ReproError("cannot combine an empty document collection")
+    for document in documents:
+        if root_tag in document.tags():
+            raise ReproError(
+                f"member document {document.name!r} already uses the"
+                f" reserved root tag {root_tag!r}"
+            )
+
+    total = sum(len(document) for document in documents)
+    nodes: list[Node] = [
+        Node(
+            start=0,
+            end=0,  # patched below
+            level=0,
+            tag=root_tag,
+            index=0,
+            parent_index=-1,
+        )
+    ]
+    label_offset = 1
+    index_offset = 1
+    for document in documents:
+        for node in document:
+            nodes.append(
+                Node(
+                    start=node.start + label_offset,
+                    end=node.end + label_offset,
+                    level=node.level + 1,
+                    tag=node.tag,
+                    index=node.index + index_offset,
+                    parent_index=(
+                        0
+                        if node.parent_index < 0
+                        else node.parent_index + index_offset
+                    ),
+                )
+            )
+        label_offset += documents and (document.root.end + 1)
+        index_offset += len(document)
+    nodes[0].end = label_offset
+    assert len(nodes) == total + 1
+    return Document(nodes, name=name)
+
+
+def member_of(collection: Document, node: Node) -> int:
+    """Index of the member document containing ``node``.
+
+    Member roots are exactly the collection root's children, in order.
+    """
+    if node.parent_index < 0:
+        raise ReproError("the collection root belongs to no member")
+    roots = collection.children(collection.root)
+    for position, root in enumerate(roots):
+        if root.start <= node.start and node.end <= root.end:
+            return position
+    raise ReproError(f"node {node!r} is outside every member document")

@@ -1,0 +1,349 @@
+"""Region-labelled XML document model.
+
+A :class:`Document` stores its nodes in document order (ascending ``start``
+label) in a flat list, which doubles as the element storage the conventional
+structural-join algorithms assume: :meth:`Document.tag_list` partitions the
+instances by element type into per-type sorted lists.
+
+Documents are immutable once built.  Use :class:`DocumentBuilder` (or the
+parser / dataset generators) to construct them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+from repro.xmltree.labels import is_ancestor
+
+
+class Node:
+    """A single element instance with its region label.
+
+    Attributes:
+        start: document-order rank of the start tag.
+        end: rank of the end tag; the open interval (start, end) contains
+            exactly the labels of this node's descendants.
+        level: root-to-node path length (root is level 0).
+        tag: element type name.
+        index: position of this node in the document's node list
+            (equals its rank in document order).
+        parent_index: index of the parent node, or -1 for the root.
+    """
+
+    __slots__ = ("start", "end", "level", "tag", "index", "parent_index")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        level: int,
+        tag: str,
+        index: int,
+        parent_index: int,
+    ):
+        self.start = start
+        self.end = end
+        self.level = level
+        self.tag = tag
+        self.index = index
+        self.parent_index = parent_index
+
+    def label(self) -> tuple[int, int, int]:
+        """Return the region label as a ``(start, end, level)`` tuple."""
+        return (self.start, self.end, self.level)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node({self.tag!r}, start={self.start}, end={self.end}, "
+            f"level={self.level})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __lt__(self, other: "Node") -> bool:
+        return self.start < other.start
+
+
+class Document:
+    """An immutable region-labelled XML tree.
+
+    Args:
+        nodes: all nodes in document order; ``nodes[i].index == i`` must hold.
+
+    The constructor validates label consistency (strictly nested regions,
+    parent levels) so that every downstream component can rely on them.
+    """
+
+    def __init__(self, nodes: Sequence[Node], name: str = "document"):
+        self.name = name
+        self._nodes: list[Node] = list(nodes)
+        self._by_tag: dict[str, list[Node]] = {}
+        self._validate()
+        for node in self._nodes:
+            self._by_tag.setdefault(node.tag, []).append(node)
+
+    def _validate(self) -> None:
+        if not self._nodes:
+            raise ReproError("a document must contain at least one node")
+        root = self._nodes[0]
+        if root.parent_index != -1:
+            raise ReproError("first node in document order must be the root")
+        for i, node in enumerate(self._nodes):
+            if node.index != i:
+                raise ReproError(
+                    f"node {node!r} has index {node.index}, expected {i}"
+                )
+            if node.start >= node.end:
+                raise ReproError(f"node {node!r} has start >= end")
+            if i > 0:
+                parent = self._nodes[node.parent_index]
+                if not is_ancestor(parent, node):
+                    raise ReproError(
+                        f"node {node!r} not inside its parent's region"
+                    )
+                if parent.level != node.level - 1:
+                    raise ReproError(
+                        f"node {node!r} level inconsistent with parent"
+                    )
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def root(self) -> Node:
+        """The document root node."""
+        return self._nodes[0]
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All nodes in document order."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def tags(self) -> set[str]:
+        """The set of element types occurring in the document."""
+        return set(self._by_tag)
+
+    def tag_list(self, tag: str) -> Sequence[Node]:
+        """All ``tag``-type nodes in document order (empty if absent).
+
+        This is the per-element-type partition used as input streams by the
+        conventional structural-join algorithms (element scheme).
+        """
+        return self._by_tag.get(tag, ())
+
+    def tag_count(self, tag: str) -> int:
+        """Number of ``tag``-type nodes."""
+        return len(self._by_tag.get(tag, ()))
+
+    # -- navigation ---------------------------------------------------------
+
+    def parent(self, node: Node) -> Node | None:
+        """Parent of ``node``, or None for the root."""
+        if node.parent_index < 0:
+            return None
+        return self._nodes[node.parent_index]
+
+    def children(self, node: Node) -> list[Node]:
+        """Children of ``node`` in document order."""
+        result = []
+        i = node.index + 1
+        n = len(self._nodes)
+        while i < n and self._nodes[i].start < node.end:
+            child = self._nodes[i]
+            result.append(child)
+            # Skip over the whole subtree of `child`: descendants occupy a
+            # contiguous index range because nodes are in document order.
+            i = self._subtree_end_index(child)
+        return result
+
+    def descendants(self, node: Node) -> Sequence[Node]:
+        """All proper descendants of ``node`` in document order."""
+        return self._nodes[node.index + 1 : self._subtree_end_index(node)]
+
+    def ancestors(self, node: Node) -> list[Node]:
+        """Proper ancestors of ``node``, nearest first."""
+        result = []
+        current = self.parent(node)
+        while current is not None:
+            result.append(current)
+            current = self.parent(current)
+        return result
+
+    def _subtree_end_index(self, node: Node) -> int:
+        """Index one past the last descendant of ``node``."""
+        # Descendants are exactly the nodes with start in (node.start, node.end).
+        starts = _StartsView(self._nodes)
+        return bisect_left(starts, node.end, lo=node.index + 1)
+
+    def descendants_by_tag(self, node: Node, tag: str) -> list[Node]:
+        """``tag``-type proper descendants of ``node`` in document order."""
+        tag_nodes = self._by_tag.get(tag)
+        if not tag_nodes:
+            return []
+        starts = _StartsView(tag_nodes)
+        lo = bisect_right(starts, node.start)
+        hi = bisect_left(starts, node.end, lo=lo)
+        return tag_nodes[lo:hi]
+
+    def lowest_ancestor_by_tag(self, node: Node, tag: str) -> Node | None:
+        """The nearest proper ancestor of ``node`` with element type ``tag``."""
+        current = self.parent(node)
+        while current is not None:
+            if current.tag == tag:
+                return current
+            current = self.parent(current)
+        return None
+
+    # -- statistics ----------------------------------------------------------
+
+    def max_depth(self) -> int:
+        """Length of the longest root-to-leaf path (levels; root counts 0)."""
+        return max(node.level for node in self._nodes)
+
+    def summary(self) -> dict[str, int]:
+        """Coarse statistics useful in benchmark reports."""
+        return {
+            "nodes": len(self._nodes),
+            "tags": len(self._by_tag),
+            "max_depth": self.max_depth(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Document({self.name!r}, nodes={len(self._nodes)})"
+
+
+class _StartsView(Sequence[int]):
+    """Zero-copy view of the start labels of a node list, for bisect."""
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes: Sequence[Node]):
+        self._nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._nodes[i].start
+
+
+class DocumentBuilder:
+    """Incremental builder assigning region labels during construction.
+
+    Usage::
+
+        b = DocumentBuilder()
+        with b.element("site"):
+            with b.element("regions"):
+                b.leaf("item")
+        doc = b.build()
+
+    ``start``/``end`` counters advance by one for every open and close event,
+    which yields the strict-containment property the label algebra requires.
+    """
+
+    def __init__(self, name: str = "document"):
+        self.name = name
+        self._counter = 0
+        self._nodes: list[Node] = []
+        self._stack: list[Node] = []
+
+    # -- low-level API -------------------------------------------------------
+
+    def open(self, tag: str) -> Node:
+        """Open an element; returns the (still incomplete) node."""
+        parent_index = self._stack[-1].index if self._stack else -1
+        node = Node(
+            start=self._counter,
+            end=-1,  # patched by close()
+            level=len(self._stack),
+            tag=tag,
+            index=len(self._nodes),
+            parent_index=parent_index,
+        )
+        self._counter += 1
+        self._nodes.append(node)
+        self._stack.append(node)
+        return node
+
+    def close(self) -> Node:
+        """Close the most recently opened element."""
+        if not self._stack:
+            raise ReproError("close() without matching open()")
+        node = self._stack.pop()
+        node.end = self._counter
+        self._counter += 1
+        return node
+
+    def leaf(self, tag: str) -> Node:
+        """Convenience: open and immediately close an element."""
+        self.open(tag)
+        return self.close()
+
+    # -- context-manager sugar -------------------------------------------------
+
+    def element(self, tag: str) -> "_ElementContext":
+        """Context manager opening ``tag`` on enter and closing it on exit."""
+        return _ElementContext(self, tag)
+
+    def build(self) -> Document:
+        """Finalize and return the immutable document."""
+        if self._stack:
+            raise ReproError(
+                f"{len(self._stack)} element(s) still open; close them first"
+            )
+        return Document(self._nodes, name=self.name)
+
+
+class _ElementContext:
+    __slots__ = ("_builder", "_tag")
+
+    def __init__(self, builder: DocumentBuilder, tag: str):
+        self._builder = builder
+        self._tag = tag
+
+    def __enter__(self) -> Node:
+        return self._builder.open(self._tag)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._builder.close()
+
+
+def document_from_tuples(
+    rows: Iterable[tuple[str, int]], name: str = "document"
+) -> Document:
+    """Build a document from ``(tag, depth)`` rows in document order.
+
+    A compact format handy in tests: depth 0 is the root, and each row
+    attaches under the most recent row of depth one less.
+    """
+    builder = DocumentBuilder(name)
+    depth = -1
+    for tag, row_depth in rows:
+        if row_depth > depth + 1:
+            raise ReproError(
+                f"row ({tag!r}, {row_depth}) skips levels (previous depth {depth})"
+            )
+        while depth >= row_depth:
+            builder.close()
+            depth -= 1
+        builder.open(tag)
+        depth = row_depth
+    while depth >= 0:
+        builder.close()
+        depth -= 1
+    return builder.build()

@@ -1,0 +1,90 @@
+"""Region-label algebra (Section II of the paper).
+
+Each node in an XML data tree carries a 3-tuple label ``<start, end, level>``
+assigned by a pre/post traversal counter:
+
+* ``start`` — position of the node's start tag in document order,
+* ``end``   — position of the node's end tag (``end > start`` and the region
+  ``[start, end]`` strictly contains the regions of all descendants),
+* ``level`` — depth of the node (root has level 0 in this implementation).
+
+With these labels the structural relationships used throughout the paper are
+decided in constant time:
+
+* ``a`` is an **ancestor** of ``b``  iff ``a.start < b.start and b.end < a.end``;
+* ``a`` is the **parent** of ``b``   iff additionally ``a.level == b.level - 1``;
+* ``a'`` is a **following** node of ``a`` iff ``a'.start > a.end``.
+
+The functions below accept any objects exposing ``start``, ``end`` and
+``level`` attributes (both :class:`repro.xmltree.document.Node` and the
+storage-layer entry records satisfy this), so the same algebra is shared by
+the document layer, the storage schemes and the join algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Labelled(Protocol):
+    """Anything carrying a region label."""
+
+    start: int
+    end: int
+    level: int
+
+
+def is_ancestor(a: Labelled, b: Labelled) -> bool:
+    """Return True iff ``a`` is a proper ancestor of ``b``."""
+    return a.start < b.start and b.end < a.end
+
+
+def is_descendant(a: Labelled, b: Labelled) -> bool:
+    """Return True iff ``a`` is a proper descendant of ``b``."""
+    return is_ancestor(b, a)
+
+
+def is_parent(a: Labelled, b: Labelled) -> bool:
+    """Return True iff ``a`` is the parent of ``b``."""
+    return is_ancestor(a, b) and a.level == b.level - 1
+
+
+def is_child(a: Labelled, b: Labelled) -> bool:
+    """Return True iff ``a`` is a child of ``b``."""
+    return is_parent(b, a)
+
+def is_following(after: Labelled, before: Labelled) -> bool:
+    """Return True iff ``after`` is a following node of ``before``.
+
+    Following means the entire region of ``after`` starts after ``before``
+    closes; preceding/ancestor/descendant nodes are excluded.
+    """
+    return after.start > before.end
+
+
+def region_contains(outer: Labelled, inner: Labelled) -> bool:
+    """Return True iff the region of ``outer`` contains ``inner`` (non-strict).
+
+    Used for self-or-ancestor style checks; a node contains itself.
+    """
+    return outer.start <= inner.start and inner.end <= outer.end
+
+
+def satisfies_axis(ancestor: Labelled, descendant: Labelled, is_pc: bool) -> bool:
+    """Check one query edge between two data nodes.
+
+    ``is_pc`` selects the parent-child axis; otherwise ancestor-descendant.
+    """
+    if is_pc:
+        return is_parent(ancestor, descendant)
+    return is_ancestor(ancestor, descendant)
+
+
+def compare_document_order(a: Labelled, b: Labelled) -> int:
+    """Three-way comparison of two nodes by document order (start label)."""
+    if a.start < b.start:
+        return -1
+    if a.start > b.start:
+        return 1
+    return 0

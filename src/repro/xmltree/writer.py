@@ -1,0 +1,51 @@
+"""Serialize region-labelled documents back to XML text.
+
+The writer emits element structure only (the model carries no text/attribute
+payload); output round-trips through :func:`repro.xmltree.parser.parse_xml`
+with identical region labels, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+from repro.xmltree.document import Document, Node
+
+
+def write_xml(document: Document, indent: int = 2) -> str:
+    """Render ``document`` as XML text.
+
+    Args:
+        document: the document to serialize.
+        indent: spaces per nesting level; 0 renders a single line.
+    """
+    out = io.StringIO()
+    _write(document, out, indent)
+    return out.getvalue()
+
+
+def write_xml_file(
+    document: Document, path: str | os.PathLike[str], indent: int = 2
+) -> None:
+    """Write ``document`` as XML to ``path``."""
+    with io.open(path, "w", encoding="utf-8") as handle:
+        _write(document, handle, indent)
+
+
+def _write(document: Document, out: TextIO, indent: int) -> None:
+    newline = "\n" if indent else ""
+
+    def emit(node: Node) -> None:
+        pad = " " * (indent * node.level)
+        children = document.children(node)
+        if not children:
+            out.write(f"{pad}<{node.tag}/>{newline}")
+            return
+        out.write(f"{pad}<{node.tag}>{newline}")
+        for child in children:
+            emit(child)
+        out.write(f"{pad}</{node.tag}>{newline}")
+
+    emit(document.root)

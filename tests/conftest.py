@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.document import Document, DocumentBuilder
+
+
+@pytest.fixture
+def small_doc() -> Document:
+    """A tiny document used by many structural tests::
+
+        r
+        +- a            (0, 15)
+        |  +- b         (1, 10)
+        |  |  +- c      (2, 3)
+        |  |  +- d      (4, 9)
+        |  |     +- e   (5, 6)
+        |  |     +- c2  (7, 8)
+        |  +- f         (11, 12)
+        |  (a closes)
+        +- g            (16, 17)
+    """
+    b = DocumentBuilder("small")
+    with b.element("r"):
+        with b.element("a"):
+            with b.element("b"):
+                b.leaf("c")
+                with b.element("d"):
+                    b.leaf("e")
+                    b.leaf("c2")
+            b.leaf("f")
+        b.leaf("g")
+    return b.build()
+
+
+@pytest.fixture
+def recursive_doc() -> Document:
+    """A document with same-tag nesting (recursion), the stress case for
+    the linked-element pointer semantics::
+
+        root
+        +- a1 [ e1, e2, e3 ]
+        +- f1
+        +- a2 [ e4, a3 [ e5 ], e6, f2 ]
+    """
+    b = DocumentBuilder("recursive")
+    with b.element("root"):
+        with b.element("a"):      # a1
+            b.leaf("e")           # e1
+            b.leaf("e")           # e2
+            b.leaf("e")           # e3
+        b.leaf("f")               # f1
+        with b.element("a"):      # a2
+            b.leaf("e")           # e4
+            with b.element("a"):  # a3
+                b.leaf("e")       # e5
+            b.leaf("e")           # e6
+            b.leaf("f")           # f2
+    return b.build()
+
+
+def tags_of(nodes) -> list[str]:
+    return [node.tag for node in nodes]
+
+
+def starts_of(nodes) -> list[int]:
+    return [node.start for node in nodes]

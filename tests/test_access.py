@@ -1,0 +1,103 @@
+"""TagSource / build_sources unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.access import TagSource, build_sources, total_input_entries
+from repro.algorithms.base import Counters
+from repro.datasets import random_trees
+from repro.errors import EvaluationError
+from repro.storage.catalog import materialize
+from repro.tpq.matching import solution_nodes
+from repro.tpq.parser import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(size=200, max_depth=8, seed=6)
+
+
+@pytest.fixture(scope="module")
+def le_view(doc):
+    return materialize(doc, parse_pattern("//a[//b]//c"), "LE")
+
+
+@pytest.fixture(scope="module")
+def e_view(doc):
+    return materialize(doc, parse_pattern("//a[//b]//c"), "E")
+
+
+def test_pointer_capability(le_view, e_view):
+    assert TagSource(le_view, "a").has_pointers
+    assert not TagSource(e_view, "a").has_pointers
+
+
+def test_tuple_views_rejected(doc):
+    tuple_view = materialize(doc, parse_pattern("//a//c"), "T")
+    with pytest.raises(EvaluationError):
+        TagSource(tuple_view, "a")
+
+
+def test_child_slot(le_view, e_view):
+    source = TagSource(le_view, "a")
+    assert source.child_slot("b") == 0
+    assert source.child_slot("c") == 1
+    assert source.child_slot("zzz") is None
+    assert TagSource(e_view, "a").child_slot("b") is None
+
+
+def test_cursor_counts_scans(le_view):
+    counters = Counters()
+    cursor = TagSource(le_view, "a").cursor(counters)
+    while cursor.current is not None:
+        cursor.advance()
+    assert counters.elements_scanned == len(le_view.list_for("a"))
+
+
+def test_bisect_start(doc, e_view):
+    source = TagSource(e_view, "c")
+    counters = Counters()
+    sols = solution_nodes(doc, parse_pattern("//a[//b]//c"))["c"]
+    starts = [n.start for n in sols]
+    for probe in [0, starts[0], starts[-1], starts[-1] + 100]:
+        expected = sum(1 for s in starts if s <= probe)
+        assert source.bisect_start(probe, counters) == expected
+    assert counters.comparisons > 0
+
+
+def test_bisect_start_with_index_agrees(doc, e_view):
+    plain = TagSource(e_view, "c")
+    indexed = TagSource(e_view, "c")
+    indexed.ensure_index()
+    indexed.ensure_index()  # idempotent
+    counters = Counters()
+    for probe in range(0, 400, 7):
+        assert indexed.bisect_start(probe, counters) == plain.bisect_start(
+            probe, counters
+        )
+
+
+def test_range_entries(doc, e_view):
+    source = TagSource(e_view, "c")
+    counters = Counters()
+    a_nodes = solution_nodes(doc, parse_pattern("//a[//b]//c"))["a"]
+    if a_nodes:
+        region = a_nodes[0]
+        entries = source.range_entries(region.start, region.end, counters)
+        for entry in entries:
+            assert region.start < entry.start < region.end
+
+
+def test_build_sources_missing_tag(doc, le_view):
+    query = parse_pattern("//a[//b]//c//zzz")
+    with pytest.raises(EvaluationError):
+        build_sources(query, [le_view], [parse_pattern("//a[//b]//c")])
+
+
+def test_total_input_entries(doc, le_view):
+    query = parse_pattern("//a[//b]//c")
+    sources = build_sources(query, [le_view], [query])
+    assert total_input_entries(sources) == sum(
+        len(le_view.list_for(tag)) for tag in query.tags()
+    )

@@ -1,0 +1,87 @@
+"""Bench harness tests."""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ALL_COMBOS,
+    TWIG_COMBOS,
+    default_combos,
+    run_combo,
+    run_query_matrix,
+    speedup,
+    work_ratio,
+)
+from repro.bench.report import format_records, format_series, format_table
+from repro.datasets import nasa as nasa_data
+from repro.storage.catalog import ViewCatalog
+from repro.workloads import nasa
+
+
+def test_default_combos():
+    path_spec = nasa.BY_NAME["N1"]
+    twig_spec = nasa.BY_NAME["N5"]
+    assert default_combos(path_spec) == ALL_COMBOS
+    assert default_combos(twig_spec) == TWIG_COMBOS
+
+
+def test_run_combo_record():
+    doc = nasa_data.generate(scale=0.5, seed=1)
+    spec = nasa.BY_NAME["N2"]
+    with ViewCatalog(doc) as catalog:
+        record = run_combo(
+            catalog, spec.query, spec.views, "VJ", "LE",
+            dataset="nasa", query_name="N2",
+        )
+    assert record.combo == "VJ+LE"
+    assert record.elapsed_s > 0
+    assert record.matches >= 0
+    row = record.row()
+    assert row["query"] == "N2"
+    assert "ms" in row and "work" in row
+
+
+def test_run_query_matrix_consistency():
+    doc = nasa_data.generate(scale=0.5, seed=1)
+    specs = [nasa.BY_NAME["N1"], nasa.BY_NAME["N5"]]
+    records = run_query_matrix(doc, specs, dataset="nasa")
+    # N1 is a path query (7 combos), N5 a twig (6 combos).
+    assert len(records) == 13
+    by_query: dict[str, set[int]] = {}
+    for record in records:
+        by_query.setdefault(record.query, set()).add(record.matches)
+    for query, counts in by_query.items():
+        assert len(counts) == 1, f"{query}: engines disagree {counts}"
+
+
+def test_speedup_and_work_ratio():
+    doc = nasa_data.generate(scale=0.5, seed=1)
+    records = run_query_matrix(doc, [nasa.BY_NAME["N5"]], dataset="nasa")
+    ratios = speedup(records, "TS+E", "VJ+LE")
+    assert "N5" in ratios and ratios["N5"] > 0
+    wratios = work_ratio(records, "TS+E", "VJ+LE")
+    assert wratios["N5"] > 0
+
+
+def test_format_table():
+    text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "2.50" in lines[2]
+
+
+def test_format_records_pivot():
+    doc = nasa_data.generate(scale=0.4, seed=1)
+    records = run_query_matrix(doc, [nasa.BY_NAME["N5"]], dataset="nasa")
+    text = format_records(records, metric="matches")
+    assert "N5" in text
+    assert "VJ+LEp" in text
+
+
+def test_format_series():
+    text = format_series(
+        {"VJ": [(1, 10), (2, 20)], "TS": [(1, 30), (2, 60)]},
+        x_label="scale",
+        y_label="ms",
+    )
+    assert "scale" in text and "VJ (ms)" in text and "TS (ms)" in text

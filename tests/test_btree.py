@@ -1,0 +1,99 @@
+"""B+-tree index tests."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTreeIndex
+from repro.storage.pager import Pager
+
+
+def build(starts, page_size=64):
+    pager = Pager(page_size=page_size)
+    return BPlusTreeIndex.build(pager, starts), pager
+
+
+def test_empty_index():
+    index, __ = build([])
+    assert index.first_geq(0) is None
+    assert index.num_pages == 0
+
+
+def test_single_key():
+    index, __ = build([10])
+    assert index.first_geq(5) == 0
+    assert index.first_geq(10) == 0
+    assert index.first_geq(11) is None
+    assert index.first_greater(9) == 0
+    assert index.first_greater(10) is None
+
+
+def test_multi_level_tree():
+    # page 64 bytes -> 7 pairs per node; 100 keys -> height >= 2
+    starts = list(range(0, 400, 4))
+    index, __ = build(starts)
+    assert index.height >= 2
+    assert index.num_pages > 1
+    for probe in (0, 1, 3, 4, 200, 201, 395, 396, 397, 1000):
+        expected = bisect_left(starts, probe)
+        got = index.first_geq(probe)
+        assert got == (expected if expected < len(starts) else None), probe
+
+
+def test_first_greater_matches_bisect_right():
+    starts = [2, 5, 9, 14, 20, 21, 30]
+    index, __ = build(starts)
+    for probe in range(0, 35):
+        expected = bisect_right(starts, probe)
+        got = index.first_greater(probe)
+        assert got == (expected if expected < len(starts) else None), probe
+
+
+def test_lookups_are_io_accounted():
+    starts = list(range(0, 400, 4))
+    index, pager = build(starts)
+    pager.reset_stats()
+    index.first_geq(200)
+    assert pager.stats.logical_reads == index.height
+
+
+def test_page_too_small_rejected():
+    pager = Pager(page_size=8)
+    with pytest.raises(StorageError):
+        BPlusTreeIndex(pager)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    keys=st.lists(st.integers(0, 10_000), min_size=1, max_size=300,
+                  unique=True),
+    probes=st.lists(st.integers(-5, 10_005), min_size=1, max_size=20),
+)
+def test_lookup_equals_bisect(keys, probes):
+    starts = sorted(keys)
+    index, __ = build(starts, page_size=64)
+    for probe in probes:
+        expected = bisect_left(starts, probe)
+        got = index.first_geq(probe)
+        assert got == (expected if expected < len(starts) else None)
+
+
+def test_engine_with_index_produces_identical_matches():
+    from repro.algorithms.engine import evaluate
+    from repro.datasets import random_trees
+    from repro.storage.catalog import ViewCatalog
+    from repro.tpq.parser import parse_pattern
+
+    doc = random_trees.generate(size=300, max_depth=9, seed=4)
+    query = parse_pattern("//a[//b]//c//d")
+    views = [parse_pattern("//a//c"), parse_pattern("//b"),
+             parse_pattern("//d")]
+    with ViewCatalog(doc) as catalog:
+        plain = evaluate(query, catalog, views, "VJ", "E")
+        indexed = evaluate(query, catalog, views, "VJ", "E", use_index=True)
+    assert indexed.match_keys() == plain.match_keys()

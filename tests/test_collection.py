@@ -1,0 +1,104 @@
+"""Document collection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.errors import ReproError
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.collection import (
+    COLLECTION_ROOT_TAG,
+    combine_documents,
+    member_of,
+)
+from repro.xmltree.document import DocumentBuilder
+
+
+def make_members(count=3, size=120):
+    return [
+        random_trees.generate(
+            size=size, tags=list("abcd"), max_depth=8, seed=100 + i
+        )
+        for i in range(count)
+    ]
+
+
+def test_combined_structure():
+    members = make_members()
+    combined = combine_documents(members)
+    assert combined.root.tag == COLLECTION_ROOT_TAG
+    assert len(combined) == 1 + sum(len(m) for m in members)
+    roots = combined.children(combined.root)
+    assert len(roots) == len(members)
+    assert [root.tag for root in roots] == [m.root.tag for m in members]
+
+
+def test_labels_are_valid_and_disjoint():
+    members = make_members()
+    combined = combine_documents(members)
+    roots = combined.children(combined.root)
+    for left, right in zip(roots, roots[1:]):
+        assert left.end < right.start  # members occupy disjoint ranges
+    for node in combined:
+        assert node.start < node.end
+
+
+def test_matches_are_union_of_members():
+    members = make_members()
+    combined = combine_documents(members)
+    query = parse_pattern("//a[//b]//c")
+    per_member = sum(
+        len(find_embeddings(member, query)) for member in members
+    )
+    assert len(find_embeddings(combined, query)) == per_member
+
+
+def test_engines_work_on_collections():
+    members = make_members()
+    combined = combine_documents(members)
+    query = parse_pattern("//a//b//c")
+    views = [parse_pattern("//a//b"), parse_pattern("//c")]
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(combined, query)
+    )
+    with ViewCatalog(combined) as catalog:
+        for algorithm, scheme in [("TS", "E"), ("VJ", "LE"), ("VJ", "LEp")]:
+            result = evaluate(query, catalog, views, algorithm, scheme)
+            assert result.match_keys() == expected
+
+
+def test_member_of():
+    members = make_members()
+    combined = combine_documents(members)
+    roots = combined.children(combined.root)
+    for position, root in enumerate(roots):
+        for node in combined.descendants(root):
+            assert member_of(combined, node) == position
+        assert member_of(combined, root) == position
+    with pytest.raises(ReproError):
+        member_of(combined, combined.root)
+
+
+def test_reserved_tag_rejected():
+    builder = DocumentBuilder()
+    builder.leaf(COLLECTION_ROOT_TAG)
+    bad = builder.build()
+    with pytest.raises(ReproError):
+        combine_documents([bad])
+
+
+def test_empty_collection_rejected():
+    with pytest.raises(ReproError):
+        combine_documents([])
+
+
+def test_single_member_roundtrip():
+    member = make_members(count=1)[0]
+    combined = combine_documents([member])
+    assert len(combined) == len(member) + 1
+    # The member's structure is intact one level down.
+    assert [n.tag for n in combined.nodes[1:]] == [n.tag for n in member]

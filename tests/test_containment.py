@@ -1,0 +1,113 @@
+"""Subpattern / connected-subpattern / covering-set tests (paper §II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CoverageError, PatternError
+from repro.tpq.containment import (
+    covering_view_set,
+    find_subpattern_mapping,
+    is_connected_subpattern,
+    is_covering_view_set,
+    is_minimal_covering_view_set,
+    is_subpattern,
+    view_for_tag,
+)
+from repro.tpq.parser import parse_pattern
+
+
+Q = parse_pattern("//a[//f]//b[c]//d//e")  # shaped like the paper's Fig. 1(b)
+
+
+def test_ad_edge_maps_to_descendant_path():
+    # Paper Example 2.1: v1 = //a//e is a subpattern of Q …
+    v1 = parse_pattern("//a//e")
+    assert is_subpattern(v1, Q)
+    # … but not a *connected* subpattern ((a, e) is not an edge of Q).
+    assert not is_connected_subpattern(v1, Q)
+
+
+def test_connected_subpatterns():
+    assert is_connected_subpattern(parse_pattern("//b[c]"), Q)
+    assert is_connected_subpattern(parse_pattern("//b//d"), Q)
+    assert is_connected_subpattern(parse_pattern("//a//b"), Q)
+    assert is_connected_subpattern(parse_pattern("//a//f"), Q)
+
+
+def test_pc_edge_requires_pc_edge():
+    # Q has b/c as a pc-edge: //b/c is a subpattern, //c alone too,
+    # but a pc-edge not present in Q is rejected.
+    assert is_subpattern(parse_pattern("//b/c"), Q)
+    assert not is_subpattern(parse_pattern("//a/c"), Q)
+    # ad view edge over a pc query edge is allowed (descendant superset) …
+    assert is_subpattern(parse_pattern("//b//c"), Q)
+    # … but a pc view edge over an ad query edge is not.
+    assert not is_subpattern(parse_pattern("//b/d"), Q)
+
+
+def test_missing_tag_not_subpattern():
+    assert not is_subpattern(parse_pattern("//a//zzz"), Q)
+
+
+def test_mapping_is_identity_on_tags():
+    mapping = find_subpattern_mapping(parse_pattern("//b//d"), Q)
+    assert mapping == {"b": "b", "d": "d"}
+    assert find_subpattern_mapping(parse_pattern("//d//b"), Q) is None
+
+
+def test_covering_view_set():
+    views = [
+        parse_pattern("//a//e"),
+        parse_pattern("//b[c][//d]"),
+        parse_pattern("//f"),
+    ]
+    assert is_covering_view_set(views, Q)
+    assert is_minimal_covering_view_set(views, Q)
+
+
+def test_covering_rejects_partial():
+    views = [parse_pattern("//a//e"), parse_pattern("//f")]
+    assert not is_covering_view_set(views, Q)
+    with pytest.raises(CoverageError):
+        covering_view_set(views, Q)
+
+
+def test_non_minimal_detected():
+    views = [
+        parse_pattern("//a//e"),
+        parse_pattern("//b[c][//d]"),
+        parse_pattern("//f"),
+        parse_pattern("//e"),  # duplicates 'e' coverage
+    ]
+    # The third view overlaps the first; still covering but not minimal…
+    assert is_covering_view_set(views, Q)
+    assert not is_minimal_covering_view_set(views, Q)
+    # …and tag-disjointness is violated for evaluation purposes.
+    with pytest.raises(PatternError):
+        covering_view_set(views, Q)
+
+
+def test_covering_rejects_non_subpattern_views():
+    views = [
+        parse_pattern("//e//a"),
+        parse_pattern("//b[c][//d]"),
+        parse_pattern("//f"),
+    ]
+    with pytest.raises(PatternError):
+        covering_view_set(views, Q)
+
+
+def test_view_for_tag():
+    views = [parse_pattern("//a//e"), parse_pattern("//b[c][//d]")]
+    assert view_for_tag(views, "c") is views[1]
+    assert view_for_tag(views, "a") is views[0]
+    assert view_for_tag(views, "d") is views[1]
+    with pytest.raises(CoverageError):
+        view_for_tag(views, "zzz")
+
+
+def test_single_view_equal_to_query_covers():
+    views = [Q.copy()]
+    assert is_covering_view_set(views, Q)
+    assert covering_view_set(views, Q) == views

@@ -1,0 +1,93 @@
+"""Containment forest tests, incl. the LE-generalization claim (§VII)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.storage.catalog import materialize
+from repro.storage.containment_forest import NULL, ContainmentForest
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.labels import is_ancestor
+
+
+def forest_over(doc, tag):
+    return ContainmentForest(list(doc.tag_list(tag)))
+
+
+def test_flat_list_is_all_roots(small_doc):
+    forest = forest_over(small_doc, "c")  # a single c node
+    assert forest.roots == [0]
+    assert forest.nodes[0].first_child == NULL
+
+
+def test_nested_structure(recursive_doc):
+    forest = forest_over(recursive_doc, "a")  # a1, a2, a3 (a3 inside a2)
+    assert forest.roots == [0, 1]
+    assert forest.nodes[0].right_sibling == 1   # a1 -> a2 at root level
+    assert forest.nodes[1].first_child == 2     # a2 contains a3
+    assert forest.nodes[2].parent == 1
+    assert forest.max_nesting() == 1
+
+
+def test_skip_subtree(recursive_doc):
+    forest = forest_over(recursive_doc, "a")
+    # Skipping a1's subtree lands on a2; skipping a3 (last inside a2) and
+    # a2 itself exhausts the forest.
+    assert forest.skip_subtree(0) == 1
+    assert forest.skip_subtree(2) == NULL
+    assert forest.skip_subtree(1) == NULL
+
+
+def test_subtree_size(recursive_doc):
+    forest = forest_over(recursive_doc, "a")
+    assert forest.subtree_size(1) == 2  # a2 + a3
+    assert forest.subtree_size(0) == 1
+
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 500), tag=st.sampled_from(["a", "b", "c"]))
+def test_forest_parents_are_nearest_same_type_ancestors(seed, tag):
+    doc = random_trees.generate(
+        size=150, tags=("a", "b", "c"), max_depth=9, seed=seed
+    )
+    entries = list(doc.tag_list(tag))
+    forest = ContainmentForest(entries)
+    for i, node in enumerate(forest.nodes):
+        containing = [
+            j for j, other in enumerate(entries)
+            if is_ancestor(other, entries[i])
+        ]
+        if containing:
+            nearest = max(containing, key=lambda j: entries[j].start)
+            assert node.parent == nearest
+        else:
+            assert node.parent == NULL
+            assert i in forest.roots
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 500))
+def test_le_pointers_generalize_containment_forest(seed):
+    """Restricted to the view-root type, the LE scheme's descendant pointer
+    equals the forest's first-child pointer, and its following pointer
+    equals the forest's root-level right-sibling (the paper's claim that
+    the DAG structure is 'similar to but more general than' containment
+    forests)."""
+    doc = random_trees.generate(
+        size=150, tags=("a", "b"), max_depth=9, seed=seed
+    )
+    view = materialize(doc, parse_pattern("//a"), "LE")
+    entries = list(view.list_for("a").scan())
+    forest = ContainmentForest(entries)
+    for i, record in enumerate(entries):
+        assert record.descendant == _as_ptr(forest.nodes[i].first_child)
+        if forest.nodes[i].parent == NULL:
+            assert record.following == _as_ptr(
+                forest.nodes[i].right_sibling
+            )
+
+
+def _as_ptr(value: int) -> int:
+    return value if value != NULL else -1

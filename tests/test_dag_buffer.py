@@ -1,0 +1,148 @@
+"""DagBuffer unit tests (the intermediate-solution structure F)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import Counters
+from repro.algorithms.dag import DagBuffer
+from repro.storage.pager import Pager
+from repro.storage.records import ElementEntry
+from repro.tpq.parser import parse_pattern
+
+Q = parse_pattern("//a//b")
+
+
+def entry(start, end, level=1):
+    return ElementEntry(start, end, level)
+
+
+def test_add_and_candidates():
+    dag = DagBuffer(Q, Counters())
+    dag.add("a", entry(0, 10, 0))
+    dag.add("a", entry(2, 8, 1))
+    dag.add("b", entry(3, 4, 2))
+    assert [e.start for e in dag.candidates("a")] == [0, 2]
+    assert dag.buffered_entries == 3
+    assert dag.peak_entries == 3
+
+
+def test_duplicate_adds_ignored():
+    dag = DagBuffer(Q, Counters())
+    dag.add("a", entry(0, 10, 0))
+    dag.add("a", entry(0, 10, 0))
+    assert dag.buffered_entries == 1
+
+
+def test_out_of_order_add_rejected():
+    dag = DagBuffer(Q, Counters())
+    dag.add("a", entry(5, 10, 0))
+    with pytest.raises(ValueError):
+        dag.add("a", entry(1, 2, 0))
+
+
+def test_has_open_ancestor_exact():
+    dag = DagBuffer(Q, Counters())
+    dag.add("a", entry(0, 100, 0))
+    dag.add("a", entry(10, 20, 1))
+    # inside the nested region
+    assert dag.has_open_ancestor("a", entry(12, 13, 2))
+    # inside the outer but after the nested region closed — the
+    # order-sensitive stack formulation would have popped (0, 100) here.
+    assert dag.has_open_ancestor("a", entry(50, 60, 2))
+    # outside everything
+    assert not dag.has_open_ancestor("a", entry(200, 201, 2))
+    # unknown tag
+    assert not dag.has_open_ancestor("zzz", entry(12, 13, 2))
+
+
+def test_has_open_ancestor_requires_proper_containment():
+    dag = DagBuffer(Q, Counters())
+    dag.add("a", entry(10, 20, 1))
+    assert not dag.has_open_ancestor("a", entry(5, 25, 0))   # contains it
+    assert not dag.has_open_ancestor("a", entry(10, 20, 1))  # equal
+
+
+def test_max_buffered_end():
+    dag = DagBuffer(Q, Counters())
+    assert dag.max_buffered_end("a") == -1
+    dag.add("a", entry(0, 100, 0))
+    dag.add("a", entry(10, 20, 1))
+    assert dag.max_buffered_end("a") == 100
+
+
+def test_flush_counts_matches():
+    counters = Counters()
+    dag = DagBuffer(Q, counters)
+    dag.set_partition_root(entry(0, 100, 0))
+    dag.add("a", entry(0, 100, 0))
+    dag.add("b", entry(3, 4, 1))
+    dag.add("b", entry(7, 8, 1))
+    dag.flush()
+    assert dag.match_count == 2
+    assert counters.matches == 2
+    assert counters.flushes == 1
+    assert dag.buffered_entries == 0
+    assert dag.partition_root is None
+
+
+def test_flush_without_partition_is_noop():
+    counters = Counters()
+    dag = DagBuffer(Q, counters)
+    dag.add("a", entry(0, 10, 0))  # junk with no partition root
+    dag.flush()
+    assert counters.flushes == 0
+    assert dag.match_count == 0
+
+
+def test_flush_extend_callback():
+    dag = DagBuffer(Q, Counters())
+    dag.set_partition_root(entry(0, 100, 0))
+    dag.add("a", entry(0, 100, 0))
+
+    def extend(buffered):
+        complete = {tag: list(entries) for tag, entries in buffered.items()}
+        complete["b"] = [entry(3, 4, 1)]
+        return complete
+
+    dag.flush(extend)
+    assert dag.match_count == 1
+
+
+def test_emit_matches_toggle():
+    dag = DagBuffer(Q, Counters(), emit_matches=False)
+    dag.set_partition_root(entry(0, 100, 0))
+    dag.add("a", entry(0, 100, 0))
+    dag.add("b", entry(3, 4, 1))
+    dag.flush()
+    assert dag.match_count == 1
+    assert dag.matches == []
+
+
+def test_disk_spill_roundtrip():
+    pager = Pager(file_backed=True)
+    try:
+        counters = Counters()
+        dag = DagBuffer(Q, counters, spill_pager=pager)
+        dag.set_partition_root(entry(0, 100, 0))
+        dag.add("a", entry(0, 100, 0))
+        dag.add("b", entry(3, 4, 1))
+        dag.flush()
+        assert dag.match_count == 1
+        # The spill wrote pages and read them back.
+        assert pager.page_file.stats.pages_written > 0
+        assert pager.pool.stats.logical_reads > 0
+    finally:
+        pager.close()
+
+
+def test_peak_tracking_across_partitions():
+    dag = DagBuffer(Q, Counters())
+    dag.set_partition_root(entry(0, 10, 0))
+    dag.add("a", entry(0, 10, 0))
+    dag.add("b", entry(1, 2, 1))
+    dag.flush()
+    dag.set_partition_root(entry(20, 30, 0))
+    dag.add("a", entry(20, 30, 0))
+    assert dag.peak_entries == 2  # the first partition's high-water mark
+    assert dag.peak_bytes == 2 * 12

@@ -1,0 +1,112 @@
+"""Dataset generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import nasa, random_trees, xmark
+
+
+def test_xmark_deterministic():
+    a = xmark.generate(scale=0.5, seed=3)
+    b = xmark.generate(scale=0.5, seed=3)
+    assert [(n.tag, n.start, n.end) for n in a] == [
+        (n.tag, n.start, n.end) for n in b
+    ]
+    c = xmark.generate(scale=0.5, seed=4)
+    assert len(c) != len(a) or [n.tag for n in c] != [n.tag for n in a]
+
+
+def test_xmark_scales_linearly():
+    small = xmark.generate(scale=0.5, seed=1)
+    large = xmark.generate(scale=2.0, seed=1)
+    ratio = len(large) / len(small)
+    assert 2.5 < ratio < 6.0  # roughly 4x for 4x the scale
+
+
+def test_xmark_schema_structure():
+    doc = xmark.generate(scale=0.5, seed=1)
+    assert doc.root.tag == "site"
+    top = [child.tag for child in doc.children(doc.root)]
+    assert top == ["regions", "categories", "catgraph", "people",
+                   "open_auctions", "closed_auctions"]
+    for region in xmark.REGIONS:
+        assert doc.tag_count(region) == 1
+    # every bidder sits inside an open_auction
+    for bidder in doc.tag_list("bidder"):
+        assert any(
+            anc.tag == "open_auction" for anc in doc.ancestors(bidder)
+        )
+
+
+def test_xmark_parlist_recursion_present():
+    doc = xmark.generate(scale=2.0, seed=1)
+    nested = [
+        node
+        for node in doc.tag_list("parlist")
+        if any(anc.tag == "parlist" for anc in doc.ancestors(node))
+    ]
+    assert nested, "expected recursive parlist nesting at scale 2"
+
+
+def test_xmark_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        xmark.generate(scale=0)
+
+
+def test_nasa_deterministic():
+    a = nasa.generate(scale=1.0, seed=5)
+    b = nasa.generate(scale=1.0, seed=5)
+    assert [(n.tag, n.start) for n in a] == [(n.tag, n.start) for n in b]
+
+
+def test_nasa_schema_structure():
+    doc = nasa.generate(scale=1.0, seed=5)
+    assert doc.root.tag == "datasets"
+    assert all(child.tag == "dataset" for child in doc.children(doc.root))
+    # N3's pc-path must exist: revision/creator/lastname
+    found_pc_chain = False
+    for creator in doc.tag_list("creator"):
+        parent = doc.parent(creator)
+        children = doc.children(creator)
+        if parent is not None and parent.tag == "revision" and any(
+            c.tag == "lastname" for c in children
+        ):
+            found_pc_chain = True
+            break
+    assert found_pc_chain
+
+
+def test_nasa_skewed_distribution():
+    """A minority of datasets should hold the majority of field nodes."""
+    doc = nasa.generate(scale=2.0, seed=5)
+    datasets = doc.tag_list("dataset")
+    counts = sorted(
+        (len(doc.descendants_by_tag(d, "field")) for d in datasets),
+        reverse=True,
+    )
+    top_quarter = counts[: max(1, len(counts) // 4)]
+    assert sum(top_quarter) > 0.5 * sum(counts)
+
+
+def test_nasa_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        nasa.generate(scale=-1)
+
+
+def test_random_trees_bounds():
+    doc = random_trees.generate(size=100, max_depth=5, seed=1)
+    assert doc.max_depth() <= 5
+    assert len(doc) <= 102
+    assert doc.root.tag == "root"
+
+
+def test_random_trees_deterministic():
+    a = random_trees.generate(size=50, seed=9)
+    b = random_trees.generate(size=50, seed=9)
+    assert [(n.tag, n.start) for n in a] == [(n.tag, n.start) for n in b]
+
+
+def test_random_trees_uses_size_budget():
+    doc = random_trees.generate(size=100, max_depth=8, seed=2)
+    assert len(doc) >= 80  # budget is consumed, not abandoned early

@@ -1,0 +1,224 @@
+"""Engine tests: per-algorithm behaviour plus the dispatcher contract.
+
+The deep differential (engine vs naive oracle) coverage lives in
+``test_property_engines.py``; these tests pin down the paper's running
+example, the Table I combo validation, counters and I/O accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import Mode
+from repro.algorithms.engine import Algorithm, combo_label, evaluate
+from repro.errors import EvaluationError
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.document import DocumentBuilder
+
+# The paper's running example (Fig. 1): Q with views v1 = //a//e,
+# v2 = //b[c]//d, v3 = //f over a document shaped like Fig. 1(a).
+Q = parse_pattern("//a[//f]//b[c]//d//e")
+VIEWS = [
+    parse_pattern("//a//e", name="v1"),
+    parse_pattern("//b[c]//d", name="v2"),
+    parse_pattern("//f", name="v3"),
+]
+
+
+@pytest.fixture
+def paper_doc():
+    """A document exercising the paper's running-example features: an
+    a-node without f-descendants (skipped), interleaved b/d/e regions and
+    nested a-regions."""
+    b = DocumentBuilder("paper")
+    with b.element("root"):
+        with b.element("a"):          # a1: no f below -> non-solution
+            with b.element("b"):
+                b.leaf("c")
+                with b.element("d"):
+                    b.leaf("e")
+        b.leaf("f")                    # f1 (outside a1, under root)
+        with b.element("a"):          # a2: full match inside
+            with b.element("b"):
+                b.leaf("c")
+                with b.element("d"):
+                    b.leaf("e")
+                    with b.element("d2x"):
+                        pass
+                b.leaf("e2x")
+            b.leaf("f")                # f2
+            with b.element("a"):      # a3 nested: second match context
+                with b.element("b"):
+                    b.leaf("c")
+                    with b.element("d"):
+                        b.leaf("e")
+                b.leaf("f")
+    return b.build()
+
+
+def truth_keys(doc, query):
+    return sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+
+
+ALL_VJ_TS = [
+    ("TS", "E"), ("TS", "LE"), ("TS", "LEp"),
+    ("VJ", "E"), ("VJ", "LE"), ("VJ", "LEp"),
+]
+
+
+@pytest.mark.parametrize("algorithm,scheme", ALL_VJ_TS)
+@pytest.mark.parametrize("mode", ["memory", "disk"])
+def test_running_example_all_combos(paper_doc, algorithm, scheme, mode):
+    expected = truth_keys(paper_doc, Q)
+    assert expected, "fixture must produce matches"
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(Q, catalog, VIEWS, algorithm, scheme, mode=mode)
+        assert result.match_keys() == expected
+        assert result.match_count == len(expected)
+
+
+def test_viewjoin_skips_fless_a_subtree(paper_doc):
+    """The a1 subtree (no f-descendant) contributes no candidates (the
+    paper's Section III-B advantage 2)."""
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(Q, catalog, VIEWS, "VJ", "LE")
+        a1 = paper_doc.tag_list("a")[0]
+        for match in result.matches:
+            assert match[0].start != a1.start
+
+
+def test_viewjoin_pointer_skipping_counted(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        le = evaluate(Q, catalog, VIEWS, "VJ", "LE")
+        e = evaluate(Q, catalog, VIEWS, "VJ", "E")
+    assert le.counters.pointer_jumps >= 0
+    assert e.counters.pointer_jumps == 0  # no pointers in the E scheme
+    assert le.match_keys() == e.match_keys()
+
+
+def test_emit_matches_false_counts_only(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        counted = evaluate(Q, catalog, VIEWS, "VJ", "LE", emit_matches=False)
+        emitted = evaluate(Q, catalog, VIEWS, "VJ", "LE", emit_matches=True)
+    assert counted.matches == []
+    assert counted.match_count == emitted.match_count > 0
+
+
+def test_match_component_order_is_query_preorder(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(Q, catalog, VIEWS, "VJ", "LE")
+    tags = Q.tags()
+    doc_tag = {node.start: node.tag for node in paper_doc}
+    for match in result.matches:
+        assert [doc_tag[e.start] for e in match] == tags
+
+
+def test_io_stats_populated(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        memory = evaluate(Q, catalog, VIEWS, "VJ", "LE", mode="memory")
+        disk = evaluate(Q, catalog, VIEWS, "VJ", "LE", mode="disk")
+    assert memory.io.logical_reads > 0
+    # The disk-based approach pays extra writes + reads for the spill.
+    assert disk.io.pages_written > 0
+    assert disk.io.logical_reads >= memory.io.logical_reads
+
+
+def test_invalid_combos_rejected(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        with pytest.raises(EvaluationError):
+            evaluate(Q, catalog, VIEWS, "IJ", "E")
+        with pytest.raises(EvaluationError):
+            evaluate(Q, catalog, VIEWS, "TS", "T")
+        with pytest.raises(EvaluationError):
+            evaluate(Q, catalog, VIEWS, "VJ", "T")
+
+
+def test_algorithm_parsing():
+    assert Algorithm.parse("vj") is Algorithm.VIEWJOIN
+    assert Algorithm.parse("ViewJoin") is Algorithm.VIEWJOIN
+    assert Algorithm.parse(Algorithm.TWIGSTACK) is Algorithm.TWIGSTACK
+    with pytest.raises(EvaluationError):
+        Algorithm.parse("nope")
+    assert combo_label("vj", "lep") == "VJ+LEp"
+
+
+def test_interjoin_rejects_twig_query(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        with pytest.raises(EvaluationError):
+            evaluate(Q, catalog, VIEWS, "IJ", "T")
+
+
+def test_interjoin_rejects_disk_mode(paper_doc):
+    pq = parse_pattern("//a//b//d")
+    views = [parse_pattern("//a//d"), parse_pattern("//b")]
+    with ViewCatalog(paper_doc) as catalog:
+        with pytest.raises(EvaluationError):
+            evaluate(pq, catalog, views, "IJ", "T", mode="disk")
+
+
+def test_pathstack_rejects_twig(paper_doc):
+    with ViewCatalog(paper_doc) as catalog:
+        with pytest.raises(EvaluationError):
+            evaluate(Q, catalog, VIEWS, "PS", "E")
+
+
+def test_interjoin_path_query(paper_doc):
+    pq = parse_pattern("//a//b//d//e")
+    views = [parse_pattern("//a//d"), parse_pattern("//b//e")]
+    expected = truth_keys(paper_doc, pq)
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(pq, catalog, views, "IJ", "T")
+        assert result.match_keys() == expected
+        # Path queries also run through PS and VJ with identical output.
+        for algorithm, scheme in [("PS", "E"), ("VJ", "LE"), ("TS", "E")]:
+            other = evaluate(pq, catalog, views, algorithm, scheme)
+            assert other.match_keys() == expected
+
+
+def test_interjoin_single_view(paper_doc):
+    pq = parse_pattern("//b//d//e")
+    views = [parse_pattern("//b//d//e")]
+    expected = truth_keys(paper_doc, pq)
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(pq, catalog, views, "IJ", "T")
+    assert result.match_keys() == expected
+
+
+def test_interjoin_pc_verification(paper_doc):
+    pq = parse_pattern("//b/d/e")  # pc edges need level verification
+    views = [parse_pattern("//b//e"), parse_pattern("//d")]
+    expected = truth_keys(paper_doc, pq)
+    with ViewCatalog(paper_doc) as catalog:
+        result = evaluate(pq, catalog, views, "IJ", "T")
+    assert result.match_keys() == expected
+
+
+def test_mode_parse():
+    assert Mode.parse("memory") is Mode.MEMORY
+    assert Mode.parse("disk") is Mode.DISK
+    assert Mode.parse(Mode.DISK) is Mode.DISK
+    with pytest.raises(ValueError):
+        Mode.parse("floppy")
+
+
+def test_single_node_query(paper_doc):
+    q = parse_pattern("//f")
+    views = [parse_pattern("//f")]
+    expected = truth_keys(paper_doc, q)
+    with ViewCatalog(paper_doc) as catalog:
+        for algorithm, scheme in ALL_VJ_TS:
+            result = evaluate(q, catalog, views, algorithm, scheme)
+            assert result.match_keys() == expected
+
+
+def test_empty_result_query(paper_doc):
+    q = parse_pattern("//f//c")  # f never contains c
+    views = [parse_pattern("//f"), parse_pattern("//c")]
+    with ViewCatalog(paper_doc) as catalog:
+        for algorithm, scheme in ALL_VJ_TS:
+            result = evaluate(q, catalog, views, algorithm, scheme)
+            assert result.match_count == 0

@@ -1,0 +1,94 @@
+"""Match-enumeration tests: enumerate_matches vs the naive oracle."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.tpq.enumeration import count_matches, enumerate_matches, iter_matches
+from repro.tpq.matching import solution_nodes
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+
+def test_enumerate_from_full_tag_lists(small_doc):
+    q = parse_pattern("//a[f]//d//e")
+    candidates = {tag: list(small_doc.tag_list(tag)) for tag in q.tags()}
+    matches = enumerate_matches(q, candidates)
+    truth = find_embeddings(small_doc, q)
+    assert [tuple(n.start for n in m) for m in matches] == [
+        tuple(n.start for n in m) for m in truth
+    ]
+
+
+def test_enumerate_filters_supersets(small_doc):
+    """Extra candidates that join with nothing must not produce matches."""
+    q = parse_pattern("//b/c")
+    candidates = {
+        "b": list(small_doc.tag_list("b")),
+        # include a non-child c2-style decoy by lying about the tag list
+        "c": list(small_doc.tag_list("c")) + list(small_doc.tag_list("g")),
+    }
+    matches = enumerate_matches(q, candidates)
+    assert len(matches) == 1
+
+
+def test_pc_level_check(recursive_doc):
+    q = parse_pattern("//a/e")
+    candidates = {tag: list(recursive_doc.tag_list(tag)) for tag in q.tags()}
+    matches = enumerate_matches(q, candidates)
+    truth = find_embeddings(recursive_doc, q)
+    assert len(matches) == len(truth)
+
+
+def test_missing_tag_raises(small_doc):
+    q = parse_pattern("//a//b")
+    import pytest
+    from repro.errors import PatternError
+
+    with pytest.raises(PatternError):
+        enumerate_matches(q, {"a": list(small_doc.tag_list("a"))})
+
+
+def test_empty_candidates_empty_result(small_doc):
+    q = parse_pattern("//a//b")
+    assert enumerate_matches(q, {"a": [], "b": []}) == []
+
+
+QUERIES = [
+    "//a//b//c",
+    "//a[//b]//c",
+    "//a[b]//c/d",
+    "//a[//b//c]//d[e]//f",
+]
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 500), query=st.sampled_from(QUERIES))
+def test_enumerate_equals_naive_on_solution_lists(seed, query):
+    doc = random_trees.generate(size=100, max_depth=8, seed=seed)
+    pattern = parse_pattern(query)
+    sols = solution_nodes(doc, pattern)
+    matches = enumerate_matches(pattern, sols)
+    truth = find_embeddings(doc, pattern)
+    assert [tuple(n.start for n in m) for m in matches] == [
+        tuple(n.start for n in m) for m in truth
+    ]
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 500), query=st.sampled_from(QUERIES))
+def test_count_matches_equals_enumeration(seed, query):
+    doc = random_trees.generate(size=100, max_depth=8, seed=seed)
+    pattern = parse_pattern(query)
+    sols = solution_nodes(doc, pattern)
+    assert count_matches(pattern, sols) == len(enumerate_matches(pattern, sols))
+
+
+def test_iter_matches_order_free(small_doc):
+    q = parse_pattern("//a//c")
+    candidates = {tag: list(small_doc.tag_list(tag)) for tag in q.tags()}
+    assert sorted(
+        tuple(n.start for n in m) for m in iter_matches(q, candidates)
+    ) == [tuple(n.start for n in m) for m in enumerate_matches(q, candidates)]

@@ -1,0 +1,118 @@
+"""Statistics-based cardinality estimation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import nasa as nasa_data
+from repro.datasets import random_trees
+from repro.errors import SelectionError
+from repro.selection.estimates import (
+    DocumentStatistics,
+    estimate_list_size,
+    estimate_view_cost,
+    select_views_estimated,
+)
+from repro.tpq.matching import solution_nodes
+from repro.tpq.parser import parse_pattern
+from repro.workloads import nasa
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(
+        size=400, tags=list("abcde"), max_depth=9, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def stats(doc):
+    return DocumentStatistics.collect(doc)
+
+
+def test_tag_counts_exact(doc, stats):
+    for tag in doc.tags():
+        assert stats.count(tag) == doc.tag_count(tag)
+    assert stats.total_nodes == len(doc)
+
+
+def test_with_ancestor_exact(doc, stats):
+    expected = sum(
+        1
+        for node in doc.tag_list("b")
+        if any(anc.tag == "a" for anc in doc.ancestors(node))
+    )
+    assert stats.with_ancestor.get(("b", "a"), 0) == expected
+
+
+def test_with_descendant_exact(doc, stats):
+    expected = sum(
+        1
+        for node in doc.tag_list("a")
+        if doc.descendants_by_tag(node, "b")
+    )
+    assert stats.with_descendant.get(("a", "b"), 0) == expected
+
+
+def test_probabilities_bounded(stats):
+    for (tag, other), __ in list(stats.with_ancestor.items())[:20]:
+        assert 0.0 <= stats.p_has_ancestor(tag, other) <= 1.0
+    assert stats.p_has_ancestor("zzz", "a") == 0.0
+    assert stats.p_has_descendant("zzz", "a") == 0.0
+
+
+def test_single_node_view_estimate_exact(doc, stats):
+    view = parse_pattern("//a")
+    assert estimate_list_size(stats, view, "a") == doc.tag_count("a")
+
+
+def test_estimates_within_factor_of_truth(doc, stats):
+    """Independence is approximate; on random trees the estimate should
+    land within a small factor of the true list size for simple views."""
+    for text in ["//a//b", "//a//b//c", "//b[//c]//d"]:
+        view = parse_pattern(text)
+        truth = solution_nodes(doc, view)
+        for tag in view.tags():
+            true_size = len(truth[tag])
+            estimated = estimate_list_size(stats, view, tag)
+            if true_size == 0:
+                continue
+            assert estimated > 0
+            ratio = estimated / true_size
+            assert 0.2 < ratio < 5.0, (text, tag, estimated, true_size)
+
+
+def test_estimated_cost_validates(doc, stats):
+    with pytest.raises(SelectionError):
+        estimate_view_cost(stats, parse_pattern("//b//a"),
+                           parse_pattern("//a//b"))
+    with pytest.raises(SelectionError):
+        estimate_view_cost(stats, parse_pattern("//a"),
+                           parse_pattern("//a//b"), lam=-1)
+
+
+def test_estimated_selection_matches_exact_on_table2():
+    """On the Table II scenario the estimated costs pick the same set as
+    the exact (materializing) selection."""
+    document = nasa_data.generate(scale=2.0, seed=7)
+    stats = DocumentStatistics.collect(document)
+    selection = select_views_estimated(
+        stats,
+        nasa.SELECTION_CANDIDATES,
+        nasa.SELECTION_QUERY,
+        lam=1.0,
+        require_complete=True,
+    )
+    assert sorted(v.name for v in selection.selected) == sorted(
+        nasa.EXPECTED_SELECTION
+    )
+
+
+def test_estimated_selection_incomplete_raises(stats):
+    with pytest.raises(SelectionError):
+        select_views_estimated(
+            stats,
+            [parse_pattern("//a")],
+            parse_pattern("//a//b"),
+            require_complete=True,
+        )

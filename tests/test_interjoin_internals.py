@@ -1,0 +1,113 @@
+"""InterJoin internals: edge bookkeeping, join-pair choice, verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.interjoin import _InterJoinRun, interjoin
+from repro.datasets import random_trees
+from repro.errors import EvaluationError
+from repro.storage.catalog import materialize
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(
+        size=250, tags=list("abcd"), max_depth=9, seed=8
+    )
+
+
+def make_views(doc, texts):
+    return [materialize(doc, parse_pattern(t), "T") for t in texts]
+
+
+def test_guaranteed_edges_exact_axis_rules(doc):
+    query = parse_pattern("//a/b//c")
+    views = make_views(doc, ["//a/b", "//c"])
+    run = _InterJoinRun(query, views)
+    # view pc-edge (a, b) guarantees the query pc-edge 0.
+    assert run._guaranteed_edges(views) == {0}
+
+    views2 = make_views(doc, ["//a//b", "//c"])
+    run2 = _InterJoinRun(query, views2)
+    # an ad view edge does NOT guarantee a pc query edge (level unchecked).
+    assert run2._guaranteed_edges(views2) == set()
+
+    query3 = parse_pattern("//a//b//c")
+    views3 = make_views(doc, ["//a//b//c"])
+    run3 = _InterJoinRun(query3, views3)
+    assert run3._guaranteed_edges(views3) == {0, 1}
+
+
+def test_join_pair_outermost(doc):
+    query = parse_pattern("//a//b//c//d")
+    views = make_views(doc, ["//a//c", "//b//d"])
+    run = _InterJoinRun(query, views)
+    anc_slot, desc_slot, left_is_anc = run._pick_join_pair(
+        ["a", "c"], ["b", "d"]
+    )
+    # join on (a, b): a is the last upper tag before b, the lower's first.
+    assert left_is_anc
+    assert anc_slot == 0   # 'a' within ["a", "c"]
+    assert desc_slot == 0  # 'b' within ["b", "d"]
+
+
+def test_join_pair_right_side_ancestor(doc):
+    query = parse_pattern("//a//b//c//d")
+    views = make_views(doc, ["//b//d", "//a//c"])
+    run = _InterJoinRun(query, views)
+    anc_slot, desc_slot, left_is_anc = run._pick_join_pair(
+        ["b", "d"], ["a", "c"]
+    )
+    assert not left_is_anc
+    assert anc_slot == 0   # 'a' in ["a", "c"]
+    assert desc_slot == 0  # 'b' in ["b", "d"]
+
+
+def test_interleaved_views_paper_example(doc):
+    """The §VII description: evaluate //a//b//c from views //a//c and //b
+    by joining a with b, then verifying b is an ancestor of c."""
+    query = parse_pattern("//a//b//c")
+    views = make_views(doc, ["//a//c", "//b"])
+    result = interjoin(query, views)
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+    assert result.match_keys() == expected
+    # Interleaving forces intermediate (a, c, b) tuples before verification.
+    if expected:
+        assert result.counters.intermediate_tuples >= len(expected)
+
+
+def test_intermediate_blowup_measured(doc):
+    """A sequence of binary joins can produce more intermediate tuples
+    than final matches — the non-holistic overhead the paper criticizes."""
+    query = parse_pattern("//a//b//c//d")
+    views = make_views(doc, ["//a//c", "//b", "//d"])
+    result = interjoin(query, views)
+    assert result.counters.intermediate_tuples >= result.match_count
+
+
+def test_rejects_twig_views(doc):
+    query = parse_pattern("//a//b//c")
+    twig_view = materialize(doc, parse_pattern("//a[//b]//c"), "T")
+    with pytest.raises(EvaluationError):
+        interjoin(query, [twig_view])
+
+
+def test_rejects_non_covering(doc):
+    query = parse_pattern("//a//b//c")
+    views = make_views(doc, ["//a//b"])
+    with pytest.raises(Exception):
+        interjoin(query, views)
+
+
+def test_emit_matches_false(doc):
+    query = parse_pattern("//a//b")
+    views = make_views(doc, ["//a", "//b"])
+    counted = interjoin(query, views, emit_matches=False)
+    emitted = interjoin(query, views, emit_matches=True)
+    assert counted.matches == []
+    assert counted.match_count == emitted.match_count

@@ -1,0 +1,86 @@
+"""Region-label algebra unit tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.xmltree import labels
+
+
+def test_ancestor_descendant(small_doc):
+    a = small_doc.nodes[1]
+    b = small_doc.nodes[2]
+    e = small_doc.nodes[5]
+    assert labels.is_ancestor(a, b)
+    assert labels.is_ancestor(a, e)
+    assert not labels.is_ancestor(b, a)
+    assert labels.is_descendant(e, a)
+    assert not labels.is_descendant(a, e)
+
+
+def test_parent_child(small_doc):
+    a = small_doc.nodes[1]
+    b = small_doc.nodes[2]
+    e = small_doc.nodes[5]
+    assert labels.is_parent(a, b)
+    assert labels.is_child(b, a)
+    assert not labels.is_parent(a, e)  # ancestor, but not parent
+
+
+def test_following(small_doc):
+    f = next(n for n in small_doc if n.tag == "f")
+    g = next(n for n in small_doc if n.tag == "g")
+    c = next(n for n in small_doc if n.tag == "c")
+    assert labels.is_following(g, f)
+    assert labels.is_following(f, c)
+    assert not labels.is_following(c, f)
+
+
+def test_region_contains_is_reflexive(small_doc):
+    for node in small_doc:
+        assert labels.region_contains(node, node)
+
+
+def test_satisfies_axis(small_doc):
+    a = small_doc.nodes[1]
+    b = small_doc.nodes[2]
+    e = small_doc.nodes[5]
+    assert labels.satisfies_axis(a, b, is_pc=True)
+    assert labels.satisfies_axis(a, e, is_pc=False)
+    assert not labels.satisfies_axis(a, e, is_pc=True)
+
+
+def test_compare_document_order(small_doc):
+    a, b = small_doc.nodes[1], small_doc.nodes[2]
+    assert labels.compare_document_order(a, b) == -1
+    assert labels.compare_document_order(b, a) == 1
+    assert labels.compare_document_order(a, a) == 0
+
+
+@given(seed=st.integers(0, 50))
+def test_labels_match_tree_structure(seed):
+    """On random trees, label predicates agree with the parent pointers."""
+    doc = random_trees.generate(size=60, max_depth=6, seed=seed)
+    for node in doc:
+        parent = doc.parent(node)
+        if parent is None:
+            continue
+        assert labels.is_parent(parent, node)
+        assert labels.is_ancestor(parent, node)
+        for ancestor in doc.ancestors(node):
+            assert labels.is_ancestor(ancestor, node)
+
+
+@given(seed=st.integers(0, 50))
+def test_regions_nest_or_are_disjoint(seed):
+    """The nesting property every sweep in the codebase relies on."""
+    doc = random_trees.generate(size=60, max_depth=6, seed=seed)
+    nodes = list(doc)
+    for i, x in enumerate(nodes):
+        for y in nodes[i + 1 :]:
+            nested = labels.is_ancestor(x, y) or labels.is_ancestor(y, x)
+            disjoint = x.end < y.start or y.end < x.start
+            assert nested != disjoint or not (nested and disjoint)
+            assert nested or disjoint

@@ -1,0 +1,159 @@
+"""Linked-element (LE / LE_p) pointer semantics tests (paper Section III).
+
+The following-pointer cases mirror the paper's Example 3.1 discussion:
+within ``L_e`` for view ``//a//e``, a following pointer exists only to the
+next e-node sharing the same lowest a-type ancestor, so nested a-regions
+break the chain exactly as described.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.catalog import materialize
+from repro.storage.linked import LinkedElementView
+from repro.storage.records import NULL_POINTER, UNMATERIALIZED_POINTER
+from repro.tpq.matching import solution_nodes
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.labels import is_ancestor, is_following, is_parent
+
+
+def entries(view, tag):
+    return list(view.list_for(tag).scan())
+
+
+def test_lists_hold_solution_nodes(recursive_doc):
+    v = parse_pattern("//a//e")
+    view = materialize(recursive_doc, v, "LE")
+    sols = solution_nodes(recursive_doc, v)
+    for tag in v.tags():
+        assert [e.start for e in entries(view, tag)] == [
+            n.start for n in sols[tag]
+        ]
+
+
+def test_following_pointers_respect_lowest_ancestor(recursive_doc):
+    """e1->e2->e3, e4->e6 (skipping e5 whose lowest a-ancestor differs)."""
+    view = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    e = entries(view, "e")
+    assert [x.following for x in e] == [
+        1,             # e1 -> e2 (same ancestor a1)
+        2,             # e2 -> e3
+        NULL_POINTER,  # e3: e4 has ancestor a2, not a1
+        5,             # e4 -> e6 (e5 is under nested a3)
+        NULL_POINTER,  # e5: no follower under a3
+        NULL_POINTER,  # e6: none
+    ]
+
+
+def test_following_pointers_unconstrained_at_view_root(recursive_doc):
+    """L_a following pointers have no ancestor constraint (a is the root)."""
+    view = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    a = entries(view, "a")
+    # a1 -> a2 (first following); a2 -> null; a3 -> null (a3 nested in a2).
+    assert a[0].following == 1
+    assert a[1].following == NULL_POINTER
+    assert a[2].following == NULL_POINTER
+
+
+def test_descendant_pointers(recursive_doc):
+    view = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    a = entries(view, "a")
+    # a2 contains a3 (its next list entry); a1 contains no other a.
+    assert a[0].descendant == NULL_POINTER
+    assert a[1].descendant == 2
+    assert a[2].descendant == NULL_POINTER
+
+
+def test_child_pointers_ad(recursive_doc):
+    view = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    a = entries(view, "a")
+    e = entries(view, "e")
+    # Each a-entry's child pointer is its first e-descendant in L_e.
+    assert e[a[0].children[0]].start == e[0].start   # a1 -> e1
+    assert e[a[1].children[0]].start == e[3].start   # a2 -> e4
+    assert e[a[2].children[0]].start == e[4].start   # a3 -> e5
+
+
+def test_child_pointers_pc(small_doc):
+    view = materialize(small_doc, parse_pattern("//b/c"), "LE")
+    b = entries(view, "b")
+    c = entries(view, "c")
+    doc_b = small_doc.tag_list("b")[0]
+    doc_c = small_doc.tag_list("c")[0]
+    assert is_parent(doc_b, doc_c)
+    assert c[b[0].children[0]].start == doc_c.start
+
+
+def test_null_child_pointer_when_no_partner_in_region(small_doc):
+    # //a//g never matches: lists are empty, nothing to point at.
+    view = materialize(small_doc, parse_pattern("//a//g"), "LE")
+    assert entries(view, "a") == []
+    assert entries(view, "g") == []
+
+
+def test_pointer_targets_are_semantically_correct(recursive_doc):
+    """Every materialized pointer satisfies its defining predicate."""
+    v = parse_pattern("//a//e")
+    view = materialize(recursive_doc, v, "LE")
+    sols = solution_nodes(recursive_doc, v)
+    for tag in v.tags():
+        nodes = sols[tag]
+        stored = entries(view, tag)
+        for i, record in enumerate(stored):
+            if record.descendant >= 0:
+                target = nodes[record.descendant]
+                assert is_ancestor(nodes[i], target)
+            if record.following >= 0:
+                target = nodes[record.following]
+                assert is_following(target, nodes[i])
+
+
+def test_lep_drops_adjacent_pointers(recursive_doc):
+    le = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    lep = materialize(recursive_doc, parse_pattern("//a//e"), "LEp")
+    assert isinstance(lep, LinkedElementView)
+    e_le = entries(le, "e")
+    e_lep = entries(lep, "e")
+    # e1 -> e2 is adjacent (distance 1): dropped in LE_p.
+    assert e_le[0].following == 1
+    assert e_lep[0].following == UNMATERIALIZED_POINTER
+    # e4 -> e6 skips an entry (distance 2): kept in LE_p.
+    assert e_lep[3].following == e_le[3].following == 5
+    # Child pointers always materialized in LE_p.
+    a_lep = entries(lep, "a")
+    assert all(record.children[0] >= 0 for record in a_lep)
+
+
+def test_lep_threshold_configurable(recursive_doc):
+    wide = materialize(
+        recursive_doc, parse_pattern("//a//e"), "LEp", partial_distance=3
+    )
+    e = entries(wide, "e")
+    # distance-2 pointer now below the threshold: unmaterialized.
+    assert e[3].following == UNMATERIALIZED_POINTER
+
+
+def test_lep_invalid_threshold(recursive_doc):
+    with pytest.raises(StorageError):
+        materialize(
+            recursive_doc, parse_pattern("//a//e"), "LEp", partial_distance=0
+        )
+
+
+def test_pointer_stats_counts(recursive_doc):
+    le = materialize(recursive_doc, parse_pattern("//a//e"), "LE")
+    stats = le.pointer_stats
+    assert stats.total == stats.child + stats.descendant + stats.following
+    assert stats.child == 3       # one per a-entry
+    assert stats.descendant == 1  # a2 -> a3
+    assert stats.following == 4   # e1->e2, e2->e3, e4->e6, a1->a2
+
+
+def test_child_slot_lookup(small_doc):
+    view = materialize(small_doc, parse_pattern("//b[c]//d"), "LE")
+    assert view.child_pointer_slot("b", "c") == 0
+    assert view.child_pointer_slot("b", "d") == 1
+    with pytest.raises(StorageError):
+        view.child_pointer_slot("b", "zzz")

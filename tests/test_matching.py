@@ -1,0 +1,111 @@
+"""Naive oracle and efficient solution-node computation tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.tpq.matching import solution_nodes
+from repro.tpq.naive import (
+    find_embeddings,
+    find_solution_nodes_naive,
+    iter_embeddings,
+)
+from repro.tpq.parser import parse_pattern
+
+
+def test_single_match(small_doc):
+    q = parse_pattern("//a//b//e")
+    matches = find_embeddings(small_doc, q)
+    assert len(matches) == 1
+    assert [n.tag for n in matches[0]] == ["a", "b", "e"]
+
+
+def test_pc_edges_checked(small_doc):
+    assert len(find_embeddings(small_doc, parse_pattern("//a/b"))) == 1
+    assert len(find_embeddings(small_doc, parse_pattern("//a/e"))) == 0
+    assert len(find_embeddings(small_doc, parse_pattern("//a//e"))) == 1
+
+
+def test_twig_match(small_doc):
+    q = parse_pattern("//a[f]//d//e")
+    matches = find_embeddings(small_doc, q)
+    assert len(matches) == 1
+
+
+def test_no_match_for_missing_tag(small_doc):
+    q = parse_pattern("//a//zzz")
+    assert find_embeddings(small_doc, q) == []
+
+
+def test_matches_sorted(small_doc):
+    q = parse_pattern("//a//c")  # matches c only (c2 is a distinct tag)
+    matches = find_embeddings(small_doc, q)
+    keys = [tuple(n.start for n in m) for m in matches]
+    assert keys == sorted(keys)
+
+
+def test_recursive_matches(recursive_doc):
+    q = parse_pattern("//a//e")
+    matches = find_embeddings(recursive_doc, q)
+    # a1 pairs with e1-e3; a2 with e4, e5, e6; a3 with e5.
+    assert len(matches) == 7
+
+
+def test_solution_nodes_small(small_doc):
+    q = parse_pattern("//a[f]//d//e")
+    sols = solution_nodes(small_doc, q)
+    assert [n.tag for n in sols["a"]] == ["a"]
+    assert len(sols["d"]) == 1
+    assert len(sols["e"]) == 1
+    assert len(sols["f"]) == 1
+
+
+def test_solution_nodes_empty_when_no_match(small_doc):
+    q = parse_pattern("//a//g")  # g is a sibling of a, never below it
+    sols = solution_nodes(small_doc, q)
+    assert all(nodes == [] for nodes in sols.values())
+
+
+def test_solution_nodes_pc(small_doc):
+    q = parse_pattern("//b/c")
+    sols = solution_nodes(small_doc, q)
+    assert len(sols["c"]) == 1
+    q2 = parse_pattern("//b/e")  # e is a grandchild of b
+    sols2 = solution_nodes(small_doc, q2)
+    assert all(nodes == [] for nodes2 in [sols2] for nodes in nodes2.values())
+
+
+QUERIES = [
+    "//a//b",
+    "//a/b",
+    "//a//b//c",
+    "//a[//b]//c",
+    "//a[b]//c//d",
+    "//a[//b//c]//d[e]//f",
+    "//b[//d]//e",
+    "//c//d",
+]
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    seed=st.integers(0, 1000),
+    query=st.sampled_from(QUERIES),
+)
+def test_solution_nodes_agree_with_naive(seed, query):
+    """The two-pass matcher equals the oracle on random documents."""
+    doc = random_trees.generate(size=120, max_depth=8, seed=seed)
+    pattern = parse_pattern(query)
+    fast = solution_nodes(doc, pattern)
+    slow = find_solution_nodes_naive(doc, pattern)
+    for tag in pattern.tags():
+        assert [n.start for n in fast[tag]] == [n.start for n in slow[tag]]
+
+
+def test_iter_embeddings_unordered_matches_sorted(small_doc):
+    q = parse_pattern("//a//b")
+    assert sorted(
+        tuple(n.start for n in m) for m in iter_embeddings(small_doc, q)
+    ) == [tuple(n.start for n in m) for m in find_embeddings(small_doc, q)]

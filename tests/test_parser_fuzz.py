@@ -1,0 +1,75 @@
+"""Fuzz tests: malformed inputs must raise typed errors, never crash.
+
+Both parsers guard the library's outer boundary; arbitrary input must
+either parse or raise their dedicated error type — no IndexError,
+RecursionError or silent misparse.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternParseError, XmlParseError
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.writer import write_xml
+
+_XMLISH = st.text(
+    alphabet=st.sampled_from(list("<>/ab c=\"'!?-[]\n\t")), max_size=120
+)
+_PATTERNISH = st.text(
+    alphabet=st.sampled_from(list("/ab[]c_1 .")), max_size=60
+)
+
+
+@settings(deadline=None, max_examples=300)
+@given(_XMLISH)
+def test_xml_parser_total(text):
+    try:
+        doc = parse_xml(text)
+    except XmlParseError:
+        return
+    # Anything accepted must be a well-formed document that round-trips.
+    again = parse_xml(write_xml(doc))
+    assert [(n.tag, n.start, n.end) for n in doc] == [
+        (n.tag, n.start, n.end) for n in again
+    ]
+
+
+@settings(deadline=None, max_examples=300)
+@given(_PATTERNISH)
+def test_pattern_parser_total(text):
+    try:
+        pattern = parse_pattern(text)
+    except (PatternParseError, Exception) as error:
+        from repro.errors import ReproError
+
+        assert isinstance(error, ReproError), type(error)
+        return
+    # Accepted patterns round-trip structurally.
+    assert parse_pattern(pattern.to_xpath()) == pattern
+
+
+@settings(deadline=None, max_examples=100)
+@given(st.text(max_size=80))
+def test_xml_parser_arbitrary_unicode(text):
+    try:
+        parse_xml(text)
+    except XmlParseError:
+        pass
+
+
+def test_deeply_nested_xml_within_limits():
+    depth = 400
+    text = "".join(f"<t{i}>" for i in range(depth)) + "".join(
+        f"</t{i}>" for i in reversed(range(depth))
+    )
+    doc = parse_xml(text)
+    assert doc.max_depth() == depth - 1
+
+
+def test_pattern_long_chain():
+    text = "//" + "//".join(f"t{i}" for i in range(200))
+    pattern = parse_pattern(text)
+    assert len(pattern) == 200

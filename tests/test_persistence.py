@@ -1,0 +1,123 @@
+"""Catalog persistence tests: save, reload, answer identically."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.errors import StorageError
+from repro.storage.catalog import ViewCatalog
+from repro.storage.persistence import load_catalog, save_catalog
+from repro.tpq.parser import parse_pattern
+
+QUERY = parse_pattern("//a[//b]//c//d")
+VIEWS = [
+    parse_pattern("//a//c", name="v1"),
+    parse_pattern("//b", name="v2"),
+    parse_pattern("//d", name="v3"),
+]
+PATH_QUERY = parse_pattern("//a//c//d")
+PATH_VIEWS = [parse_pattern("//a//c", name="v1"), parse_pattern("//d", name="v3")]
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(size=300, max_depth=9, seed=21)
+
+
+@pytest.fixture()
+def store(doc, tmp_path):
+    with ViewCatalog(doc) as catalog:
+        for scheme in ("E", "LE", "LEp"):
+            catalog.add_all(VIEWS, scheme)
+        for view in PATH_VIEWS:
+            catalog.add(view, "T")
+        baseline = {
+            scheme: evaluate(
+                QUERY, catalog, VIEWS, "VJ", scheme
+            ).match_keys()
+            for scheme in ("E", "LE", "LEp")
+        }
+        baseline["IJ"] = evaluate(
+            PATH_QUERY, catalog, PATH_VIEWS, "IJ", "T"
+        ).match_keys()
+        save_catalog(catalog, tmp_path / "store")
+    return tmp_path / "store", baseline
+
+
+def test_store_layout(store):
+    directory, __ = store
+    assert (directory / "document.xml").exists()
+    assert (directory / "pages.bin").exists()
+    manifest = json.loads((directory / "manifest.json").read_text())
+    assert manifest["format"] == 1
+    assert len(manifest["views"]) == 3 * 3 + 2
+
+
+def test_reloaded_catalog_answers_identically(store):
+    directory, baseline = store
+    catalog = load_catalog(directory)
+    try:
+        for scheme in ("E", "LE", "LEp"):
+            result = evaluate(QUERY, catalog, VIEWS, "VJ", scheme)
+            assert result.match_keys() == baseline[scheme], scheme
+            ts = evaluate(QUERY, catalog, VIEWS, "TS", scheme)
+            assert ts.match_keys() == baseline[scheme], scheme
+        ij = evaluate(PATH_QUERY, catalog, PATH_VIEWS, "IJ", "T")
+        assert ij.match_keys() == baseline["IJ"]
+    finally:
+        catalog.close()
+
+
+def test_reload_does_not_rematerialize(store):
+    directory, __ = store
+    catalog = load_catalog(directory)
+    try:
+        # All registered views are present without any add() call.
+        assert len(catalog.views()) == 11
+        view = catalog.get(VIEWS[0], "LE")
+        assert view.pointer_stats.total >= 0
+        # Reads go through the reopened page file.
+        assert list(view.list_for("a").scan())
+    finally:
+        catalog.close()
+
+
+def test_document_roundtrips(doc, store):
+    directory, __ = store
+    catalog = load_catalog(directory)
+    try:
+        assert [(n.tag, n.start, n.end) for n in catalog.document] == [
+            (n.tag, n.start, n.end) for n in doc
+        ]
+    finally:
+        catalog.close()
+
+
+def test_missing_manifest_rejected(tmp_path):
+    with pytest.raises(StorageError):
+        load_catalog(tmp_path)
+
+
+def test_bad_format_rejected(store, tmp_path):
+    directory, __ = store
+    target = tmp_path / "bad"
+    target.mkdir()
+    (target / "manifest.json").write_text(json.dumps({"format": 99}))
+    with pytest.raises(StorageError):
+        load_catalog(target)
+
+
+def test_corrupt_page_file_size_rejected(store, tmp_path):
+    directory, __ = store
+    import shutil
+
+    target = tmp_path / "corrupt"
+    shutil.copytree(directory, target)
+    with open(target / "pages.bin", "ab") as handle:
+        handle.write(b"x")  # no longer a multiple of the page size
+    with pytest.raises(Exception):
+        load_catalog(target)

@@ -1,0 +1,137 @@
+"""Planner tests: discovery, covering, base-view fallback, dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.engine import Algorithm
+from repro.datasets import random_trees
+from repro.errors import SelectionError
+from repro.planner import Planner
+from repro.storage.catalog import Scheme, ViewCatalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+
+@pytest.fixture()
+def doc():
+    return random_trees.generate(size=250, max_depth=9, seed=12)
+
+
+@pytest.fixture()
+def planner(doc):
+    with ViewCatalog(doc) as catalog:
+        yield Planner(catalog)
+
+
+def truth_keys(doc, query):
+    return sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+
+
+def test_answer_with_full_cover(doc, planner):
+    planner.register("//a//b")
+    planner.register("//c")
+    plan, result = planner.answer("//a//b//c")
+    assert not plan.base_views
+    assert result.match_keys() == truth_keys(doc, parse_pattern("//a//b//c"))
+
+
+def test_answer_with_partial_cover_uses_base_views(doc, planner):
+    planner.register("//a//b")
+    plan, result = planner.answer("//a//b//c")
+    assert [v.to_xpath() for v in plan.base_views] == ["//c"]
+    assert result.match_keys() == truth_keys(doc, parse_pattern("//a//b//c"))
+
+
+def test_answer_with_no_views_at_all(doc, planner):
+    """Pure base views = classic holistic join over raw element streams."""
+    plan, result = planner.answer("//a[//b]//c")
+    assert len(plan.base_views) == 3
+    assert not plan.views
+    assert result.match_keys() == truth_keys(doc, parse_pattern("//a[//b]//c"))
+
+
+def test_non_subpattern_views_skipped(doc, planner):
+    planner.register("//c//a")  # inverted: unusable for //a//c
+    plan = planner.plan("//a//c")
+    assert not plan.views
+    assert any("not subpatterns" in note for note in plan.explanation)
+
+
+def test_overlapping_candidates_disjointified(doc, planner):
+    planner.register("//a//b")
+    planner.register("//b//c")  # overlaps on b
+    plan, result = planner.answer("//a//b//c")
+    tags = [tag for view in plan.views for tag in view.tag_set()]
+    assert len(tags) == len(set(tags))
+    assert result.match_keys() == truth_keys(doc, parse_pattern("//a//b//c"))
+
+
+def test_interjoin_falls_back_on_twigs(doc):
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog, algorithm="IJ", scheme="LEp")
+        plan = planner.plan("//a[//b]//c")
+        assert plan.algorithm is Algorithm.VIEWJOIN
+        assert any("InterJoin" in note for note in plan.explanation)
+
+
+def test_interjoin_planner_on_paths(doc):
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog, algorithm="IJ")
+        planner.register("//a//b")
+        plan, result = planner.answer("//a//b//c")
+        assert plan.algorithm is Algorithm.INTERJOIN
+        assert plan.scheme is Scheme.TUPLE
+        assert result.match_keys() == truth_keys(
+            doc, parse_pattern("//a//b//c")
+        )
+
+
+def test_plan_describe(doc, planner):
+    planner.register("//a//b")
+    plan = planner.plan("//a//b//c")
+    text = plan.describe()
+    assert "//a//b" in text
+    assert "base view" in text
+    assert "VJ+LEp" in text
+
+
+def test_register_accepts_patterns_and_strings(doc, planner):
+    first = planner.register("//a//b", name="v1")
+    second = planner.register(parse_pattern("//c"))
+    assert first.name == "v1"
+    assert planner.registered == [first, second]
+
+
+def test_answer_empty_query_rejected(doc, planner):
+    # A query over a tag absent from the document still plans (base view
+    # materializes empty) and returns no matches.
+    plan, result = planner.answer("//zzz")
+    assert result.match_count == 0
+
+
+def test_dataguide_pruning_skips_evaluation(doc):
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog)
+        plan, result = planner.answer("//a//nonexistent//b")
+        assert result.match_count == 0
+        assert any("DataGuide" in note for note in plan.explanation)
+        # No view was materialized for the refuted query.
+        assert catalog.views() == []
+
+
+def test_dataguide_pruning_can_be_disabled(doc):
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog, prune_with_dataguide=False)
+        plan, result = planner.answer("//zzz")
+        assert result.match_count == 0
+        assert not any("DataGuide" in note for note in plan.explanation)
+
+
+def test_dataguide_pruning_never_blocks_real_matches(doc):
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog)
+        __, result = planner.answer("//a//b")
+        assert result.match_keys() == truth_keys(doc, parse_pattern("//a//b"))

@@ -1,0 +1,112 @@
+"""Differential property tests over *random* view decompositions.
+
+Instead of hand-picked covering sets, each case cuts a random subset of a
+random query's edges; the connected components become the views (each is a
+connected subpattern of the query, so the set is covering and
+tag-disjoint).  Every engine must agree with the naive oracle for every
+decomposition — this exercises segmentations of every shape, including the
+degenerate single-view and all-singleton cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.containment import covering_view_set
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Pattern, PatternNode
+
+QUERIES = [
+    "//a//b//c//d",
+    "//a[//b]//c//d",
+    "//a[//b//c]//d[//e]//f",
+    "//a/b//c[d]//e",
+    "//b[//c][//d]//e//f",
+]
+
+
+def random_decomposition(query: Pattern, rng: random.Random) -> list[Pattern]:
+    """Cut a random subset of the query's edges; each connected component
+    (with the query's own edge axes) becomes one view."""
+    edges = [(parent.tag, child.tag) for parent, child in query.edges()]
+    kept = [edge for edge in edges if rng.random() < 0.55]
+    parent_of = {child: parent for parent, child in kept}
+
+    def component_root(tag: str) -> str:
+        while tag in parent_of:
+            tag = parent_of[tag]
+        return tag
+
+    groups: dict[str, list[str]] = {}
+    for tag in query.tag_set():
+        groups.setdefault(component_root(tag), []).append(tag)
+
+    views = []
+    for root_tag, members in groups.items():
+        nodes = {root_tag: PatternNode(root_tag)}
+        pending = [t for t in members if t != root_tag]
+        while pending:
+            remaining = []
+            for tag in pending:
+                parent_tag = parent_of[tag]
+                if parent_tag in nodes:
+                    child = PatternNode(tag, query.node(tag).axis)
+                    nodes[parent_tag].add_child(child)
+                    nodes[tag] = child
+                else:
+                    remaining.append(tag)
+            pending = remaining
+        views.append(Pattern(nodes[root_tag]))
+    return views
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    doc_seed=st.integers(0, 5_000),
+    cut_seed=st.integers(0, 5_000),
+    query_text=st.sampled_from(QUERIES),
+)
+def test_random_decompositions_all_engines(doc_seed, cut_seed, query_text):
+    doc = random_trees.generate(
+        size=220, tags=list("abcdef"), max_depth=9, max_fanout=3,
+        seed=doc_seed,
+    )
+    query = parse_pattern(query_text)
+    views = random_decomposition(query, random.Random(cut_seed))
+    covering_view_set(views, query)  # the generator's invariant
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+    with ViewCatalog(doc) as catalog:
+        for algorithm, scheme in [
+            ("TS", "E"), ("VJ", "E"), ("VJ", "LE"), ("VJ", "LEp"),
+        ]:
+            result = evaluate(query, catalog, views, algorithm, scheme)
+            assert result.match_keys() == expected, (
+                f"{algorithm}+{scheme} with views"
+                f" {[v.to_xpath() for v in views]}"
+                f" (doc {doc_seed}, cuts {cut_seed})"
+            )
+
+
+@settings(deadline=None, max_examples=20)
+@given(doc_seed=st.integers(0, 5_000), cut_seed=st.integers(0, 5_000))
+def test_random_path_decompositions_interjoin(doc_seed, cut_seed):
+    doc = random_trees.generate(
+        size=220, tags=list("abcd"), max_depth=9, max_fanout=3, seed=doc_seed
+    )
+    query = parse_pattern("//a//b//c//d")
+    views = random_decomposition(query, random.Random(cut_seed))
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+    with ViewCatalog(doc) as catalog:
+        result = evaluate(query, catalog, views, "IJ", "T")
+    assert result.match_keys() == expected

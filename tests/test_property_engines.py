@@ -1,0 +1,156 @@
+"""Differential property tests: every engine combo vs the naive oracle.
+
+Random documents × a pool of query shapes × several covering-view
+decompositions per query.  Any divergence between an engine and the
+exhaustive-embedding oracle fails the property; this is the test that
+caught two unsound steps of the paper's pseudocode during development
+(DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+# (query, [view decompositions]) — each decomposition is a covering set.
+TWIG_CASES = [
+    (
+        "//a[//f]//b[//c]//d//e",
+        [
+            ["//a//f", "//b//c", "//d", "//e"],
+            ["//a", "//f", "//b[//c]//d//e"],
+            ["//a[//f]//b", "//c", "//d//e"],
+            ["//a[//f]//b[//c]//d//e"],
+        ],
+    ),
+    (
+        "//a[b]//c//d",
+        [
+            ["//a/b", "//c//d"],
+            ["//a[b]//c", "//d"],
+            ["//a", "//b", "//c", "//d"],
+        ],
+    ),
+    (
+        "//b[//e][//f]//c",
+        [
+            ["//b//c", "//e", "//f"],
+            ["//b[//e]//c", "//f"],
+        ],
+    ),
+    (
+        "//a//b[c]//e",
+        [
+            ["//a//e", "//b[c]"],
+            ["//a//b", "//c", "//e"],
+        ],
+    ),
+]
+
+PATH_CASES = [
+    (
+        "//a//b//d//e",
+        [
+            ["//a//d", "//b//e"],
+            ["//a//b", "//d//e"],
+            ["//a", "//b//d//e"],
+            ["//a", "//b", "//d", "//e"],
+            ["//a//b//d//e"],
+        ],
+    ),
+    (
+        "//a/b//c",
+        [
+            ["//a/b", "//c"],
+            ["//a//c", "//b"],
+        ],
+    ),
+    (
+        "//b//c/d",
+        [
+            ["//b", "//c/d"],
+            ["//b//d", "//c"],
+        ],
+    ),
+]
+
+SCHEMES = ["E", "LE", "LEp"]
+
+
+def truth_keys(doc, query):
+    return sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    seed=st.integers(0, 10_000),
+    case=st.sampled_from(TWIG_CASES),
+    mode=st.sampled_from(["memory", "disk"]),
+)
+def test_twig_engines_match_oracle(seed, case, mode):
+    query_text, decompositions = case
+    doc = random_trees.generate(
+        size=250, tags=list("abcdef"), max_depth=10, max_fanout=3, seed=seed
+    )
+    query = parse_pattern(query_text)
+    expected = truth_keys(doc, query)
+    with ViewCatalog(doc) as catalog:
+        for views_text in decompositions:
+            views = [parse_pattern(v) for v in views_text]
+            for algorithm in ("TS", "VJ"):
+                for scheme in SCHEMES:
+                    result = evaluate(
+                        query, catalog, views, algorithm, scheme, mode=mode
+                    )
+                    assert result.match_keys() == expected, (
+                        f"{algorithm}+{scheme} [{mode}] on {query_text} with"
+                        f" {views_text} (seed {seed}): {result.match_count}"
+                        f" != {len(expected)}"
+                    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 10_000), case=st.sampled_from(PATH_CASES))
+def test_path_engines_match_oracle(seed, case):
+    query_text, decompositions = case
+    doc = random_trees.generate(
+        size=250, tags=list("abcdef"), max_depth=10, max_fanout=3, seed=seed
+    )
+    query = parse_pattern(query_text)
+    expected = truth_keys(doc, query)
+    with ViewCatalog(doc) as catalog:
+        for views_text in decompositions:
+            views = [parse_pattern(v) for v in views_text]
+            result = evaluate(query, catalog, views, "IJ", "T")
+            assert result.match_keys() == expected, (
+                f"IJ+T on {query_text} with {views_text} (seed {seed})"
+            )
+            for scheme in SCHEMES:
+                ps = evaluate(query, catalog, views, "PS", scheme)
+                assert ps.match_keys() == expected
+                vj = evaluate(query, catalog, views, "VJ", scheme)
+                assert vj.match_keys() == expected
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10_000))
+def test_lep_threshold_sweep_consistent(seed):
+    """LE_p at any materialization threshold yields identical matches."""
+    doc = random_trees.generate(
+        size=200, tags=list("abcde"), max_depth=9, seed=seed
+    )
+    query = parse_pattern("//a//b[//c]//d")
+    views = [parse_pattern("//a//b"), parse_pattern("//c"), parse_pattern("//d")]
+    expected = truth_keys(doc, query)
+    for distance in (1, 2, 4):
+        with ViewCatalog(doc, partial_distance=distance) as catalog:
+            result = evaluate(query, catalog, views, "VJ", "LEp")
+            assert result.match_keys() == expected, f"distance={distance}"

@@ -1,0 +1,113 @@
+"""Property tests: LE pointer definitions vs brute force (Section III-A).
+
+For random documents and several view shapes, every materialized pointer
+must equal the brute-force evaluation of its defining predicate:
+
+* child pointer — smallest-start partner below, along the view edge;
+* descendant pointer — smallest-start same-type descendant in the list;
+* following pointer — smallest-start same-type following node, sharing the
+  lowest view-parent-type ancestor when the view node has a parent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.storage.catalog import materialize
+from repro.storage.records import NULL_POINTER, UNMATERIALIZED_POINTER
+from repro.tpq.matching import solution_nodes
+from repro.tpq.parser import parse_pattern
+from repro.xmltree.labels import is_ancestor, is_following, is_parent
+
+VIEWS = ["//a//b", "//a/b", "//a[//b]//c", "//a//b//c"]
+
+
+def brute_child_pointer(doc, parent_node, partners, is_pc):
+    predicate = is_parent if is_pc else is_ancestor
+    for i, partner in enumerate(partners):
+        if predicate(parent_node, partner):
+            return i
+    return NULL_POINTER
+
+
+def brute_descendant_pointer(nodes, i):
+    for j in range(i + 1, len(nodes)):
+        if is_ancestor(nodes[i], nodes[j]):
+            return j
+    return NULL_POINTER
+
+
+def brute_following_pointer(nodes, i, anchor_nodes):
+    """Paper Section III-A: the constraint uses the lowest anchor-type
+    ancestor *in the materialized view* (among the anchor's solution
+    nodes), not in the raw document."""
+
+    def lowest_anchor(node):
+        if anchor_nodes is None:
+            return None
+        containing = [a for a in anchor_nodes if is_ancestor(a, node)]
+        if not containing:
+            return None
+        return max(containing, key=lambda a: a.start).start
+
+    own = lowest_anchor(nodes[i])
+    for j in range(i + 1, len(nodes)):
+        if not is_following(nodes[j], nodes[i]):
+            continue
+        if anchor_nodes is None or lowest_anchor(nodes[j]) == own:
+            return j
+    return NULL_POINTER
+
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 2_000), view_text=st.sampled_from(VIEWS))
+def test_le_pointers_match_brute_force(seed, view_text):
+    doc = random_trees.generate(
+        size=150, tags=("a", "b", "c"), max_depth=9, seed=seed
+    )
+    pattern = parse_pattern(view_text)
+    view = materialize(doc, pattern, "LE")
+    sols = solution_nodes(doc, pattern)
+    for qnode in pattern.nodes:
+        nodes = sols[qnode.tag]
+        records = list(view.list_for(qnode.tag).scan())
+        anchor_nodes = sols[qnode.parent.tag] if qnode.parent else None
+        for i, record in enumerate(records):
+            assert record.descendant == brute_descendant_pointer(nodes, i)
+            assert record.following == brute_following_pointer(
+                nodes, i, anchor_nodes
+            ), (view_text, qnode.tag, i)
+            for slot, child in enumerate(qnode.children):
+                expected = brute_child_pointer(
+                    doc, nodes[i], sols[child.tag], child.axis.is_pc
+                )
+                assert record.children[slot] == expected
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 2_000), view_text=st.sampled_from(VIEWS))
+def test_lep_pointer_rules(seed, view_text):
+    """LE_p: child pointers always materialized; following/descendant kept
+    iff the target skips more than one entry; never a wrong target."""
+    doc = random_trees.generate(
+        size=150, tags=("a", "b", "c"), max_depth=9, seed=seed
+    )
+    pattern = parse_pattern(view_text)
+    le = materialize(doc, pattern, "LE")
+    lep = materialize(doc, pattern, "LEp")
+    for qnode in pattern.nodes:
+        full = list(le.list_for(qnode.tag).scan())
+        partial = list(lep.list_for(qnode.tag).scan())
+        for i, (a, b) in enumerate(zip(full, partial)):
+            assert a.children == b.children  # child pointers identical
+            for kind in ("following", "descendant"):
+                target = getattr(a, kind)
+                kept = getattr(b, kind)
+                if target == NULL_POINTER:
+                    assert kept == NULL_POINTER
+                elif target - i <= 1:
+                    assert kept == UNMATERIALIZED_POINTER
+                else:
+                    assert kept == target

@@ -1,0 +1,79 @@
+"""Planner property tests: any registration mix answers correctly."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.planner import Planner
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+from tests.test_property_decompositions import random_decomposition
+
+QUERIES = [
+    "//a//b//c",
+    "//a[//b]//c//d",
+    "//a/b//c[d]",
+    "//b[//c][//d]//e",
+]
+
+#: A pool of view patterns the planner may or may not find usable.
+VIEW_POOL = [
+    "//a//b", "//a//c", "//b//c", "//c//d", "//a[//b]//c", "//b//e",
+    "//c[d]", "//d//e", "//b//d", "//a//d",
+]
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    doc_seed=st.integers(0, 5_000),
+    pick_seed=st.integers(0, 5_000),
+    query_text=st.sampled_from(QUERIES),
+)
+def test_planner_always_correct(doc_seed, pick_seed, query_text):
+    """Whatever subset of the pool is registered — including views that do
+    not apply, overlap, or duplicate coverage — the planner's answer must
+    equal the oracle."""
+    doc = random_trees.generate(
+        size=200, tags=list("abcde"), max_depth=9, seed=doc_seed
+    )
+    rng = random.Random(pick_seed)
+    registered = [text for text in VIEW_POOL if rng.random() < 0.4]
+    query = parse_pattern(query_text)
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog, scheme=rng.choice(["E", "LE", "LEp"]))
+        for text in registered:
+            planner.register(text)
+        plan, result = planner.answer(query)
+    assert result.match_keys() == expected, (
+        f"registered={registered}, plan={plan.describe()}"
+    )
+
+
+@settings(deadline=None, max_examples=20)
+@given(doc_seed=st.integers(0, 5_000), cut_seed=st.integers(0, 5_000))
+def test_planner_with_exact_decomposition(doc_seed, cut_seed):
+    """Registering an exact covering decomposition: the plan needs no base
+    views and still matches the oracle."""
+    doc = random_trees.generate(
+        size=200, tags=list("abcd"), max_depth=9, seed=doc_seed
+    )
+    query = parse_pattern("//a//b//c//d")
+    views = random_decomposition(query, random.Random(cut_seed))
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, query)
+    )
+    with ViewCatalog(doc) as catalog:
+        planner = Planner(catalog)
+        for view in views:
+            planner.register(view)
+        plan, result = planner.answer(query)
+    assert not plan.base_views
+    assert result.match_keys() == expected

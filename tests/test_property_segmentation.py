@@ -1,0 +1,84 @@
+"""Segmentation invariants over random view decompositions."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.segmentation import segment_query
+from repro.tpq.parser import parse_pattern
+from tests.test_property_decompositions import random_decomposition
+
+QUERIES = [
+    "//a//b//c//d",
+    "//a[//b]//c//d",
+    "//a[//b//c]//d[//e]//f",
+    "//a/b//c[d]//e",
+    "//b[//c][//d]//e//f",
+]
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    query_text=st.sampled_from(QUERIES),
+    cut_seed=st.integers(0, 10_000),
+)
+def test_segmentation_invariants(query_text, cut_seed):
+    query = parse_pattern(query_text)
+    views = random_decomposition(query, random.Random(cut_seed))
+    seg = segment_query(query, views)
+
+    # Retained + removed partition the query tags.
+    assert sorted(seg.retained + seg.removed) == sorted(query.tags())
+
+    # The query root is always retained and roots the first segment.
+    assert seg.root_tag == query.root.tag
+    assert seg.root_segment.root_tag in seg.retained
+
+    # Segments partition the retained tags.
+    segment_tags = [tag for s in seg.segments for tag in s.tags]
+    assert sorted(segment_tags) == sorted(seg.retained)
+
+    # Every removed tag has no incident inter-view edge in Q.
+    for tag in seg.removed:
+        qnode = query.node(tag)
+        neighbours = list(qnode.children)
+        if qnode.parent is not None:
+            neighbours.append(qnode.parent)
+        for other in neighbours:
+            assert seg.view_of(tag) is seg.view_of(other.tag)
+
+    # Inter-view flags mark exactly the segment boundaries.
+    for tag in seg.retained:
+        parent = seg.parent_of[tag]
+        if parent is None:
+            continue
+        same_segment = seg.segment_of[tag] is seg.segment_of[parent]
+        assert seg.inter_view[tag] == (not same_segment)
+
+    # Each segment lives inside one view, and its tags form a connected
+    # subtree of Q' under parent_of.
+    for segment in seg.segments:
+        for tag in segment.tags:
+            assert segment.view.has_tag(tag)
+        members = set(segment.tags)
+        for tag in segment.tags:
+            if tag != segment.root_tag:
+                assert seg.parent_of[tag] in members
+
+    # Child segments' parent_tag lies in the parent segment.
+    for segment in seg.segments:
+        for child in segment.children:
+            assert child.parent is segment
+            assert child.parent_tag in segment.tags
+
+    # Every view root is retained (the invariant the flush extension needs).
+    for view in seg.views:
+        assert view.root.tag in seg.retained
+
+    # The number of inter-view edges equals the number of non-root segments.
+    non_root_segments = len(seg.segments) - 1
+    flagged = sum(1 for flag in seg.inter_view.values() if flag)
+    assert flagged == non_root_segments

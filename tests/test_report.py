@@ -1,0 +1,85 @@
+"""Report rendering edge-case tests."""
+
+from __future__ import annotations
+
+from repro.bench.report import format_records, format_series, format_table
+from repro.bench.harness import RunRecord
+from repro.algorithms.base import Counters
+from repro.storage.pager import IOStats
+
+
+def make_record(query, combo, ms=1.0, extra=None):
+    return RunRecord(
+        dataset="d",
+        query=query,
+        combo=combo,
+        mode="memory",
+        elapsed_s=ms / 1e3,
+        matches=1,
+        counters=Counters(),
+        io=IOStats(),
+        extra=extra or {},
+    )
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    lines = text.splitlines()
+    assert len(lines) == 2  # header + rule only
+
+
+def test_format_table_mixed_types():
+    text = format_table(["k", "v"], [["x", 1], ["y", 2.345], ["z", None]])
+    assert "2.35" in text
+    assert "None" in text
+
+
+def test_format_records_missing_cells():
+    records = [
+        make_record("Q1", "A"),
+        make_record("Q1", "B"),
+        make_record("Q2", "A"),  # Q2 lacks combo B
+    ]
+    text = format_records(records, metric="ms")
+    q2_line = next(line for line in text.splitlines() if line.startswith("Q2"))
+    assert "-" in q2_line
+
+
+def test_format_records_custom_pivot():
+    records = [
+        make_record("Q1", "A", extra={"variant": "M"}),
+        make_record("Q1", "A", extra={"variant": "D"}),
+    ]
+    text = format_records(records, metric="ms", column_key="variant")
+    header = text.splitlines()[0]
+    assert "M" in header and "D" in header
+
+
+def test_format_records_preserves_first_seen_order():
+    records = [
+        make_record("Q2", "B"),
+        make_record("Q1", "A"),
+        make_record("Q2", "A"),
+    ]
+    lines = format_records(records, metric="ms").splitlines()
+    assert lines[2].startswith("Q2")
+    assert lines[3].startswith("Q1")
+
+
+def test_format_series_irregular_x():
+    text = format_series(
+        {"s1": [(1, 10), (3, 30)], "s2": [(2, 20)]},
+        x_label="x",
+        y_label="y",
+    )
+    lines = text.splitlines()
+    assert len(lines) == 2 + 3  # header + rule + x in {1, 3, 2}
+    assert any("-" in line for line in lines[2:])
+
+
+def test_run_record_row_fields():
+    row = make_record("Q1", "A", extra={"note": "n"}).row()
+    for key in ("dataset", "query", "combo", "mode", "ms", "matches",
+                "work", "scanned", "jumps", "skipped", "cmp", "pages",
+                "io_ms", "out_ms", "note"):
+        assert key in row

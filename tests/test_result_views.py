@@ -1,0 +1,100 @@
+"""Query results as materialized views (paper Section IV-B feature 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.errors import StorageError
+from repro.storage.catalog import ViewCatalog, materialize
+from repro.storage.linked import LinkedElementView
+from repro.storage.result_views import (
+    materialize_from_matches,
+    solution_lists_from_matches,
+)
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(
+        size=300, tags=list("abcdef"), max_depth=9, seed=5
+    )
+
+
+QUERY = parse_pattern("//a//b//d")
+VIEWS = [parse_pattern("//a//d"), parse_pattern("//b")]
+
+
+@pytest.fixture(scope="module")
+def result(doc):
+    with ViewCatalog(doc) as catalog:
+        return evaluate(QUERY, catalog, VIEWS, "VJ", "LE")
+
+
+def test_solution_lists_recovered(doc, result):
+    lists = solution_lists_from_matches(doc, QUERY, result.matches)
+    from repro.tpq.matching import solution_nodes
+
+    direct = solution_nodes(doc, QUERY)
+    for tag in QUERY.tags():
+        assert [n.start for n in lists[tag]] == [
+            n.start for n in direct[tag]
+        ]
+
+
+def test_result_view_equals_direct_materialization(doc, result):
+    from_matches = materialize_from_matches(doc, QUERY, result.matches, "LE")
+    direct = materialize(doc, QUERY, "LE")
+    assert isinstance(from_matches, LinkedElementView)
+    for tag in QUERY.tags():
+        assert list(from_matches.list_for(tag).scan()) == list(
+            direct.list_for(tag).scan()
+        )
+
+
+@pytest.mark.parametrize("scheme", ["E", "T", "LE", "LEp"])
+def test_all_schemes_buildable_from_matches(doc, result, scheme):
+    view = materialize_from_matches(doc, QUERY, result.matches, scheme)
+    assert view.size_bytes > 0
+
+
+def test_result_view_answers_the_original_query(doc, result):
+    """Re-answering the query from its own result view returns the same
+    matches with trivial work (a single view, no inter-view edges)."""
+    with ViewCatalog(doc) as catalog:
+        catalog.add_result_view(QUERY, result.matches, "LE")
+        again = evaluate(QUERY, catalog, [QUERY], "VJ", "LE")
+    assert again.match_keys() == result.match_keys()
+
+
+def test_result_view_answers_a_larger_query(doc, result):
+    """The cached result of //a//b//d serves as one view in a covering set
+    for the larger query //a//b//d//e."""
+    bigger = parse_pattern("//a//b//d//e")
+    expected = sorted(
+        tuple(n.start for n in m) for m in find_embeddings(doc, bigger)
+    )
+    with ViewCatalog(doc) as catalog:
+        catalog.add_result_view(QUERY, result.matches, "LE")
+        answer = evaluate(
+            bigger, catalog, [QUERY, parse_pattern("//e")], "VJ", "LE"
+        )
+    assert answer.match_keys() == expected
+
+
+def test_bad_arity_rejected(doc, result):
+    with pytest.raises(StorageError):
+        solution_lists_from_matches(
+            doc, parse_pattern("//a//b"), result.matches
+        )
+
+
+def test_foreign_labels_rejected(doc):
+    from repro.storage.records import ElementEntry
+
+    fake = [(ElementEntry(10**9, 10**9 + 1, 1),) * 3]
+    with pytest.raises(StorageError):
+        solution_lists_from_matches(doc, QUERY, fake)

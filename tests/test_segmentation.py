@@ -1,0 +1,125 @@
+"""View-segmented query tests (paper Section IV-A, Example 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.segmentation import segment_query
+from repro.errors import CoverageError
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Axis
+
+# The paper's running example: Q of Fig. 1(b) with views v1, v2, v3 of
+# Fig. 1(c): v1 = //a//e, v2 = //b[c]//d, v3 = //f.
+Q = parse_pattern("//a[//f]//b[c]//d//e")
+V1 = parse_pattern("//a//e", name="v1")
+V2 = parse_pattern("//b[c]//d", name="v2")
+V3 = parse_pattern("//f", name="v3")
+
+
+def seg():
+    return segment_query(Q, [V1, V2, V3])
+
+
+def test_example_4_1_segments():
+    """Example 4.1: four segments B1 = a, B2 = b//d, B3 = f, B4 = e."""
+    s = seg()
+    shapes = sorted(tuple(segment.tags) for segment in s.segments)
+    assert shapes == [("a",), ("b", "d"), ("e",), ("f",)]
+    assert s.root_segment.tags == ["a"]
+    assert s.root_tag == "a"
+
+
+def test_example_4_1_inter_view_edges():
+    """Example 4.1: the inter-view edges are (a, f), (a, b) and (d, e)."""
+    s = seg()
+    inter = {tag for tag, flag in s.inter_view.items() if flag}
+    assert inter == {"f", "b", "e"}
+    assert s.inter_view_edge_count() == 3
+
+
+def test_node_c_removed():
+    """c has no inter-view edges and is removed from Q'."""
+    s = seg()
+    assert s.removed == ["c"]
+    assert "c" not in s.retained
+
+
+def test_segment_tree_structure():
+    s = seg()
+    by_root = {segment.root_tag: segment for segment in s.segments}
+    assert by_root["f"].parent is by_root["a"]
+    assert by_root["f"].parent_tag == "a"
+    assert by_root["b"].parent is by_root["a"]
+    assert by_root["e"].parent is by_root["b"]
+    assert by_root["e"].parent_tag == "d"  # e hangs under the inner node d
+    assert by_root["a"].parent is None
+    assert by_root["e"].is_leaf and by_root["f"].is_leaf
+
+
+def test_qprime_parent_and_axes():
+    s = seg()
+    assert s.parent_of["a"] is None
+    assert s.parent_of["b"] == "a"
+    assert s.parent_of["d"] == "b"
+    assert s.parent_of["e"] == "d"
+    assert s.parent_of["f"] == "a"
+    assert s.axis_of["e"] is Axis.DESCENDANT
+
+
+def test_contracted_edge_is_ad_intra_view():
+    """Removing an inner node reattaches children by an intra-view ad-edge."""
+    query = parse_pattern("//a//b//c//d")
+    views = [parse_pattern("//a//b//c"), parse_pattern("//d")]
+    # b has no inter-view edges -> removed; c reattaches to a.
+    s = segment_query(query, views)
+    assert s.removed == ["b"]
+    assert s.parent_of["c"] == "a"
+    assert s.axis_of["c"] is Axis.DESCENDANT
+    assert not s.inter_view["c"]
+    assert [segment.tags for segment in s.segments] == [["a", "c"], ["d"]]
+
+
+def test_single_view_collapses_to_root_only():
+    query = parse_pattern("//a//b//c")
+    views = [query.copy()]
+    s = segment_query(query, views)
+    assert s.retained == ["a"]
+    assert s.removed == ["b", "c"]
+    assert len(s.segments) == 1
+
+
+def test_every_view_root_is_retained():
+    s = seg()
+    for view in (V1, V2, V3):
+        assert view.root.tag in s.retained
+
+
+def test_subtree_tags():
+    s = seg()
+    assert s.subtree_tags("a") == ["a", "f", "b", "d", "e"]
+    assert s.subtree_tags("b") == ["b", "d", "e"]
+    assert s.subtree_tags("e") == ["e"]
+
+
+def test_inter_view_edges_of_cost_model_quantity():
+    s = seg()
+    # a touches inter-view edges (a, f) and (a, b).
+    assert s.inter_view_edges_of("a") == 2
+    # d touches (d, e) only; its (b, d) edge is intra-view.
+    assert s.inter_view_edges_of("d") == 1
+    # c touches none.
+    assert s.inter_view_edges_of("c") == 0
+
+
+def test_non_covering_views_rejected():
+    with pytest.raises(CoverageError):
+        segment_query(Q, [V1, V2])
+
+
+def test_pc_inter_view_edge_kept_as_pc():
+    query = parse_pattern("//a/b")
+    views = [parse_pattern("//a"), parse_pattern("//b")]
+    s = segment_query(query, views)
+    assert s.axis_of["b"] is Axis.CHILD
+    assert s.inter_view["b"]

@@ -1,0 +1,139 @@
+"""SlottedList (variable-width records) tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.lists import SlottedList
+from repro.storage.pager import Pager
+from repro.storage.records import (
+    NULL_POINTER,
+    UNMATERIALIZED_POINTER,
+    LinkedEntry,
+    compact_linked_codec,
+)
+
+
+def make_entry(i, following=NULL_POINTER, descendant=NULL_POINTER,
+               children=()):
+    return LinkedEntry(i * 10, i * 10 + 5, 1, following, descendant,
+                       tuple(children))
+
+
+def build(entries, num_children=0, page_size=64):
+    pager = Pager(page_size=page_size)
+    stored = SlottedList(pager, compact_linked_codec(num_children), name="t")
+    stored.extend(entries)
+    return stored.finalize(), pager
+
+
+def test_roundtrip_mixed_widths():
+    entries = [
+        make_entry(0),                                    # no pointers
+        make_entry(1, following=5),                       # one pointer
+        make_entry(2, following=UNMATERIALIZED_POINTER,
+                   descendant=3),                         # mixed
+        make_entry(3, following=4, descendant=5),         # two pointers
+    ]
+    stored, __ = build(entries)
+    assert list(stored.scan()) == entries
+    assert len(stored) == 4
+
+
+def test_child_pointer_flags():
+    entries = [
+        make_entry(0, children=(NULL_POINTER, 7)),
+        make_entry(1, children=(3, NULL_POINTER)),
+    ]
+    stored, __ = build(entries, num_children=2)
+    assert list(stored.scan()) == entries
+
+
+def test_spans_pages_and_directory():
+    entries = [make_entry(i, following=i + 1) for i in range(40)]
+    stored, __ = build(entries)
+    assert stored.num_pages > 1
+    for i in (0, 7, 20, 39):
+        assert stored.read(i) == entries[i]
+    page_id, slot = stored.page_of(39)
+    assert slot >= 0
+
+
+def test_size_accounts_headers():
+    entries = [make_entry(i) for i in range(10)]
+    stored, __ = build(entries)
+    # 14 bytes per pointerless record + 2-byte header + 2-byte slots.
+    assert stored.size_bytes >= 10 * 14 + stored.num_pages * 2
+
+
+def test_variable_width_saves_bytes():
+    lean = build([make_entry(i) for i in range(20)])[0]
+    fat = build(
+        [make_entry(i, following=1, descendant=2) for i in range(20)]
+    )[0]
+    assert lean.size_bytes < fat.size_bytes
+
+
+def test_misuse_errors():
+    stored, __ = build([make_entry(0)])
+    with pytest.raises(StorageError):
+        stored.read(5)
+    with pytest.raises(StorageError):
+        stored.append(make_entry(1))
+    pager = Pager(page_size=64)
+    unfinalized = SlottedList(pager, compact_linked_codec(0))
+    unfinalized.append(make_entry(0))
+    with pytest.raises(StorageError):
+        unfinalized.read(0)
+
+
+def test_record_too_wide_for_page():
+    pager = Pager(page_size=16)
+    with pytest.raises(StorageError):
+        SlottedList(pager, compact_linked_codec(4))
+
+
+def test_cursor_api_compatible():
+    entries = [make_entry(i) for i in range(12)]
+    stored, __ = build(entries)
+    cursor = stored.cursor()
+    seen = []
+    while cursor.current is not None:
+        seen.append(cursor.current.start)
+        cursor.advance()
+    assert seen == [e.start for e in entries]
+    cursor.seek(3)
+    assert cursor.current == entries[3]
+
+
+pointer_values = st.one_of(
+    st.just(NULL_POINTER),
+    st.just(UNMATERIALIZED_POINTER),
+    st.integers(0, 1 << 20),
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.lists(
+        st.tuples(pointer_values, pointer_values,
+                  st.tuples(pointer_values, pointer_values)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_roundtrip_property(specs):
+    entries = []
+    for i, (following, descendant, children) in enumerate(specs):
+        children = tuple(
+            NULL_POINTER if c == UNMATERIALIZED_POINTER else c
+            for c in children
+        )
+        entries.append(
+            LinkedEntry(i * 3, i * 3 + 2, 0, following, descendant, children)
+        )
+    stored, __ = build(entries, num_children=2, page_size=128)
+    assert list(stored.scan()) == entries

@@ -1,0 +1,123 @@
+"""Element / tuple scheme and catalog tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError, StorageError
+from repro.storage.catalog import Scheme, ViewCatalog, materialize
+from repro.storage.element import ElementView
+from repro.storage.linked import LinkedElementView
+from repro.storage.tuples import TupleView
+from repro.tpq.matching import solution_nodes
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+
+def test_scheme_parsing():
+    assert Scheme.parse("T") is Scheme.TUPLE
+    assert Scheme.parse("tuple") is Scheme.TUPLE
+    assert Scheme.parse("e") is Scheme.ELEMENT
+    assert Scheme.parse("LE") is Scheme.LINKED
+    assert Scheme.parse("LEp") is Scheme.LINKED_PARTIAL
+    assert Scheme.parse(Scheme.LINKED) is Scheme.LINKED
+    with pytest.raises(StorageError):
+        Scheme.parse("bogus")
+
+
+def test_element_view_lists_are_solution_nodes(small_doc):
+    v = parse_pattern("//b[c]//d")
+    view = materialize(small_doc, v, "E")
+    assert isinstance(view, ElementView)
+    sols = solution_nodes(small_doc, v)
+    for tag in v.tags():
+        assert [e.start for e in view.list_for(tag).scan()] == [
+            n.start for n in sols[tag]
+        ]
+    assert view.entry_counts() == {"b": 1, "c": 1, "d": 1}
+
+
+def test_element_view_missing_tag_rejected(small_doc):
+    view = materialize(small_doc, parse_pattern("//b"), "E")
+    with pytest.raises(StorageError):
+        view.list_for("zzz")
+
+
+def test_tuple_view_matches_embeddings(small_doc):
+    v = parse_pattern("//a//d//e")
+    view = materialize(small_doc, v, "T")
+    assert isinstance(view, TupleView)
+    truth = find_embeddings(small_doc, v)
+    records = list(view.tuples.scan())
+    assert len(records) == len(truth)
+    for record, match in zip(records, truth):
+        assert [e.start for e in record] == [n.start for n in match]
+
+
+def test_tuple_view_sorted_by_composite_key(recursive_doc):
+    v = parse_pattern("//a//e")
+    view = materialize(recursive_doc, v, "T")
+    keys = [tuple(e.start for e in rec) for rec in view.tuples.scan()]
+    assert keys == sorted(keys)
+    assert len(keys) == 7  # 7 (a, e) pairs in the recursive fixture
+
+
+def test_tuple_redundancy_measure(recursive_doc):
+    # //a//e duplicates nodes across tuples (7 pairs over 3+6 nodes).
+    view = materialize(recursive_doc, parse_pattern("//a//e"), "T")
+    assert view.redundancy() > 1.0
+    # //root has a single match: no duplication.
+    flat = materialize(recursive_doc, parse_pattern("//root"), "T")
+    assert flat.redundancy() == 1.0
+
+
+def test_tuple_component_index(small_doc):
+    view = materialize(small_doc, parse_pattern("//a//d"), "T")
+    assert view.component_index("a") == 0
+    assert view.component_index("d") == 1
+    with pytest.raises(StorageError):
+        view.component_index("zzz")
+
+
+def test_element_scheme_is_smallest(recursive_doc):
+    v = parse_pattern("//a//e")
+    e = materialize(recursive_doc, v, "E")
+    t = materialize(recursive_doc, v, "T")
+    le = materialize(recursive_doc, v, "LE")
+    lep = materialize(recursive_doc, v, "LEp")
+    assert e.size_bytes <= min(t.size_bytes, le.size_bytes, lep.size_bytes)
+    assert isinstance(le, LinkedElementView)
+    # LE_p materializes fewer pointers and its compact slotted records
+    # make it strictly smaller than LE (Table IV shape).
+    assert lep.pointer_stats.total < le.pointer_stats.total
+    assert lep.size_bytes < le.size_bytes
+
+
+def test_catalog_idempotent_add(small_doc):
+    catalog = ViewCatalog(small_doc)
+    v = parse_pattern("//a//d")
+    first = catalog.add(v, "E")
+    second = catalog.add(v, "E")
+    assert first is second
+    other_scheme = catalog.add(v, "LE")
+    assert other_scheme is not first
+    assert len(catalog.views()) == 2
+
+
+def test_catalog_get_and_space_report(small_doc):
+    catalog = ViewCatalog(small_doc)
+    v = parse_pattern("//a//d")
+    catalog.add(v, "LE")
+    view = catalog.get(v, "LE")
+    assert isinstance(view, LinkedElementView)
+    with pytest.raises(StorageError):
+        catalog.get(v, "T")
+    report = catalog.space_report()
+    assert len(report) == 1
+    assert report[0]["scheme"] == "LE"
+    assert report[0]["pointers"] == view.pointer_stats.total
+
+
+def test_catalog_context_manager(small_doc):
+    with ViewCatalog(small_doc) as catalog:
+        catalog.add(parse_pattern("//a"), "E")

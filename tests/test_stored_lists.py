@@ -1,0 +1,113 @@
+"""StoredList / ListCursor unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.lists import StoredList
+from repro.storage.pager import Pager
+from repro.storage.records import ElementEntry, element_codec
+
+
+def make_list(entries, page_size=64, pool=8):
+    pager = Pager(page_size=page_size, pool_capacity=pool)
+    stored = StoredList(pager, element_codec(), name="t")
+    stored.extend(ElementEntry(*e) for e in entries)
+    return stored.finalize(), pager
+
+
+def test_append_read_roundtrip():
+    entries = [(i, i + 100, 1) for i in range(20)]
+    stored, __ = make_list(entries)
+    assert len(stored) == 20
+    assert [e.start for e in stored.scan()] == list(range(20))
+    assert stored.read(7) == ElementEntry(7, 107, 1)
+
+
+def test_spans_multiple_pages():
+    # 64-byte pages, 12-byte records -> 5 records per page
+    entries = [(i, i + 1, 0) for i in range(17)]
+    stored, __ = make_list(entries)
+    assert stored.records_per_page == 5
+    assert stored.num_pages == 4
+    assert stored.size_bytes == 17 * 12
+
+
+def test_page_of_addressing():
+    entries = [(i, i + 1, 0) for i in range(12)]
+    stored, __ = make_list(entries)
+    page_id, slot = stored.page_of(7)
+    assert slot == 7 % 5
+    with pytest.raises(StorageError):
+        stored.page_of(100)
+
+
+def test_read_requires_finalize():
+    pager = Pager(page_size=64)
+    stored = StoredList(pager, element_codec())
+    stored.append(ElementEntry(1, 2, 0))
+    with pytest.raises(StorageError):
+        stored.read(0)
+    stored.finalize()
+    assert stored.read(0).start == 1
+
+
+def test_append_after_finalize_rejected():
+    stored, __ = make_list([(1, 2, 0)])
+    with pytest.raises(StorageError):
+        stored.append(ElementEntry(3, 4, 0))
+
+
+def test_out_of_range_read():
+    stored, __ = make_list([(1, 2, 0)])
+    with pytest.raises(StorageError):
+        stored.read(5)
+
+
+def test_oversized_record_rejected():
+    pager = Pager(page_size=8)  # smaller than one 12-byte record
+    with pytest.raises(StorageError):
+        StoredList(pager, element_codec())
+
+
+def test_cursor_sequential():
+    entries = [(i, i + 1, 0) for i in range(7)]
+    stored, __ = make_list(entries)
+    cursor = stored.cursor()
+    seen = []
+    while cursor.current is not None:
+        seen.append(cursor.current.start)
+        cursor.advance()
+    assert seen == list(range(7))
+    assert cursor.exhausted
+    cursor.advance()  # no-op past the end
+    assert cursor.exhausted
+
+
+def test_cursor_seek():
+    entries = [(i, i + 1, 0) for i in range(10)]
+    stored, __ = make_list(entries)
+    cursor = stored.cursor()
+    cursor.seek(6)
+    assert cursor.current.start == 6
+    cursor.seek(10)  # one past the end
+    assert cursor.exhausted
+    with pytest.raises(StorageError):
+        cursor.seek(-1)
+
+
+def test_empty_list_cursor():
+    stored, __ = make_list([])
+    cursor = stored.cursor()
+    assert cursor.exhausted
+
+
+def test_reads_counted_through_pool():
+    entries = [(i, i + 1, 0) for i in range(10)]
+    stored, pager = make_list(entries)
+    pager.reset_stats()
+    list(stored.scan())
+    assert pager.stats.logical_reads == 10
+    # 2 pages resident: only 2 physical reads
+    assert pager.stats.physical_reads == 2

@@ -1,0 +1,73 @@
+"""Binary structural join tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import Counters
+from repro.algorithms.structural import structural_join
+from repro.datasets import random_trees
+from repro.xmltree.labels import is_ancestor, is_parent
+
+
+def brute_force(ancestors, descendants, parent_child):
+    predicate = is_parent if parent_child else is_ancestor
+    return sorted(
+        (
+            (a, d)
+            for a in ancestors
+            for d in descendants
+            if predicate(a, d)
+        ),
+        key=lambda pair: (pair[0].start, pair[1].start),
+    )
+
+
+def test_simple_join(small_doc):
+    a_list = list(small_doc.tag_list("a"))
+    c_list = list(small_doc.tag_list("c"))
+    pairs = structural_join(a_list, c_list)
+    assert len(pairs) == 1
+
+
+def test_parent_child_filter(small_doc):
+    b_list = list(small_doc.tag_list("b"))
+    e_list = list(small_doc.tag_list("e"))
+    assert structural_join(b_list, e_list) != []
+    assert structural_join(b_list, e_list, parent_child=True) == []
+
+
+def test_empty_inputs(small_doc):
+    assert structural_join([], list(small_doc.nodes)) == []
+    assert structural_join(list(small_doc.nodes), []) == []
+
+
+def test_counters_attributed(small_doc):
+    counters = Counters()
+    structural_join(
+        list(small_doc.tag_list("a")),
+        list(small_doc.tag_list("c")),
+        counters=counters,
+    )
+    assert counters.comparisons > 0
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    seed=st.integers(0, 500),
+    anc_tag=st.sampled_from(["a", "b", "c"]),
+    desc_tag=st.sampled_from(["a", "b", "c"]),
+    pc=st.booleans(),
+)
+def test_join_equals_brute_force(seed, anc_tag, desc_tag, pc):
+    doc = random_trees.generate(
+        size=80, tags=("a", "b", "c"), max_depth=8, seed=seed
+    )
+    ancestors = list(doc.tag_list(anc_tag))
+    descendants = list(doc.tag_list(desc_tag))
+    got = structural_join(ancestors, descendants, parent_child=pc)
+    expected = brute_force(ancestors, descendants, pc)
+    assert [(a.start, d.start) for a, d in got] == [
+        (a.start, d.start) for a, d in expected
+    ]

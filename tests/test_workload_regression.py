@@ -1,0 +1,79 @@
+"""Regression pins: exact match counts for every workload query.
+
+Generators and engines are deterministic per (scale, seed); these pins
+catch silent drift in either.  If a generator change is intentional,
+refresh the numbers with::
+
+    python -m tests.test_workload_regression
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import nasa as nasa_data
+from repro.datasets import xmark as xmark_data
+from repro.storage.catalog import ViewCatalog
+from repro.workloads import nasa, xmark
+
+XMARK_SCALE, XMARK_SEED = 1.0, 0
+NASA_SCALE, NASA_SEED = 1.0, 0
+
+#: (dataset nodes, per-query match counts) pinned at the scales above.
+XMARK_EXPECTED = {
+    "Q1": 80, "Q2": 141, "Q5": 40, "Q6": 150, "Q18": 30, "Q20": 118,
+    "Q4": 75, "Q8": 3200, "Q9": 3200, "Q10": 60, "Q11": 3660,
+    "Q13": 25, "Q14": 666, "Q19": 400,
+}
+NASA_EXPECTED = {
+    "N1": 49, "N2": 83, "N3": 58, "N4": 53,
+    "N5": 148, "N6": 6, "N7": 54, "N8": 35,
+}
+
+
+@pytest.fixture(scope="module")
+def xmark_counts():
+    return _compute(
+        xmark_data.generate(scale=XMARK_SCALE, seed=XMARK_SEED),
+        xmark.ALL_QUERIES,
+    )
+
+
+@pytest.fixture(scope="module")
+def nasa_counts():
+    return _compute(
+        nasa_data.generate(scale=NASA_SCALE, seed=NASA_SEED),
+        nasa.ALL_QUERIES,
+    )
+
+
+def _compute(document, specs):
+    counts = {}
+    with ViewCatalog(document) as catalog:
+        for spec in specs:
+            result = evaluate(
+                spec.query, catalog, spec.views, "VJ", "LE",
+                emit_matches=False,
+            )
+            counts[spec.name] = result.match_count
+    return counts
+
+
+def test_xmark_match_counts(xmark_counts):
+    assert xmark_counts == XMARK_EXPECTED
+
+
+def test_nasa_match_counts(nasa_counts):
+    assert nasa_counts == NASA_EXPECTED
+
+
+def _refresh() -> None:  # pragma: no cover - maintenance helper
+    xmark_doc = xmark_data.generate(scale=XMARK_SCALE, seed=XMARK_SEED)
+    nasa_doc = nasa_data.generate(scale=NASA_SCALE, seed=NASA_SEED)
+    print("XMARK_EXPECTED =", _compute(xmark_doc, xmark.ALL_QUERIES))
+    print("NASA_EXPECTED =", _compute(nasa_doc, nasa.ALL_QUERIES))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _refresh()

@@ -1,0 +1,90 @@
+"""Workload validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.segmentation import segment_query
+from repro.datasets import nasa as nasa_data
+from repro.datasets import xmark as xmark_data
+from repro.tpq.containment import covering_view_set
+from repro.tpq.matching import solution_nodes
+from repro.workloads import nasa, validate_spec, xmark
+
+
+@pytest.mark.parametrize("spec", xmark.ALL_QUERIES, ids=lambda s: s.name)
+def test_xmark_specs_valid(spec):
+    validate_spec(spec)
+
+
+@pytest.mark.parametrize("spec", nasa.ALL_QUERIES, ids=lambda s: s.name)
+def test_nasa_specs_valid(spec):
+    validate_spec(spec)
+
+
+def test_paper_query_counts():
+    assert len(xmark.PATH_QUERIES) == 6
+    assert len(xmark.TWIG_QUERIES) == 8
+    assert len(nasa.PATH_QUERIES) == 4
+    assert len(nasa.TWIG_QUERIES) == 4
+
+
+def test_path_queries_have_path_views():
+    """Fig. 5(a)/(b) include InterJoin, which needs path views."""
+    for spec in xmark.PATH_QUERIES + nasa.PATH_QUERIES:
+        assert spec.is_path
+        assert spec.views_are_paths
+
+
+def test_twig_queries_branch():
+    for spec in xmark.TWIG_QUERIES + nasa.TWIG_QUERIES:
+        assert not spec.is_path
+
+
+def test_q6_is_three_steps():
+    """The paper singles out Q6 as 'very simple (with only three steps)'."""
+    assert len(xmark.BY_NAME["Q6"].query) == 3
+
+
+@pytest.mark.parametrize("name", nasa.EXPECTED_CONDITIONS, ids=str)
+def test_table3_interleaving_counts(name):
+    """Table III: PV1-PV4 have 5,4,3,2 and TV1-TV4 have 6,4,3,2 inter-view
+    edges."""
+    if name.startswith("PV"):
+        query, views = nasa.QUERY_NP, nasa.PATH_VIEW_SETS[name]
+    else:
+        query, views = nasa.QUERY_NT, nasa.TWIG_VIEW_SETS[name]
+    covering_view_set(views, query)
+    seg = segment_query(query, views)
+    assert seg.inter_view_edge_count() == nasa.EXPECTED_CONDITIONS[name]
+
+
+def test_table2_candidates_are_subpatterns():
+    from repro.tpq.containment import is_subpattern
+
+    for view in nasa.SELECTION_CANDIDATES:
+        assert is_subpattern(view, nasa.SELECTION_QUERY), view.name
+
+
+def test_queries_nonempty_on_generated_data():
+    """Every benchmark query has at least one match on its dataset."""
+    xdoc = xmark_data.generate(scale=1.0, seed=0)
+    for spec in xmark.ALL_QUERIES:
+        sols = solution_nodes(xdoc, spec.query)
+        assert all(sols[tag] for tag in spec.query.tags()), spec.name
+    ndoc = nasa_data.generate(scale=1.0, seed=0)
+    for spec in nasa.ALL_QUERIES:
+        sols = solution_nodes(ndoc, spec.query)
+        assert all(sols[tag] for tag in spec.query.tags()), spec.name
+
+
+def test_redundancy_notes_hold():
+    """Queries the paper calls redundancy-heavy really duplicate nodes in
+    the tuple scheme, and the IJ-friendly ones do not."""
+    from repro.storage.catalog import materialize
+
+    doc = xmark_data.generate(scale=1.0, seed=0)
+    heavy = xmark.BY_NAME["Q2"].views[0]   # //open_auctions//bidder
+    light = xmark.BY_NAME["Q5"].views[1]   # //closed_auction//price
+    assert materialize(doc, heavy, "T").redundancy() > 1.5
+    assert materialize(doc, light, "T").redundancy() == pytest.approx(1.0)

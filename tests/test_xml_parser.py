@@ -1,0 +1,94 @@
+"""XML parser / writer unit tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import random_trees
+from repro.errors import XmlParseError
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.writer import write_xml
+from tests.conftest import tags_of
+
+
+def test_parse_simple():
+    doc = parse_xml("<a><b/><c><d/></c></a>")
+    assert tags_of(doc.nodes) == ["a", "b", "c", "d"]
+    assert doc.root.tag == "a"
+    assert doc.nodes[3].level == 2
+
+
+def test_parse_with_attributes_and_text():
+    doc = parse_xml('<a x="1" y=\'2\'>hello <b z="3">world</b> bye</a>')
+    assert tags_of(doc.nodes) == ["a", "b"]
+
+
+def test_parse_with_comments_pi_cdata_doctype():
+    text = (
+        '<?xml version="1.0"?>\n'
+        "<!DOCTYPE a>\n"
+        "<a><!-- comment --><b/><![CDATA[ <not-a-tag/> ]]>"
+        "<?pi data?></a>"
+    )
+    doc = parse_xml(text)
+    assert tags_of(doc.nodes) == ["a", "b"]
+
+
+def test_parse_self_closing_root():
+    doc = parse_xml("<only/>")
+    assert len(doc) == 1
+    assert doc.root.tag == "only"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "text only",
+        "<a>",
+        "<a></b>",
+        "</a>",
+        "<a></a><b></b>",
+        "<a><b></a></b>",
+        "<a attr=novalue></a>",
+        "<a><!-- unterminated </a>",
+        "<1bad/>",
+        "stray <a/>",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(XmlParseError):
+        parse_xml(bad)
+
+
+def test_error_carries_position():
+    with pytest.raises(XmlParseError) as info:
+        parse_xml("<a><b></a></b>")
+    assert info.value.position is not None
+
+
+def test_roundtrip_small(small_doc):
+    text = write_xml(small_doc)
+    again = parse_xml(text)
+    assert [(n.tag, n.start, n.end, n.level) for n in small_doc] == [
+        (n.tag, n.start, n.end, n.level) for n in again
+    ]
+
+
+def test_roundtrip_single_line(small_doc):
+    text = write_xml(small_doc, indent=0)
+    assert "\n" not in text
+    again = parse_xml(text)
+    assert len(again) == len(small_doc)
+
+
+@given(seed=st.integers(0, 60))
+def test_roundtrip_random_documents(seed):
+    """Writer output re-parses to identical region labels (property)."""
+    doc = random_trees.generate(size=80, max_depth=7, seed=seed)
+    again = parse_xml(write_xml(doc))
+    assert [(n.tag, n.start, n.end, n.level) for n in doc] == [
+        (n.tag, n.start, n.end, n.level) for n in again
+    ]
