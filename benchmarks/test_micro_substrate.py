@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.algorithms.base import Counters, CountingCursor
 from repro.datasets import random_trees
 from repro.storage.btree import BPlusTreeIndex
 from repro.storage.lists import StoredList
@@ -28,12 +29,24 @@ from repro.tpq.parser import parse_pattern
 N = 2000
 
 
-@pytest.fixture(scope="module")
-def element_list():
+def _build_list(columnar: bool) -> StoredList:
     pager = Pager()
-    stored = StoredList(pager, element_codec(), name="micro")
+    stored = StoredList(
+        pager, element_codec(), name="micro", columnar=columnar
+    )
     stored.extend(ElementEntry(i * 3, i * 3 + 2, 1) for i in range(N))
     return stored.finalize()
+
+
+@pytest.fixture(scope="module")
+def element_list():
+    return _build_list(columnar=True)
+
+
+@pytest.fixture(scope="module")
+def pool_list():
+    """The same list with columns disabled: the pool-served slow path."""
+    return _build_list(columnar=False)
 
 
 def test_bench_element_codec_roundtrip(benchmark):
@@ -86,6 +99,45 @@ def test_bench_cursor_advance(benchmark, element_list):
         return count
 
     assert benchmark(run) == N
+
+
+def test_bench_pool_served_scan_no_columns(benchmark, pool_list):
+    def run():
+        total = 0
+        for entry in pool_list.scan():
+            total += entry.start
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_cursor_advance_no_columns(benchmark, pool_list):
+    def run():
+        cursor = pool_list.cursor()
+        count = 0
+        while cursor.current is not None:
+            count += 1
+            cursor.advance()
+        return count
+
+    assert benchmark(run) == N
+
+
+def _drain_counting(stored: StoredList) -> int:
+    counters = Counters()
+    cursor = CountingCursor(stored.cursor(), counters)
+    while not cursor.exhausted:
+        cursor.advance()
+    return counters.elements_scanned
+
+
+def test_bench_counting_cursor_columnar(benchmark, element_list):
+    """The engines' hot loop: CountingCursor advancement on raw ints."""
+    assert benchmark(_drain_counting, element_list) == N
+
+
+def test_bench_counting_cursor_no_columns(benchmark, pool_list):
+    assert benchmark(_drain_counting, pool_list) == N
 
 
 def test_bench_btree_descent(benchmark, element_list):

@@ -1,0 +1,135 @@
+"""Wall-clock record for the columnar substrate (BENCH_<pr>.json).
+
+Times a fixed set of substrate micro-operations plus the Fig. 5 XMark twig
+queries, using only APIs that exist both before and after the columnar
+substrate landed — so the same script, run on the two trees (or with
+``REPRO_COLUMNAR=0`` vs ``1`` on the current tree), produces comparable
+"before"/"after" sections.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_baseline.py --out after.json
+    python scripts/bench_baseline.py --merge before.json after.json \
+        --out BENCH_1.json
+
+The first form measures the current tree and writes one section; the
+second merges two sections into the final before/after record with
+speedup ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+
+def _median_seconds(fn, repeats: int = 5) -> float:
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - begin)
+    return statistics.median(samples)
+
+
+def measure() -> dict[str, float]:
+    from repro.algorithms.base import Counters, CountingCursor
+    from repro.algorithms.engine import evaluate
+    from repro.datasets import random_trees, xmark
+    from repro.storage.catalog import ViewCatalog
+    from repro.storage.lists import StoredList
+    from repro.storage.pager import Pager
+    from repro.storage.records import ElementEntry, element_codec
+    from repro.tpq.enumeration import enumerate_matches
+    from repro.tpq.matching import solution_nodes
+    from repro.tpq.parser import parse_pattern
+    from repro.workloads import xmark as xw
+
+    n = 20_000
+    stored = StoredList(Pager(), element_codec(), name="bench")
+    stored.extend(ElementEntry(i * 3, i * 3 + 2, 1) for i in range(n))
+    stored.finalize()
+
+    def scan():
+        total = 0
+        for entry in stored.scan():
+            total += entry.start
+        return total
+
+    def cursor_drain():
+        cursor = stored.cursor()
+        while cursor.current is not None:
+            cursor.advance()
+
+    def counting_drain():
+        cursor = CountingCursor(stored.cursor(), Counters())
+        while not cursor.exhausted:
+            cursor.advance()
+
+    doc = random_trees.generate(
+        size=3000, tags=list("abcd"), max_depth=9, seed=5
+    )
+    pattern = parse_pattern("//a//b//c")
+    sols = solution_nodes(doc, pattern)
+
+    results = {
+        "micro_scan_s": _median_seconds(scan),
+        "micro_cursor_s": _median_seconds(cursor_drain),
+        "micro_counting_cursor_s": _median_seconds(counting_drain),
+        "micro_enumeration_s": _median_seconds(
+            lambda: enumerate_matches(pattern, sols)
+        ),
+    }
+
+    xdoc = xmark.generate(scale=1.0, seed=42)
+    with ViewCatalog(xdoc) as catalog:
+        for spec in xw.TWIG_QUERIES:
+            for engine, scheme in (("TS", "E"), ("VJ", "LE")):
+                evaluate(spec.query, catalog, spec.views, engine, scheme)
+
+            def run_query(spec=spec):
+                for engine, scheme in (("TS", "E"), ("VJ", "LE")):
+                    for mode in ("memory", "disk"):
+                        evaluate(
+                            spec.query, catalog, spec.views, engine,
+                            scheme, mode=mode,
+                        )
+
+            results[f"fig5_{spec.name}_s"] = _median_seconds(run_query)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True)
+    parser.add_argument(
+        "--merge", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="merge two measurement files into a before/after record",
+    )
+    args = parser.parse_args()
+    if args.merge:
+        before = json.load(open(args.merge[0]))
+        after = json.load(open(args.merge[1]))
+        record = {
+            "description": "columnar substrate before/after medians (s)",
+            "before": before,
+            "after": after,
+            "speedup": {
+                key: round(before[key] / after[key], 3)
+                for key in sorted(before)
+                if key in after and after[key] > 0
+            },
+        }
+        json.dump(record, open(args.out, "w"), indent=1)
+        print(json.dumps(record["speedup"], indent=1))
+        return
+    results = measure()
+    json.dump(results, open(args.out, "w"), indent=1)
+    print(json.dumps(results, indent=1))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

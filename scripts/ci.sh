@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests plus a fast benchmark smoke pass.
+#
+# The smoke pass runs the substrate micro-benchmarks at a tiny dataset
+# scale (REPRO_BENCH_SCALE shrinks the macro fixtures) with one warmup
+# round — enough to catch substrate regressions and import/bench-harness
+# breakage without the minutes-long full benchmark suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== benchmark smoke (micro substrate) =="
+REPRO_BENCH_SCALE=0.1 python -m pytest benchmarks/test_micro_substrate.py \
+    -q --benchmark-warmup=off --benchmark-min-rounds=1 \
+    --benchmark-disable-gc --benchmark-columns=median
+
+echo "== benchmark smoke (columnar off) =="
+REPRO_BENCH_SCALE=0.1 REPRO_COLUMNAR=0 python -m pytest \
+    benchmarks/test_micro_substrate.py -q --benchmark-warmup=off \
+    --benchmark-min-rounds=1 --benchmark-columns=median

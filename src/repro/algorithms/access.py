@@ -52,12 +52,18 @@ class TagSource:
         Models the indexed-structural-join substrate of the paper's
         related work (XR-/XB-trees): ``bisect_start`` then descends the
         index in O(height) page touches instead of probing data pages.
+        The key sequence comes straight from the packed start column when
+        the list carries one; only column-less lists pay a decoding scan.
         """
         if self.index is not None:
             return
         from repro.storage.btree import BPlusTreeIndex
 
-        starts = [entry.start for entry in self.stored.scan()]
+        columns = self.stored.columns
+        if columns is not None:
+            starts = list(columns.starts)
+        else:
+            starts = [entry.start for entry in self.stored.scan()]
         self.index = BPlusTreeIndex.build(
             self.view.pager, starts, name=f"idx:{self.tag}"
         )
@@ -79,6 +85,7 @@ class TagSource:
 
     def read(self, index: int, counters: Counters):
         """Random-access read (counted as a pointer jump target access)."""
+        counters.elements_scanned += 1
         return self.stored.read(index)
 
     def bisect_start(self, value: int, counters: Counters) -> int:
@@ -87,39 +94,82 @@ class TagSource:
         With an attached B+-tree this is one root-to-leaf descent;
         otherwise a binary search through the pager — every probed entry
         counts as a comparison so the element scheme pays for what
-        pointers avoid.
+        pointers avoid.  With packed columns each probe compares a raw int
+        from the start column (the page touch is mirrored for identical
+        I/O accounting); without them it decodes through the pool.
         """
         if self.index is not None:
             counters.comparisons += max(self.index.height, 1)
             found = self.index.first_greater(value)
             return len(self.stored) if found is None else found
-        lo, hi = 0, len(self.stored)
+        stored = self.stored
+        lo, hi = 0, len(stored)
+        columns = stored.columns
+        if columns is not None:
+            starts = columns.starts
+            touch_index = stored.touch_index
+            while lo < hi:
+                mid = (lo + hi) // 2
+                counters.comparisons += 1
+                touch_index(mid)
+                if starts[mid] <= value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return lo
         while lo < hi:
             mid = (lo + hi) // 2
             counters.comparisons += 1
-            if self.stored.read(mid).start <= value:
+            if stored.read(mid).start <= value:
                 lo = mid + 1
             else:
                 hi = mid
         return lo
+
+    def collect_from(self, index: int, bound: int, counters: Counters) -> list:
+        """Entries from ``index`` onward while ``start < bound``.
+
+        The shared forward-scan kernel of ``range_entries`` and ViewJoin's
+        flush-time region fetch: every probed entry (including the one that
+        breaks the scan) costs one accounted page access and one
+        comparison; every collected entry counts as scanned.  Record
+        objects are built only for collected entries on the columnar path.
+        """
+        stored = self.stored
+        total = len(stored)
+        result: list = []
+        columns = stored.columns
+        if columns is not None:
+            starts = columns.starts
+            touch_index = stored.touch_index
+            entry_at = columns.entry
+            while index < total:
+                touch_index(index)
+                counters.comparisons += 1
+                if starts[index] >= bound:
+                    break
+                result.append(entry_at(index))
+                counters.elements_scanned += 1
+                index += 1
+            return result
+        while index < total:
+            entry = stored.read(index)
+            counters.comparisons += 1
+            if entry.start >= bound:
+                break
+            result.append(entry)
+            counters.elements_scanned += 1
+            index += 1
+        return result
 
     def range_entries(
         self, start: int, end: int, counters: Counters
     ) -> list:
         """All entries with start label inside the open interval
         ``(start, end)``, via binary search + forward scan."""
-        index = self.bisect_start(start, counters)
-        result = []
-        total = len(self.stored)
-        while index < total:
-            entry = self.stored.read(index)
-            counters.comparisons += 1
-            if entry.start >= end:
-                break
-            result.append(entry)
-            counters.elements_scanned += 1
-            index += 1
-        return result
+        return self.collect_from(
+            self.bisect_start(start, counters), end, counters
+        )
 
 
 def build_sources(

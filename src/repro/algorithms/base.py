@@ -18,12 +18,17 @@ those counters, so all algorithms are instrumented identically.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.storage.lists import ListCursor
 from repro.storage.pager import IOStats
 from repro.storage.records import ElementEntry
+
+#: Exhausted-cursor sentinel: ``start``/``end`` compare greater than every
+#: real label, so stream-merging loops need no separate None checks.
+_INF = float("inf")
 
 
 class Mode(enum.Enum):
@@ -112,45 +117,164 @@ class EvalResult:
     #: paper's lambda=1 choice rests on evaluation being CPU-bound; this
     #: split makes the claim observable.
     output_seconds: float = 0.0
+    _sorted_matches: list[Match] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _match_keys: list[tuple[int, ...]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def sorted_matches(self) -> list[Match]:
-        return sorted(
-            self.matches, key=lambda m: tuple(e.start for e in m)
-        )
+        """Matches in document order (cached; ``matches`` is final)."""
+        cached = self._sorted_matches
+        if cached is None:
+            cached = sorted(
+                self.matches, key=lambda m: tuple(e.start for e in m)
+            )
+            self._sorted_matches = cached
+        return cached
 
     def match_keys(self) -> list[tuple[int, ...]]:
-        """Canonical representation used by the differential tests."""
-        return sorted(tuple(e.start for e in m) for m in self.matches)
+        """Canonical representation used by the differential tests (cached)."""
+        cached = self._match_keys
+        if cached is None:
+            cached = sorted(tuple(e.start for e in m) for m in self.matches)
+            self._match_keys = cached
+        return cached
 
 
 class CountingCursor:
-    """A :class:`ListCursor` that attributes every move to counters."""
+    """A :class:`ListCursor` that attributes every move to counters.
 
-    __slots__ = ("cursor", "counters")
+    This is the engines' cursor kernel.  ``start``/``end``/``level`` are
+    plain attributes holding the head entry's labels as raw ints (``_INF``
+    floats once exhausted), so join loops compare numbers without building
+    a record object per advance; ``current`` constructs the record on
+    demand — engines call it only when a head is actually emitted into a
+    match buffer.
+
+    When the underlying list carries packed columns the cursor advances
+    over the raw column arrays directly, mirroring the buffer pool's read
+    accounting via :meth:`~repro.storage.pager.BufferPool.touch`; otherwise
+    every move delegates to the wrapped pool-served :class:`ListCursor`.
+    Counter increments live in the shared methods, so fast and slow paths
+    report identical work by construction.
+    """
+
+    __slots__ = (
+        "cursor", "counters", "position", "start", "end",
+        "_columns", "_starts", "_ends", "_length", "_touch", "_decoder_id",
+        "_page_ids", "_breaks", "_page", "_page_hi",
+    )
 
     def __init__(self, cursor: ListCursor, counters: Counters):
         self.cursor = cursor
         self.counters = counters
+        stored = cursor.list
+        columns = stored.columns
+        self._columns = columns
+        self._length = len(stored)
+        self.position = cursor.position
+        if columns is None:
+            head = cursor.current
+            if head is None:
+                self.start = _INF
+                self.end = _INF
+            else:
+                self.start = head.start
+                self.end = head.end
+            return
+        self._starts = columns.starts
+        self._ends = columns.ends
+        self._touch = stored.pager.pool.touch
+        self._decoder_id = stored._decoder_id
+        page_ids, breaks = stored.page_map()
+        self._page_ids = page_ids
+        self._breaks = breaks
+        position = self.position
+        if position < self._length:
+            page = bisect_right(breaks, position, 0, len(page_ids)) - 1
+            self._page = page
+            self._page_hi = breaks[page + 1]
+            self.start = self._starts[position]
+            self.end = self._ends[position]
+        else:
+            self._page = 0
+            self._page_hi = 0
+            self.start = _INF
+            self.end = _INF
 
     @property
     def current(self):
-        return self.cursor.current
+        """The head entry as a record object (None past the end)."""
+        columns = self._columns
+        if columns is None:
+            return self.cursor.current
+        if self.start is _INF:
+            return None
+        return columns.entry(self.position)
 
     @property
-    def position(self) -> int:
-        return self.cursor.position
+    def level(self) -> int:
+        """Level label of the head entry (head must exist)."""
+        columns = self._columns
+        if columns is None:
+            return self.cursor.current.level
+        return columns.levels[self.position]
+
+    @property
+    def following(self) -> int:
+        """Following pointer of the head entry (linked schemes only)."""
+        columns = self._columns
+        if columns is None:
+            return self.cursor.current.following
+        return columns.following[self.position]
+
+    def child_pointer(self, slot: int) -> int:
+        """Child pointer ``slot`` of the head entry (linked schemes only)."""
+        columns = self._columns
+        if columns is None:
+            return self.cursor.current.children[slot]
+        return columns.children[slot][self.position]
 
     @property
     def exhausted(self) -> bool:
-        return self.cursor.current is None
+        return self.start is _INF
 
     def __len__(self) -> int:
-        return len(self.cursor.list)
+        return self._length
 
     def advance(self) -> None:
         """Sequential move to the next entry."""
         self.counters.elements_scanned += 1
-        self.cursor.advance()
+        columns = self._columns
+        if columns is None:
+            cursor = self.cursor
+            cursor.advance()
+            self.position = cursor.position
+            head = cursor.current
+            if head is None:
+                self.start = _INF
+                self.end = _INF
+            else:
+                self.start = head.start
+                self.end = head.end
+            return
+        if self.start is _INF:
+            return
+        position = self.position + 1
+        self.position = position
+        if position >= self._length:
+            self.start = _INF
+            self.end = _INF
+            return
+        if position >= self._page_hi:
+            page = self._page + 1
+            self._page = page
+            self._page_hi = self._breaks[page + 1]
+        self._touch(self._page_ids[self._page], self._decoder_id)
+        self.start = self._starts[position]
+        self.end = self._ends[position]
 
     def seek_pointer(self, index: int) -> None:
         """Jump forward via a materialized pointer to entry ``index``.
@@ -159,11 +283,35 @@ class CountingCursor:
         position are ignored (the cursor discipline of the algorithms only
         skips forward over provably dead entries).
         """
-        if index <= self.cursor.position:
+        if index <= self.position:
             return
         self.counters.pointer_jumps += 1
-        self.counters.entries_skipped += index - self.cursor.position - 1
-        self.cursor.seek(index)
+        self.counters.entries_skipped += index - self.position - 1
+        columns = self._columns
+        if columns is None:
+            cursor = self.cursor
+            cursor.seek(index)
+            self.position = cursor.position
+            head = cursor.current
+            if head is None:
+                self.start = _INF
+                self.end = _INF
+            else:
+                self.start = head.start
+                self.end = head.end
+            return
+        if index >= self._length:
+            self.position = self._length
+            self.start = _INF
+            self.end = _INF
+            return
+        self.position = index
+        page = bisect_right(self._breaks, index, 0, len(self._page_ids)) - 1
+        self._page = page
+        self._page_hi = self._breaks[page + 1]
+        self._touch(self._page_ids[page], self._decoder_id)
+        self.start = self._starts[index]
+        self.end = self._ends[index]
 
     def peek(self, index: int):
         return self.cursor.peek(index)

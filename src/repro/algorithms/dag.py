@@ -30,7 +30,7 @@ from repro.algorithms.base import Counters, Match, element_of
 from repro.storage.lists import StoredList
 from repro.storage.pager import Pager
 from repro.storage.records import ElementEntry, element_codec
-from repro.tpq.enumeration import enumerate_matches
+from repro.tpq.enumeration import iter_matches
 from repro.tpq.pattern import Pattern
 
 
@@ -110,26 +110,36 @@ class DagBuffer:
             self.peak_entries = self._size
 
     def has_open_ancestor(self, tag: str, entry) -> bool:
-        """True iff some buffered ``tag``-node's region contains ``entry``.
+        """True iff some buffered ``tag``-node's region contains ``entry``."""
+        return self.open_ancestor(tag, entry.start, entry.end)
 
-        Implements get_next's "has a p-type ancestor in F" test.  A buffered
-        candidate contains ``entry`` iff its start precedes ``entry.start``
-        and its end exceeds ``entry.end`` (regions nest or are disjoint), so
-        the check reduces to a prefix-max-of-ends lookup — exact and
-        non-destructive, unlike a shared pop-on-read stack, which would be
-        order-sensitive when several consumers probe the same tag.
+    def open_ancestor(self, tag: str, start: int, end: int) -> bool:
+        """True iff some buffered ``tag`` region contains ``(start, end)``.
+
+        Implements get_next's "has a p-type ancestor in F" test on raw
+        labels (the columnar fast path passes cursor ints directly).  A
+        buffered candidate contains the region iff its start precedes
+        ``start`` and its end exceeds ``end`` (regions nest or are
+        disjoint), so the check reduces to a prefix-max-of-ends lookup —
+        exact and non-destructive, unlike a shared pop-on-read stack, which
+        would be order-sensitive when several consumers probe the same tag.
         """
         starts = self._starts.get(tag)
         if not starts:
             return False
-        pos = bisect_left(starts, entry.start)
+        pos = bisect_left(starts, start)
         if pos == 0:
             return False
-        return self._prefix_max_end[tag][pos - 1] > entry.end
+        return self._prefix_max_end[tag][pos - 1] > end
 
     def innermost_container(self, tag: str, entry):
         """The buffered ``tag`` candidate with the largest start whose
-        region contains ``entry``, or None.
+        region contains ``entry``, or None."""
+        return self.innermost_container_at(tag, entry.start, entry.end)
+
+    def innermost_container_at(self, tag: str, start: int, end: int):
+        """The buffered ``tag`` candidate with the largest start whose
+        region contains ``(start, end)``, or None.
 
         Containers of a node form a nested chain, so the innermost one has
         the maximal level among them — which makes this the primitive for
@@ -141,12 +151,12 @@ class DagBuffer:
             return None
         bucket = self._lists[tag]
         prefix = self._prefix_max_end[tag]
-        position = bisect_left(starts, entry.start) - 1
+        position = bisect_left(starts, start) - 1
         while position >= 0:
-            if prefix[position] <= entry.start:
+            if prefix[position] <= start:
                 return None  # nothing further left can reach this entry
             candidate = bucket[position]
-            if candidate.end > entry.end:
+            if candidate.end > end:
                 return candidate
             position -= 1
         return None
@@ -204,22 +214,26 @@ class DagBuffer:
             candidates = {
                 tag: self._lists.get(tag, []) for tag in self.query.tags()
             }
+        # Project linked records down to bare element labels once per
+        # candidate, so emitted match tuples need no per-component
+        # conversion (matches repeat each candidate many times over).
+        candidates = {
+            tag: [element_of(entry) for entry in entries]
+            for tag, entries in candidates.items()
+        }
         if self.spill_pager is not None:
             candidates = self._spill_and_reload(candidates)
-        found = enumerate_matches(self.query, candidates)
+        found = list(iter_matches(self.query, candidates))
+        # ElementEntry components compare start-first and starts are
+        # document-unique, so the plain sort realizes enumerate_matches'
+        # tuple-of-starts order without building a key per match.
+        found.sort()
         self.match_count += len(found)
         self.counters.matches += len(found)
         if self.sink is not None:
-            self.sink(
-                [
-                    tuple(element_of(entry) for entry in match)
-                    for match in found
-                ]
-            )
+            self.sink(found)
         elif self.emit_matches:
-            self.matches.extend(
-                tuple(element_of(entry) for entry in match) for match in found
-            )
+            self.matches.extend(found)
         self.output_seconds += time.perf_counter() - begin
         self._reset()
 
@@ -243,9 +257,10 @@ class DagBuffer:
         for tag in self.query.tags():
             entries = candidates.get(tag, ())
             stored = StoredList(
-                self.spill_pager, element_codec(), name=f"spill:{tag}"
+                self.spill_pager, element_codec(), name=f"spill:{tag}",
+                columnar=False,  # written once, scanned once: no reuse
             )
-            stored.extend(element_of(entry) for entry in entries)
+            stored.extend(entries)  # already projected to ElementEntry
             stored.finalize()
             reloaded[tag] = list(stored.scan())
         return reloaded

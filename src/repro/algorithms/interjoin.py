@@ -17,6 +17,7 @@ comparison measures.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Sequence
 
 from repro.algorithms.base import Counters, EvalResult, Mode
@@ -198,8 +199,11 @@ class _InterJoinRun:
             a_tags, a_tuples, a_slot = right_tags, right, anc_slot
             b_tags, b_tuples, b_slot = left_tags, left, desc_slot
 
-        a_sorted = sorted(a_tuples, key=lambda t: t[a_slot].start)
-        b_sorted = sorted(b_tuples, key=lambda t: t[b_slot].start)
+        # Entries are (start, end, level) tuples with document-unique
+        # starts, so keying on the whole entry sorts exactly by start
+        # without a per-tuple lambda call.
+        a_sorted = sorted(a_tuples, key=itemgetter(a_slot))
+        b_sorted = sorted(b_tuples, key=itemgetter(b_slot))
         self.counters.comparisons += len(a_sorted) + len(b_sorted)
 
         out: list[_PartialTuple] = []
@@ -294,5 +298,8 @@ class _InterJoinRun:
         """Reorder components to query preorder and sort the output."""
         order = [tags.index(tag) for tag in self.chain]
         result = [tuple(t[i] for i in order) for t in tuples]
-        result.sort(key=lambda t: tuple(e.start for e in t))
+        # Lexicographic tuple comparison decides on the leading starts
+        # (starts are document-unique), matching the tuple-of-starts key
+        # without building one per output tuple.
+        result.sort()
         return result

@@ -14,7 +14,13 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.algorithms.access import TagSource
-from repro.algorithms.base import Counters, CountingCursor, EvalResult, Mode
+from repro.algorithms.base import (
+    _INF,
+    Counters,
+    CountingCursor,
+    EvalResult,
+    Mode,
+)
 from repro.algorithms.dag import DagBuffer
 from repro.errors import EvaluationError
 from repro.storage.pager import Pager
@@ -73,21 +79,23 @@ def _sweep(
     while True:
         # Pick the stream with the globally smallest head start.
         qmin = None
+        qmin_start = _INF
         for qnode in chain:
-            head = cursors[qnode.tag].current
-            if head is None:
+            head_start = cursors[qnode.tag].start
+            if head_start is _INF:
                 continue
             counters.comparisons += 1
-            if qmin is None or head.start < cursors[qmin.tag].current.start:
+            if qmin is None or head_start < qmin_start:
                 qmin = qnode
+                qmin_start = head_start
         if qmin is None:
             return
         # Once the top stream is exhausted, deeper elements can no longer
         # find new ancestors; remaining admissions still happen for streams
         # with smaller heads, so only stop when everything is exhausted.
         cursor = cursors[qmin.tag]
-        entry = cursor.current
         if qmin.parent is None:
+            entry = cursor.current
             if dag.partition_root is None:
                 dag.set_partition_root(entry)
             elif entry.start > dag.partition_end:
@@ -96,6 +104,6 @@ def _sweep(
             dag.add(qmin.tag, entry)
         else:
             counters.comparisons += 1
-            if dag.has_open_ancestor(qmin.parent.tag, entry):
-                dag.add(qmin.tag, entry)
+            if dag.open_ancestor(qmin.parent.tag, cursor.start, cursor.end):
+                dag.add(qmin.tag, cursor.current)
         cursor.advance()

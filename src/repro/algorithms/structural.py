@@ -53,5 +53,7 @@ def structural_join(
             if parent_child and anc.level != desc.level - 1:
                 continue
             out.append((anc, desc))
-    out.sort(key=lambda pair: (pair[0].start, pair[1].start))
+    # Entries compare by start first (starts are document-unique), so the
+    # plain pair sort realizes the (a.start, d.start) order keylessly.
+    out.sort()
     return out

@@ -20,12 +20,16 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.algorithms.access import TagSource
-from repro.algorithms.base import Counters, CountingCursor, EvalResult, Mode
+from repro.algorithms.base import (
+    _INF,
+    Counters,
+    CountingCursor,
+    EvalResult,
+    Mode,
+)
 from repro.algorithms.dag import DagBuffer
 from repro.storage.pager import Pager
 from repro.tpq.pattern import Pattern, PatternNode
-
-_INF = float("inf")
 
 
 def twigstack(
@@ -140,19 +144,18 @@ class _TwigStackRun:
             elif settled is not child:
                 return settled
             else:
-                head = self.cursors[child.tag].current
-                head_start = head.start if head is not None else _INF
+                head_start = self.cursors[child.tag].start
             if head_start < min_start:
                 min_child, min_start = child, head_start
             if head_start > max_start:
                 max_start = head_start
-        while cursor.current is not None and cursor.current.end < max_start:
+        while cursor.end < max_start:
             self.counters.comparisons += 1
             cursor.advance()
-        head = cursor.current
-        if head is not None:
+        head_start = cursor.start
+        if head_start is not _INF:
             self.counters.comparisons += 1
-            if head.start < min_start:
+            if head_start < min_start:
                 return qnode
         if min_child is None:
             return None
@@ -160,8 +163,8 @@ class _TwigStackRun:
 
     def _act_on(self, qnode: PatternNode) -> None:
         cursor = self.cursors[qnode.tag]
-        entry = cursor.current
         if qnode.parent is None:
+            entry = cursor.current
             if self.dag.partition_root is None:
                 self.dag.set_partition_root(entry)
             elif entry.start > self.dag.partition_end:
@@ -170,16 +173,18 @@ class _TwigStackRun:
             self.dag.add(qnode.tag, entry)
         else:
             self.counters.comparisons += 1
-            if self._admissible(qnode, entry):
-                self.dag.add(qnode.tag, entry)
+            if self._admissible(qnode, cursor):
+                self.dag.add(qnode.tag, cursor.current)
         cursor.advance()
 
-    def _admissible(self, qnode: PatternNode, entry) -> bool:
+    def _admissible(self, qnode: PatternNode, cursor: CountingCursor) -> bool:
         parent_tag = qnode.parent.tag
         if self.strict_pc and qnode.axis.is_pc:
-            container = self.dag.innermost_container(parent_tag, entry)
+            container = self.dag.innermost_container_at(
+                parent_tag, cursor.start, cursor.end
+            )
             return (
                 container is not None
-                and container.level == entry.level - 1
+                and container.level == cursor.level - 1
             )
-        return self.dag.has_open_ancestor(parent_tag, entry)
+        return self.dag.open_ancestor(parent_tag, cursor.start, cursor.end)

@@ -29,17 +29,23 @@ this repository is differentially tested against the naive oracle.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Mapping
 
 from repro.algorithms.access import TagSource
-from repro.algorithms.base import Counters, CountingCursor, EvalResult, Mode
+from repro.algorithms.base import (
+    _INF,
+    Counters,
+    CountingCursor,
+    EvalResult,
+    Mode,
+)
 from repro.algorithms.dag import DagBuffer
 from repro.algorithms.segmentation import Segment, SegmentedQuery, segment_query
 from repro.storage.pager import Pager
-from repro.storage.records import ElementEntry
 from repro.tpq.pattern import Axis, Pattern
 
-_INF = float("inf")
+_solution_start = itemgetter(1)
 
 
 def viewjoin(
@@ -108,6 +114,9 @@ class _ViewJoinRun:
             for tag in self.seg.retained
             if self.seg.view_of(tag).node(tag).parent is None
         }
+        # (parent_tag, child_tag) -> child-pointer slot usable for skip
+        # jumps, or None; resolved once instead of per refresh.
+        self._skip_slots: dict[tuple[str, str], int | None] = {}
 
     # -- driver (Algorithm 1) ---------------------------------------------------
 
@@ -115,17 +124,18 @@ class _ViewJoinRun:
         try:
             root_tag = self.seg.root_tag
             root_segment = self.seg.root_segment
+            root_cursor = self.cursors[root_tag]
             while True:
                 result = self._get_next(root_segment)
                 if result is None:
                     break
-                tag, entry = result
+                tag, start = result
                 if tag == root_tag:
                     if self.dag.partition_root is None:
-                        self.dag.set_partition_root(entry)
-                    elif entry.start > self.dag.partition_end:
+                        self.dag.set_partition_root(root_cursor.current)
+                    elif start > self.dag.partition_end:
                         self.dag.flush(self._extend)
-                        self.dag.set_partition_root(entry)
+                        self.dag.set_partition_root(root_cursor.current)
                 self._add_nodes(tag)
             self.dag.flush(self._extend)
             return EvalResult(
@@ -142,9 +152,11 @@ class _ViewJoinRun:
 
     # -- get_next (Function 3) -----------------------------------------------------
 
-    def _get_next(self, segment: Segment) -> tuple[str, ElementEntry] | None:
-        """Next solution node reachable through ``segment``, or None when
-        the segment can produce no further solutions.
+    def _get_next(self, segment: Segment) -> tuple[str, int] | None:
+        """Next solution node reachable through ``segment`` as a
+        ``(tag, start)`` pair, or None when the segment can produce no
+        further solutions.  Solutions are always current cursor heads, so
+        the raw start label identifies the entry without constructing it.
 
         A None child is skipped rather than propagated: its tags may still
         pair with already-buffered candidates, so sibling segments continue.
@@ -153,9 +165,10 @@ class _ViewJoinRun:
         root_tag = segment.root_tag
         root_cursor = self.cursors[root_tag]
         if segment.is_leaf:
-            if root_cursor.exhausted:
+            root_start = root_cursor.start
+            if root_start is _INF:
                 return None
-            return (root_tag, root_cursor.current)
+            return (root_tag, root_start)
         # Note: the paper's Function 3 also short-circuits on a cached
         # solution (sol) for non-leaf segments.  That hides smaller pending
         # solutions in child segments and can flush a partition before they
@@ -163,13 +176,13 @@ class _ViewJoinRun:
         # their entries from being skipped, never from recursion.
 
         while True:
-            solutions: list[tuple[str, ElementEntry]] = []
+            solutions: list[tuple[str, int]] = []
             restart = False
             for child in segment.children:
                 settled = self._get_next(child)
                 if settled is None:
                     continue
-                s_tag, s_entry = settled
+                s_tag, s_start = settled
                 if s_tag != child.root_tag:
                     # A deeper blocking solution; propagate for admission.
                     solutions.append(settled)
@@ -177,12 +190,13 @@ class _ViewJoinRun:
                 parent_tag = child.parent_tag
                 assert parent_tag is not None
                 parent_cursor = self.cursors[parent_tag]
-                parent_head = parent_cursor.current
-                p_start = parent_head.start if parent_head else _INF
-                p_end = parent_head.end if parent_head else _INF
+                p_start = parent_cursor.start
                 self.counters.comparisons += 1
-                if s_entry.start < p_start:
-                    if self.dag.has_open_ancestor(parent_tag, s_entry):
+                if s_start < p_start:
+                    child_cursor = self.cursors[s_tag]
+                    if self.dag.open_ancestor(
+                        parent_tag, child_cursor.start, child_cursor.end
+                    ):
                         solutions.append(settled)
                     else:
                         self._advance_segment_root(
@@ -190,10 +204,10 @@ class _ViewJoinRun:
                         )
                         restart = True
                         break
-                elif s_entry.start > p_end:
+                elif s_start > parent_cursor.end:
                     # parent head cannot contain this (or any later) child
                     # solution: skip dead parent entries via pointers.
-                    self._advance_pointers(parent_tag, s_entry.start)
+                    self._advance_pointers(parent_tag, s_start)
                     restart = True
                     break
                 else:
@@ -202,12 +216,12 @@ class _ViewJoinRun:
                 break
 
         for tag in segment.tags:
-            cursor = self.cursors[tag]
-            if cursor.current is not None:
-                solutions.append((tag, cursor.current))
+            head_start = self.cursors[tag].start
+            if head_start is not _INF:
+                solutions.append((tag, head_start))
         if not solutions:
             return None
-        return min(solutions, key=lambda item: item[1].start)
+        return min(solutions, key=_solution_start)
 
     # -- add_nodes (Function 2) -------------------------------------------------------
 
@@ -221,16 +235,13 @@ class _ViewJoinRun:
         root_tag = self.seg.root_tag
         for qi in self.seg.subtree_tags(tag):
             cursor = self.cursors[qi]
-            if cursor.current is None:
+            if cursor.start is _INF:
                 continue
             if qi != root_tag:
                 parent_cursor = self.cursors[self.seg.parent_of[qi]]
-                parent_head = parent_cursor.current
+                parent_start = parent_cursor.start
                 self.counters.comparisons += 1
-                if (
-                    parent_head is not None
-                    and cursor.current.start > parent_head.start
-                ):
+                if parent_start is not _INF and cursor.start > parent_start:
                     self.sol[qi] = cursor.position
                     break
             self.dag.add(qi, cursor.current)
@@ -246,9 +257,9 @@ class _ViewJoinRun:
         parent head and have no buffered parent candidate (lines 15-16)."""
         cursor = self.cursors[tag]
         cursor.advance()
-        while cursor.current is not None and cursor.current.start < bound:
+        while cursor.start < bound:
             self.counters.comparisons += 1
-            if self.dag.has_open_ancestor(parent_tag, cursor.current):
+            if self.dag.open_ancestor(parent_tag, cursor.start, cursor.end):
                 break
             cursor.advance()
 
@@ -272,17 +283,16 @@ class _ViewJoinRun:
         use_pointers = (
             tag in self._unconstrained and self.sources[tag].has_pointers
         )
-        while cursor.current is not None:
+        while cursor.start is not _INF:
             self.counters.comparisons += 1
-            entry = cursor.current
-            if entry.end >= limit:
+            if cursor.end >= limit:
                 break
             if use_pointers:
-                target = entry.following
+                target = cursor.following
                 if target >= 0:
                     cursor.seek_pointer(target)
                     continue
-                if target == -1:  # NULL: remaining entries nest inside entry
+                if target == -1:  # NULL: remaining entries nest inside head
                     cursor.seek_pointer(len(cursor))
                     continue
                 # UNMATERIALIZED (LE_p): the target is adjacent.
@@ -302,34 +312,44 @@ class _ViewJoinRun:
         """
         for qi in self.seg.subtree_tags(tag)[1:]:
             parent_tag = self.seg.parent_of[qi]
-            parent_head = self.cursors[parent_tag].current
-            if parent_head is None:
+            parent_cursor = self.cursors[parent_tag]
+            parent_start = parent_cursor.start
+            if parent_start is _INF:
                 continue
             cursor = self.cursors[qi]
-            if cursor.current is None:
+            if cursor.start is _INF:
                 continue
             if self.sol.get(qi) == cursor.position:
                 continue  # never skip a cached solution
-            point = cursor.current.start
             self.counters.comparisons += 1
-            if self.dag.max_buffered_end(parent_tag) > point:
+            if self.dag.max_buffered_end(parent_tag) > cursor.start:
                 continue  # a buffered ancestor may still pair with skipped entries
-            target = self._pointer_target(parent_tag, parent_head, qi)
+            target = self._pointer_target(parent_tag, qi)
             if target is not None:
                 cursor.seek_pointer(target)
                 continue
-            while (
-                cursor.current is not None
-                and cursor.current.start < parent_head.start
-            ):
+            while cursor.start < parent_start:
                 self.counters.comparisons += 1
                 cursor.advance()
 
-    def _pointer_target(
-        self, parent_tag: str, parent_head, child_tag: str
-    ) -> int | None:
+    def _pointer_target(self, parent_tag: str, child_tag: str) -> int | None:
         """Entry index of the parent head's first ``child_tag`` partner, if
         a materialized ad child pointer provides it."""
+        key = (parent_tag, child_tag)
+        slot = self._skip_slots.get(key, -1)
+        if slot == -1:
+            slot = self._resolve_skip_slot(parent_tag, child_tag)
+            self._skip_slots[key] = slot
+        if slot is None:
+            return None
+        target = self.cursors[parent_tag].child_pointer(slot)
+        if target < 0:
+            return None
+        return target
+
+    def _resolve_skip_slot(self, parent_tag: str, child_tag: str) -> int | None:
+        """Child-pointer slot usable for skip jumps on this Q' edge, if any
+        (linked scheme, ad view edge directly below ``parent_tag``)."""
         source = self.sources[parent_tag]
         if not source.has_pointers:
             return None
@@ -341,13 +361,7 @@ class _ViewJoinRun:
             return None
         if child_node.axis is not Axis.DESCENDANT:
             return None  # pc pointers may overshoot ad candidates
-        slot = source.child_slot(child_tag)
-        if slot is None:
-            return None
-        target = parent_head.children[slot]
-        if target < 0:
-            return None
-        return target
+        return source.child_slot(child_tag)
 
     # -- flush extension (Algorithm 1 line 10) ----------------------------------------------
 
@@ -394,7 +408,6 @@ class _ViewJoinRun:
         )
         result: list = []
         last_end = -1
-        total = len(source.stored)
         for parent in parents:
             if parent.start < last_end:
                 continue  # nested inside the previous region: already fetched
@@ -406,12 +419,7 @@ class _ViewJoinRun:
                 continue  # null child pointer: no partner in this region
             else:
                 index = source.bisect_start(parent.start, self.counters)
-            while index < total:
-                entry = source.stored.read(index)
-                self.counters.comparisons += 1
-                if entry.start >= parent.end:
-                    break
-                result.append(entry)
-                self.counters.elements_scanned += 1
-                index += 1
+            result.extend(
+                source.collect_from(index, parent.end, self.counters)
+            )
         return result

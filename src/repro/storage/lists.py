@@ -5,11 +5,21 @@ packs fixed-width records into them.  Reads are served through the pager's
 buffer pool; pages are decoded into record tuples at most once per pool
 residency.  :class:`ListCursor` provides the sequential/seekable access
 pattern every join algorithm in the paper uses.
+
+Finalized lists whose codec supports it additionally carry **packed
+columns** (:mod:`repro.storage.records`): one flat array per record field,
+built once at finalize/attach time from the raw pages.  Columnar reads
+serve field values without touching the decoded-page path, while the
+buffer pool's :meth:`~repro.storage.pager.BufferPool.touch` mirror keeps
+logical/physical read accounting and LRU residency byte-identical to
+pool-served reads.
 """
 
 from __future__ import annotations
 
+import os
 import struct
+from array import array
 from bisect import bisect_right
 from typing import Iterator, Sequence
 
@@ -19,14 +29,33 @@ from repro.storage.pager import Pager
 _DECODER_IDS = iter(range(1, 1 << 30))
 
 
+def columnar_enabled() -> bool:
+    """Global knob for the columnar fast path.
+
+    ``REPRO_COLUMNAR=0`` (checked at list construction time) bypasses
+    column building entirely, forcing every read through the pool-served
+    decode path — the reference behaviour the differential tests compare
+    the fast path against.
+    """
+    return os.environ.get("REPRO_COLUMNAR", "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
 class StoredList:
     """A sequence of fixed-width records stored across pages.
 
     Build with :meth:`append` calls followed by :meth:`finalize`; afterwards
     the list is immutable and randomly addressable by entry index.
+
+    Args:
+        columnar: build packed columns at finalize/attach time when the
+            codec supports them.  Disabled for throwaway lists (e.g. the
+            disk-mode spill) where the build cost buys nothing.
     """
 
-    def __init__(self, pager: Pager, codec, name: str = "list"):
+    def __init__(self, pager: Pager, codec, name: str = "list",
+                 columnar: bool = True):
         self.pager = pager
         self.codec = codec
         self.name = name
@@ -40,6 +69,12 @@ class StoredList:
         self._length = 0
         self._write_buffer = bytearray()
         self._finalized = False
+        self._columnar = (
+            columnar and hasattr(codec, "extend_columns")
+            and columnar_enabled()
+        )
+        self._columns = None
+        self._page_map: tuple[list[int], array] | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -72,7 +107,46 @@ class StoredList:
         if self._write_buffer:
             self._flush_page()
         self._finalized = True
+        self._build_columns()
         return self
+
+    def _build_columns(self) -> None:
+        """Decode every page once into packed columns (uncounted reads).
+
+        Runs at finalize/attach time — before any measured evaluation — so
+        the build never pollutes the run's I/O statistics.
+        """
+        if not self._columnar or self._columns is not None or not self._length:
+            return
+        columns = self.codec.make_columns()
+        extend = self.codec.extend_columns
+        read_raw = self.pager.page_file.read_page_raw
+        per_page = self.records_per_page
+        remaining = self._length
+        for page_id in self._page_ids:
+            count = per_page if remaining >= per_page else remaining
+            extend(columns, read_raw(page_id), count)
+            remaining -= count
+        self._columns = columns
+
+    @property
+    def columns(self):
+        """Packed columns, or None when the fast path is unavailable."""
+        return self._columns
+
+    def page_map(self) -> tuple[list[int], array]:
+        """``(page_ids, breaks)`` where ``breaks[k]`` is the first entry
+        index on page ``k`` (with a final sentinel of ``len(self)``)."""
+        cached = self._page_map
+        if cached is None:
+            per_page = self.records_per_page
+            breaks = array("q", range(0, len(self._page_ids) * per_page,
+                                      per_page))
+            breaks.append(self._length)
+            cached = (self._page_ids, breaks)
+            if self._finalized:
+                self._page_map = cached
+        return cached
 
     # -- persistence ---------------------------------------------------------
 
@@ -82,12 +156,13 @@ class StoredList:
 
     @classmethod
     def attach(cls, pager: Pager, codec, manifest: dict,
-               name: str = "list") -> "StoredList":
+               name: str = "list", columnar: bool = True) -> "StoredList":
         """Reconstruct a finalized list over existing pages."""
-        stored = cls(pager, codec, name=name)
+        stored = cls(pager, codec, name=name, columnar=columnar)
         stored._page_ids = list(manifest["page_ids"])
         stored._length = int(manifest["length"])
         stored._finalized = True
+        stored._build_columns()
         return stored
 
     # -- metadata ----------------------------------------------------------------
@@ -122,29 +197,63 @@ class StoredList:
     # -- reads ---------------------------------------------------------------------
 
     def read(self, index: int):
-        """Read one record through the buffer pool."""
+        """Read one record (buffer pool, or columns with mirrored stats)."""
         if not self._finalized:
             raise StorageError(f"list {self.name!r} not finalized")
         self._check_index(index)
         page_number = index // self.records_per_page
-        slot = index % self.records_per_page
-        page = self.pager.pool.get(
-            self._page_ids[page_number], self._decoder_id, self._decode_page
+        columns = self._columns
+        if columns is not None:
+            self.pager.pool.touch(self._page_ids[page_number],
+                                  self._decoder_id)
+            return columns.entry(index)
+        decoder = (
+            self._decode_final_page
+            if page_number == len(self._page_ids) - 1
+            else self._decode_page
         )
-        return page[slot]
+        page = self.pager.pool.get(
+            self._page_ids[page_number], self._decoder_id, decoder
+        )
+        return page[index % self.records_per_page]
 
-    def _decode_page(self, raw: bytes) -> Sequence:
+    def touch_index(self, index: int) -> None:
+        """Account a columnar access of entry ``index`` (no decode)."""
+        self.pager.pool.touch(
+            self._page_ids[index // self.records_per_page], self._decoder_id
+        )
+
+    def _decode_page(self, raw: bytes, count: int | None = None) -> Sequence:
+        if count is None:
+            count = self.records_per_page
+        decode_page = getattr(self.codec, "decode_page", None)
+        if decode_page is not None:
+            return decode_page(raw, count)
         decode = self.codec.decode
         width = self.codec.width
-        return [
-            decode(raw, offset)
-            for offset in range(0, self.records_per_page * width, width)
-        ]
+        return [decode(raw, offset) for offset in range(0, count * width, width)]
+
+    def _decode_final_page(self, raw: bytes) -> Sequence:
+        """Decode only the occupied slots of the (possibly partial) last
+        page — trailing slots hold stale bytes, not records."""
+        tail = self._length - (len(self._page_ids) - 1) * self.records_per_page
+        return self._decode_page(raw, tail)
 
     def scan(self) -> Iterator:
         """Yield all records in order (through the buffer pool)."""
+        columns = self._columns
+        if columns is None:
+            for index in range(self._length):
+                yield self.read(index)
+            return
+        touch = self.pager.pool.touch
+        decoder_id = self._decoder_id
+        entry = columns.entry
+        page_ids = self._page_ids
+        per_page = self.records_per_page
         for index in range(self._length):
-            yield self.read(index)
+            touch(page_ids[index // per_page], decoder_id)
+            yield entry(index)
 
     def cursor(self) -> "ListCursor":
         return ListCursor(self)
@@ -163,7 +272,8 @@ class SlottedList:
     _HEADER = 2
     _SLOT = 2
 
-    def __init__(self, pager: Pager, codec, name: str = "list"):
+    def __init__(self, pager: Pager, codec, name: str = "list",
+                 columnar: bool = True):
         self.pager = pager
         self.codec = codec
         self.name = name
@@ -180,6 +290,11 @@ class SlottedList:
         self._pending: list[bytes] = []
         self._pending_bytes = 0
         self._finalized = False
+        self._columnar = (
+            columnar and hasattr(codec, "make_columns") and columnar_enabled()
+        )
+        self._columns = None
+        self._page_map: tuple[list[int], array] | None = None
 
     # -- construction ------------------------------------------------------------
 
@@ -230,7 +345,42 @@ class SlottedList:
         if self._pending:
             self._flush_page()
         self._finalized = True
+        self._build_columns()
         return self
+
+    def _build_columns(self) -> None:
+        """Decode every page once into packed columns (uncounted reads).
+
+        Variable-width records cannot be bulk-reinterpreted, so this decodes
+        each page through the codec and appends the entries.
+        """
+        if not self._columnar or self._columns is not None or not self._length:
+            return
+        columns = self.codec.make_columns()
+        append = columns.append
+        read_raw = self.pager.page_file.read_page_raw
+        for __, __, page_id in self._directory:
+            for entry in self._decode_page(read_raw(page_id)):
+                append(entry)
+        self._columns = columns
+
+    @property
+    def columns(self):
+        """Packed columns, or None when the fast path is unavailable."""
+        return self._columns
+
+    def page_map(self) -> tuple[list[int], array]:
+        """``(page_ids, breaks)`` where ``breaks[k]`` is the first entry
+        index on page ``k`` (with a final sentinel of ``len(self)``)."""
+        cached = self._page_map
+        if cached is None:
+            page_ids = [row[2] for row in self._directory]
+            breaks = array("q", (row[0] for row in self._directory))
+            breaks.append(self._length)
+            cached = (page_ids, breaks)
+            if self._finalized:
+                self._page_map = cached
+        return cached
 
     # -- persistence ---------------------------------------------------------
 
@@ -244,13 +394,14 @@ class SlottedList:
 
     @classmethod
     def attach(cls, pager: Pager, codec, manifest: dict,
-               name: str = "list") -> "SlottedList":
+               name: str = "list", columnar: bool = True) -> "SlottedList":
         """Reconstruct a finalized slotted list over existing pages."""
-        stored = cls(pager, codec, name=name)
+        stored = cls(pager, codec, name=name, columnar=columnar)
         stored._directory = [tuple(row) for row in manifest["directory"]]
         stored._length = int(manifest["length"])
         stored._payload_bytes = int(manifest["payload_bytes"])
         stored._finalized = True
+        stored._build_columns()
         return stored
 
     # -- metadata ----------------------------------------------------------------
@@ -280,8 +431,8 @@ class SlottedList:
             )
 
     def _locate(self, index: int) -> tuple[int, int, int]:
-        firsts = [row[0] for row in self._directory]
-        position = bisect_right(firsts, index) - 1
+        __, breaks = self.page_map()
+        position = bisect_right(breaks, index, 0, len(self._directory)) - 1
         return self._directory[position]
 
     # -- reads ---------------------------------------------------------------------
@@ -291,8 +442,16 @@ class SlottedList:
             raise StorageError(f"list {self.name!r} not finalized")
         self._check_index(index)
         first_index, count, page_id = self._locate(index)
+        columns = self._columns
+        if columns is not None:
+            self.pager.pool.touch(page_id, self._decoder_id)
+            return columns.entry(index)
         page = self.pager.pool.get(page_id, self._decoder_id, self._decode_page)
         return page[index - first_index]
+
+    def touch_index(self, index: int) -> None:
+        """Account a columnar access of entry ``index`` (no decode)."""
+        self.pager.pool.touch(self._locate(index)[2], self._decoder_id)
 
     def _decode_page(self, raw: bytes) -> Sequence:
         (count,) = struct.unpack_from("<H", raw, 0)
@@ -306,8 +465,18 @@ class SlottedList:
         return entries
 
     def scan(self) -> Iterator:
-        for index in range(self._length):
-            yield self.read(index)
+        columns = self._columns
+        if columns is None:
+            for index in range(self._length):
+                yield self.read(index)
+            return
+        touch = self.pager.pool.touch
+        decoder_id = self._decoder_id
+        entry = columns.entry
+        for first_index, count, page_id in self._directory:
+            for index in range(first_index, first_index + count):
+                touch(page_id, decoder_id)
+                yield entry(index)
 
     def cursor(self) -> "ListCursor":
         return ListCursor(self)
@@ -322,12 +491,32 @@ class ListCursor:
     when dereferencing materialized pointers).
     """
 
-    __slots__ = ("list", "position", "current")
+    __slots__ = ("list", "position", "current", "_columns", "_touch",
+                 "_decoder_id", "_page_ids", "_breaks", "_page", "_page_hi",
+                 "_length")
 
     def __init__(self, stored_list: StoredList):
         self.list = stored_list
         self.position = 0
-        self.current = stored_list.read(0) if len(stored_list) else None
+        columns = stored_list._columns
+        self._columns = columns
+        self._length = len(stored_list)
+        if columns is None:
+            self.current = stored_list.read(0) if self._length else None
+            return
+        self._touch = stored_list.pager.pool.touch
+        self._decoder_id = stored_list._decoder_id
+        page_ids, breaks = stored_list.page_map()
+        self._page_ids = page_ids
+        self._breaks = breaks
+        self._page = 0
+        if self._length:
+            self._page_hi = breaks[1]
+            self._touch(page_ids[0], self._decoder_id)
+            self.current = columns.entry(0)
+        else:
+            self._page_hi = 0
+            self.current = None
 
     @property
     def exhausted(self) -> bool:
@@ -337,22 +526,43 @@ class ListCursor:
         """Move to the next entry (no-op past the end)."""
         if self.current is None:
             return
-        self.position += 1
-        if self.position < len(self.list):
-            self.current = self.list.read(self.position)
-        else:
+        position = self.position + 1
+        self.position = position
+        columns = self._columns
+        if columns is None:
+            if position < self._length:
+                self.current = self.list.read(position)
+            else:
+                self.current = None
+            return
+        if position >= self._length:
             self.current = None
+            return
+        if position >= self._page_hi:
+            page = self._page + 1
+            self._page = page
+            self._page_hi = self._breaks[page + 1]
+        self._touch(self._page_ids[self._page], self._decoder_id)
+        self.current = columns.entry(position)
 
     def seek(self, index: int) -> None:
         """Position the cursor on entry ``index`` (or past the end)."""
-        if index >= len(self.list):
-            self.position = len(self.list)
+        if index >= self._length:
+            self.position = self._length
             self.current = None
             return
         if index < 0:
             raise StorageError(f"cannot seek to negative index {index}")
         self.position = index
-        self.current = self.list.read(index)
+        columns = self._columns
+        if columns is None:
+            self.current = self.list.read(index)
+            return
+        page = bisect_right(self._breaks, index, 0, len(self._page_ids)) - 1
+        self._page = page
+        self._page_hi = self._breaks[page + 1]
+        self._touch(self._page_ids[page], self._decoder_id)
+        self.current = columns.entry(index)
 
     def peek(self, index: int):
         """Read an arbitrary entry without moving the cursor."""

@@ -14,7 +14,13 @@ sentinels:
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
 from typing import NamedTuple
+
+#: Bulk column building reinterprets raw little-endian page bytes as native
+#: arrays; fall back to struct iteration anywhere that identity breaks.
+_NATIVE_U32 = sys.byteorder == "little" and array("I").itemsize == 4
 
 NULL_POINTER = -1
 UNMATERIALIZED_POINTER = -2
@@ -53,6 +59,83 @@ class LinkedEntry(NamedTuple):
         return ElementEntry(self.start, self.end, self.level)
 
 
+class ElementColumns:
+    """Packed per-field columns of an element-record list.
+
+    The decode-once substrate of the columnar fast path: ``starts``,
+    ``ends`` and ``levels`` are flat :class:`array.array` columns aligned
+    by entry index, so binary searches and cursor advancement compare raw
+    ints without per-access page decoding or NamedTuple allocation.
+    :meth:`entry` rebuilds the record object — called only when an entry is
+    actually emitted into a match or an intermediate buffer.
+    """
+
+    __slots__ = ("starts", "ends", "levels")
+    kind = "element"
+
+    def __init__(self):
+        self.starts = array("I")
+        self.ends = array("I")
+        self.levels = array("I")
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def append(self, entry: "ElementEntry") -> None:
+        self.starts.append(entry.start)
+        self.ends.append(entry.end)
+        self.levels.append(entry.level)
+
+    def entry(self, index: int) -> "ElementEntry":
+        return ElementEntry(
+            self.starts[index], self.ends[index], self.levels[index]
+        )
+
+
+class LinkedColumns:
+    """Packed columns of a linked-record list (LE and LE_p).
+
+    Besides the region-label columns this carries one signed pointer-slot
+    column per pointer kind; pointer sentinels keep their decoded values
+    (``NULL_POINTER`` / ``UNMATERIALIZED_POINTER``) so fast-path consumers
+    branch on the same ints the record objects would expose.
+    """
+
+    __slots__ = ("starts", "ends", "levels", "following", "descendant",
+                 "children")
+    kind = "linked"
+
+    def __init__(self, num_children: int):
+        self.starts = array("I")
+        self.ends = array("I")
+        self.levels = array("I")
+        self.following = array("i")
+        self.descendant = array("i")
+        self.children = tuple(array("i") for _ in range(num_children))
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def append(self, entry: "LinkedEntry") -> None:
+        self.starts.append(entry.start)
+        self.ends.append(entry.end)
+        self.levels.append(entry.level)
+        self.following.append(entry.following)
+        self.descendant.append(entry.descendant)
+        for column, child in zip(self.children, entry.children):
+            column.append(child)
+
+    def entry(self, index: int) -> "LinkedEntry":
+        return LinkedEntry(
+            self.starts[index],
+            self.ends[index],
+            self.levels[index],
+            self.following[index],
+            self.descendant[index],
+            tuple(column[index] for column in self.children),
+        )
+
+
 def _encode_pointer(value: int) -> int:
     if value == NULL_POINTER:
         return _NULL_RAW
@@ -71,6 +154,18 @@ def _decode_pointer(raw: int) -> int:
     return raw
 
 
+def _reinterpret_signed(column: array) -> array:
+    """Reinterpret an unsigned 32-bit pointer column as signed.
+
+    The on-page sentinel encodings are exactly the two's-complement images
+    of the decoded values (``0xFFFFFFFF`` -> ``NULL_POINTER`` = -1,
+    ``0xFFFFFFFE`` -> ``UNMATERIALIZED_POINTER`` = -2), so one bulk
+    reinterpretation decodes a whole pointer column.  Real pointers are
+    list entry indexes, far below 2**31.
+    """
+    return array("i", column.tobytes())
+
+
 class ElementCodec:
     """Codec for element records: ``<start, end, level>``."""
 
@@ -81,6 +176,28 @@ class ElementCodec:
 
     def decode(self, raw: bytes, offset: int = 0) -> ElementEntry:
         return ElementEntry(*_LABEL.unpack_from(raw, offset))
+
+    def decode_page(self, raw: bytes, count: int) -> list[ElementEntry]:
+        """Decode ``count`` records from page bytes in one bulk pass."""
+        return list(map(
+            ElementEntry._make, _LABEL.iter_unpack(raw[: count * self.width])
+        ))
+
+    def make_columns(self) -> ElementColumns:
+        return ElementColumns()
+
+    def extend_columns(
+        self, columns: ElementColumns, raw: bytes, count: int
+    ) -> None:
+        """Bulk-append ``count`` records from raw page bytes to columns."""
+        if not _NATIVE_U32:  # pragma: no cover - exotic platforms
+            for offset in range(0, count * self.width, self.width):
+                columns.append(self.decode(raw, offset))
+            return
+        flat = array("I", raw[: count * self.width])
+        columns.starts.extend(flat[0::3])
+        columns.ends.extend(flat[1::3])
+        columns.levels.extend(flat[2::3])
 
 
 class LinkedCodec:
@@ -115,6 +232,27 @@ class LinkedCodec:
         descendant = _decode_pointer(values[4])
         children = tuple(_decode_pointer(v) for v in values[5:])
         return LinkedEntry(start, end, level, following, descendant, children)
+
+    def make_columns(self) -> LinkedColumns:
+        return LinkedColumns(self.num_children)
+
+    def extend_columns(
+        self, columns: LinkedColumns, raw: bytes, count: int
+    ) -> None:
+        """Bulk-append ``count`` records from raw page bytes to columns."""
+        if not _NATIVE_U32:  # pragma: no cover - exotic platforms
+            for offset in range(0, count * self.width, self.width):
+                columns.append(self.decode(raw, offset))
+            return
+        stride = 5 + self.num_children
+        flat = array("I", raw[: count * self.width])
+        columns.starts.extend(flat[0::stride])
+        columns.ends.extend(flat[1::stride])
+        columns.levels.extend(flat[2::stride])
+        columns.following.extend(_reinterpret_signed(flat[3::stride]))
+        columns.descendant.extend(_reinterpret_signed(flat[4::stride]))
+        for slot, column in enumerate(columns.children):
+            column.extend(_reinterpret_signed(flat[5 + slot :: stride]))
 
 
 class TupleCodec:
@@ -189,6 +327,11 @@ class CompactLinkedCodec:
         if value == UNMATERIALIZED_POINTER:
             return 1
         return 2
+
+    def make_columns(self) -> LinkedColumns:
+        # Variable-width records cannot be bulk-reinterpreted; the slotted
+        # list builds these columns by appending decoded entries.
+        return LinkedColumns(self.num_children)
 
     def encode(self, entry: LinkedEntry) -> bytes:
         if len(entry.children) != self.num_children:

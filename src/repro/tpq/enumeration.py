@@ -23,7 +23,7 @@ from bisect import bisect_right
 from typing import Iterator, Mapping, Sequence, TypeVar
 
 from repro.errors import PatternError
-from repro.tpq.pattern import Pattern, PatternNode
+from repro.tpq.pattern import Pattern
 
 Entry = TypeVar("Entry")
 
@@ -51,44 +51,71 @@ def iter_matches(
     pattern: Pattern,
     candidates: Mapping[str, Sequence[Entry]],
 ) -> Iterator[tuple[Entry, ...]]:
-    """Yield matches in unspecified order."""
-    tags = pattern.tags()
-    missing = [tag for tag in tags if tag not in candidates]
+    """Yield matches in unspecified order.
+
+    Implemented as an explicit odometer DFS over the preorder slots: a
+    node's admissible range depends only on its parent's binding, and the
+    preorder puts every parent before its children, so sweeping the slots
+    left-to-right enumerates exactly the cross product the recursive
+    formulation produces — without a generator frame per binding.
+    """
+    nodes = pattern.nodes  # preorder, aligned with pattern.tags()
+    missing = [node.tag for node in nodes if node.tag not in candidates]
     if missing:
         raise PatternError(f"candidate lists missing for tags {missing}")
-    slot_of = {tag: i for i, tag in enumerate(tags)}
-    starts_cache = {
-        tag: [entry.start for entry in candidates[tag]] for tag in tags
-    }
-    assignment: list[Entry | None] = [None] * len(tags)
+    n = len(nodes)
+    slot_of = {node.tag: i for i, node in enumerate(nodes)}
+    pools = [candidates[node.tag] for node in nodes]
+    sizes = [len(pool) for pool in pools]
+    starts = [[entry.start for entry in pool] for pool in pools]
+    parent_of = [
+        slot_of[node.parent.tag] if node.parent is not None else -1
+        for node in nodes
+    ]
+    is_pc = [node.axis.is_pc for node in nodes]
 
-    def expand(qnode: PatternNode, chosen: Entry) -> Iterator[None]:
-        """Bind ``qnode`` and recursively bind its whole subtree."""
-        assignment[slot_of[qnode.tag]] = chosen
-
-        def bind_children(child_pos: int) -> Iterator[None]:
-            if child_pos == len(qnode.children):
-                yield None
+    assignment: list[Entry | None] = [None] * n
+    cursor = [0] * n  # next candidate index to try at each slot
+    last = n - 1
+    k = 0
+    while k >= 0:
+        if k == 0:
+            i = cursor[0]
+            if i >= sizes[0]:
                 return
-            child = qnode.children[child_pos]
-            pool = candidates[child.tag]
-            starts = starts_cache[child.tag]
-            lo = bisect_right(starts, chosen.start)
-            for i in range(lo, len(pool)):
+            cursor[0] = i + 1
+            found = pools[0][i]
+        else:
+            parent = assignment[parent_of[k]]
+            parent_end = parent.end
+            want_level = parent.level + 1
+            pool = pools[k]
+            pc = is_pc[k]
+            size = sizes[k]
+            i = cursor[k]
+            found = None
+            while i < size:
                 entry = pool[i]
-                if entry.start >= chosen.end:
+                i += 1
+                if entry.start >= parent_end:
+                    i = size  # sorted by start: nothing further fits
                     break
-                if child.axis.is_pc and entry.level != chosen.level + 1:
+                if pc and entry.level != want_level:
                     continue
-                for _ in expand(child, entry):
-                    yield from bind_children(child_pos + 1)
-
-        yield from bind_children(0)
-
-    root = pattern.root
-    for root_entry in candidates[root.tag]:
-        for _ in expand(root, root_entry):
+                found = entry
+                break
+            cursor[k] = i
+        if found is None:
+            k -= 1
+            continue
+        assignment[k] = found
+        if k == last:
             yield tuple(assignment)  # type: ignore[arg-type]
+        else:
+            k += 1
+            cursor[k] = bisect_right(
+                starts[k], assignment[parent_of[k]].start
+            )
 
 
 def count_matches(

@@ -10,7 +10,7 @@ import pytest
 
 from repro.errors import PagerError, ReproError, StorageError
 from repro.storage.catalog import materialize
-from repro.storage.lists import StoredList
+from repro.storage.lists import StoredList, columnar_enabled
 from repro.storage.pager import PageFile, Pager
 from repro.storage.records import ElementEntry, element_codec
 from repro.tpq.parser import parse_pattern
@@ -31,7 +31,7 @@ def test_corrupted_page_decodes_to_garbage_not_crash(small_doc):
     """Bit-flips inside a page produce wrong labels, not exceptions —
     and the validation layer above (document construction) rejects them."""
     pager = Pager(page_size=64)
-    stored = StoredList(pager, element_codec(), name="t")
+    stored = StoredList(pager, element_codec(), name="t", columnar=False)
     stored.append(ElementEntry(1, 2, 0))
     stored.finalize()
     page_id, __ = stored.page_of(0)
@@ -39,6 +39,22 @@ def test_corrupted_page_decodes_to_garbage_not_crash(small_doc):
     pager.pool.clear()
     entry = stored.read(0)
     assert entry.start == 0xFFFFFFFF  # garbage is visible, not masked
+
+
+@pytest.mark.skipif(
+    not columnar_enabled(), reason="columnar fast path disabled via env"
+)
+def test_columnar_reads_serve_finalize_time_snapshot():
+    """Packed columns are built once at finalize; page corruption after
+    that point is invisible to columnar reads (decode-once invariant)."""
+    pager = Pager(page_size=64)
+    stored = StoredList(pager, element_codec(), name="t")
+    stored.append(ElementEntry(1, 2, 0))
+    stored.finalize()
+    page_id, __ = stored.page_of(0)
+    pager.page_file.write_page(page_id, b"\xff" * 12)
+    pager.pool.clear()
+    assert stored.read(0) == ElementEntry(1, 2, 0)
 
 
 def test_cursor_misuse_detected():

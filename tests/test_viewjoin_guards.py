@@ -118,7 +118,7 @@ def test_sol_short_circuit_unsafe(monkeypatch):
             and self.sol.get(segment.root_tag) == root_cursor.position
             and not root_cursor.exhausted
         ):
-            return (segment.root_tag, root_cursor.current)
+            return (segment.root_tag, root_cursor.start)
         return original(self, segment)
 
     monkeypatch.setattr(
