@@ -102,6 +102,119 @@ def measure() -> dict[str, float]:
     return results
 
 
+def measure_service(workers: tuple[int, ...] = (2, 4)) -> dict[str, object]:
+    """Sequential-vs-parallel medians for a Fig. 5-style multi-query
+    matrix through :class:`repro.service.QueryService` (BENCH_2.json).
+
+    Both paths run the identical cold-per-cell job list — the only
+    variable is the worker count — plus the two cache layers measured
+    separately: planning cost with the plan cache off vs on, and a
+    repeated batch with the result cache on.
+    """
+    import os
+
+    from repro.bench.harness import TWIG_COMBOS
+    from repro.datasets import xmark
+    from repro.service import EvalJob, QueryService
+    from repro.storage.catalog import ViewCatalog
+    from repro.workloads import xmark as xw
+
+    doc = xmark.generate(scale=1.0, seed=42)
+    cpu_count = os.cpu_count() or 1
+    results: dict[str, object] = {
+        "cpu_count": cpu_count,
+        "nodes": len(doc),
+    }
+    if cpu_count < 2:
+        results["note"] = (
+            "single schedulable CPU: worker processes time-slice one core,"
+            " so parallel wall-clock cannot beat sequential here; the"
+            " determinism contract (identical matches/counters) still"
+            " holds and is what CI asserts"
+        )
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            jobs = [
+                EvalJob.from_patterns(
+                    index, spec.query, spec.views, algorithm, scheme,
+                    emit_matches=False, query_name=spec.name,
+                )
+                for index, (spec, (algorithm, scheme)) in enumerate(
+                    (spec, combo)
+                    for spec in xw.TWIG_QUERIES
+                    for combo in TWIG_COMBOS
+                )
+            ]
+            results["matrix_jobs"] = len(jobs)
+            service.warmup_jobs(jobs)
+            service.snapshot()  # pay the store save outside timed regions
+            results["matrix_sequential_s"] = _median_seconds(
+                lambda: service.evaluate_jobs(jobs, workers=1), repeats=3
+            )
+            for count in workers:
+                results[f"matrix_parallel_w{count}_s"] = _median_seconds(
+                    lambda: service.evaluate_jobs(jobs, workers=count),
+                    repeats=3,
+                )
+                results[f"parallel_speedup_w{count}"] = round(
+                    results["matrix_sequential_s"]
+                    / results[f"matrix_parallel_w{count}_s"], 3
+                )
+
+    queries = [spec.query for spec in xw.TWIG_QUERIES]
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog, plan_cache_size=0) as uncached:
+            for spec in xw.TWIG_QUERIES:
+                for view in spec.views:
+                    uncached.register(view)
+            uncached.warmup(queries)
+            results["batch_replan_every_time_s"] = _median_seconds(
+                lambda: uncached.evaluate_batch(
+                    queries, emit_matches=False
+                ),
+                repeats=3,
+            )
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as plan_cached:
+            for spec in xw.TWIG_QUERIES:
+                for view in spec.views:
+                    plan_cached.register(view)
+            plan_cached.warmup(queries)
+            plan_cached.evaluate_batch(queries, emit_matches=False)
+            results["batch_plan_cached_s"] = _median_seconds(
+                lambda: plan_cached.evaluate_batch(
+                    queries, emit_matches=False
+                ),
+                repeats=3,
+            )
+            results["plan_cache_speedup"] = round(
+                results["batch_replan_every_time_s"]
+                / results["batch_plan_cached_s"], 3
+            )
+            results["plan_cache_stats"] = (
+                plan_cached.plan_cache_stats.as_dict()
+            )
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog, result_cache_size=64) as cached:
+            for spec in xw.TWIG_QUERIES:
+                for view in spec.views:
+                    cached.register(view)
+            cached.warmup(queries)
+            cached.evaluate_batch(queries, emit_matches=False)  # warm
+            results["batch_result_cached_s"] = _median_seconds(
+                lambda: cached.evaluate_batch(queries, emit_matches=False),
+                repeats=3,
+            )
+            results["result_cache_speedup"] = round(
+                results["batch_replan_every_time_s"]
+                / results["batch_result_cached_s"], 3
+            )
+            results["result_cache_stats"] = (
+                cached.result_cache_stats.as_dict()
+            )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True)
@@ -109,7 +222,21 @@ def main() -> None:
         "--merge", nargs=2, metavar=("BEFORE", "AFTER"),
         help="merge two measurement files into a before/after record",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="measure the query service (sequential vs parallel medians"
+             " plus cache layers) instead of the substrate benchmarks",
+    )
     args = parser.parse_args()
+    if args.service:
+        record = {
+            "description": "query service sequential-vs-parallel medians"
+                           " (s) and cache-layer effects",
+            **measure_service(),
+        }
+        json.dump(record, open(args.out, "w"), indent=1)
+        print(json.dumps(record, indent=1))
+        return
     if args.merge:
         before = json.load(open(args.merge[0]))
         after = json.load(open(args.merge[1]))

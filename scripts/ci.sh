@@ -22,3 +22,6 @@ echo "== benchmark smoke (columnar off) =="
 REPRO_BENCH_SCALE=0.1 REPRO_COLUMNAR=0 python -m pytest \
     benchmarks/test_micro_substrate.py -q --benchmark-warmup=off \
     --benchmark-min-rounds=1 --benchmark-columns=median
+
+echo "== service smoke (parallel sequential-equality, workers=2) =="
+python scripts/smoke_parallel.py

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.algorithms.base import Counters, Mode
 from repro.algorithms.engine import Algorithm, combo_label, evaluate
+from repro.errors import ServiceError
 from repro.storage.catalog import Scheme, ViewCatalog
 from repro.storage.pager import IOStats
 from repro.tpq.pattern import Pattern
@@ -56,6 +57,7 @@ class RunRecord:
     peak_buffer_entries: int = 0
     peak_buffer_bytes: int = 0
     output_seconds: float = 0.0
+    repeats: int = 1
     extra: dict[str, object] = field(default_factory=dict)
 
     @property
@@ -68,6 +70,7 @@ class RunRecord:
             "query": self.query,
             "combo": self.combo,
             "mode": self.mode,
+            "repeats": self.repeats,
             "ms": round(self.elapsed_s * 1e3, 2),
             "matches": self.matches,
             "work": self.work,
@@ -93,12 +96,16 @@ def run_combo(
     query_name: str | None = None,
     emit_matches: bool = False,
     repeats: int = 1,
+    expect_warm: bool = False,
 ) -> RunRecord:
     """Evaluate and record time, counters and I/O.
 
     With ``repeats > 1`` the evaluation runs that many times and the
     record carries the *median* wall-clock (counters/io of the last run —
-    they are deterministic per input)."""
+    they are deterministic per input).  ``expect_warm`` asserts that no
+    view materialization happens inside the timed region — the caller
+    promises every (view, scheme) was materialized up front."""
+    materializations_before = catalog.materializations
     timings = []
     result = None
     for __ in range(max(repeats, 1)):
@@ -111,6 +118,12 @@ def run_combo(
     timings.sort()
     elapsed = timings[len(timings) // 2]
     assert result is not None
+    if expect_warm and catalog.materializations != materializations_before:
+        raise ServiceError(
+            f"{combo_label(algorithm, scheme)} on"
+            f" {query_name or query.to_xpath()} materialized views inside"
+            " the timed region despite a warm-up promise"
+        )
     return RunRecord(
         dataset=dataset or catalog.document.name,
         query=query_name or (query.name or query.to_xpath()),
@@ -123,7 +136,23 @@ def run_combo(
         peak_buffer_entries=result.peak_buffer_entries,
         peak_buffer_bytes=result.peak_buffer_bytes,
         output_seconds=result.output_seconds,
+        repeats=max(repeats, 1),
     )
+
+
+def _warmup_cells(
+    catalog: ViewCatalog, cells: Sequence[tuple[QuerySpec, str, str]]
+) -> None:
+    """Materialize each distinct (view, scheme) of the grid exactly once,
+    before any timed region runs."""
+    seen: set[tuple[str, Scheme]] = set()
+    for spec, __, scheme in cells:
+        parsed = Scheme.parse(scheme)
+        for view in spec.views:
+            key = (view.name or view.to_xpath(), parsed)
+            if key not in seen:
+                seen.add(key)
+                catalog.add(view, parsed)
 
 
 def run_query_matrix(
@@ -133,57 +162,129 @@ def run_query_matrix(
     mode: Mode | str = Mode.MEMORY,
     dataset: str = "",
     catalog: ViewCatalog | None = None,
+    workers: int = 0,
+    repeats: int = 1,
 ) -> list[RunRecord]:
     """Run every (query × combo) cell of a Fig. 5-style grid.
 
-    Views are materialized once per scheme through a shared catalog, so
-    repeated combos do not re-pay materialization.
+    Every distinct (view, scheme) is materialized exactly once up front —
+    whether or not a shared ``catalog`` was passed — and no cell pays
+    materialization inside its timed region (asserted).
+
+    With ``workers >= 1`` the grid is dispatched through
+    :class:`repro.service.QueryService`: each cell runs with a cold
+    buffer pool, so counters are byte-identical whatever the worker
+    count, and ``workers > 1`` fans cells out across processes.
+    ``workers == 0`` keeps the classic in-process loop with a warm
+    shared pool.  ``repeats`` makes every cell's wall-clock a median.
     """
     owned = catalog is None
     if catalog is None:
         catalog = ViewCatalog(document)
-    records: list[RunRecord] = []
+    cells = [
+        (spec, algorithm, scheme)
+        for spec in specs
+        for algorithm, scheme in (combos or default_combos(spec))
+    ]
     try:
-        for spec in specs:
-            for algorithm, scheme in (combos or default_combos(spec)):
-                records.append(
-                    run_combo(
-                        catalog,
-                        spec.query,
-                        spec.views,
-                        algorithm,
-                        scheme,
-                        mode=mode,
-                        dataset=dataset or document.name,
-                        query_name=spec.name,
-                    )
-                )
-        return records
+        _warmup_cells(catalog, cells)
+        if workers >= 1:
+            return _run_matrix_service(
+                catalog, cells, mode, dataset or document.name,
+                workers, repeats,
+            )
+        return [
+            run_combo(
+                catalog,
+                spec.query,
+                spec.views,
+                algorithm,
+                scheme,
+                mode=mode,
+                dataset=dataset or document.name,
+                query_name=spec.name,
+                repeats=repeats,
+                expect_warm=True,
+            )
+            for spec, algorithm, scheme in cells
+        ]
     finally:
         if owned:
             catalog.close()
 
 
-def speedup(records: Sequence[RunRecord], base: str, other: str) -> dict[str, float]:
-    """Per-query wall-clock ratio ``base / other`` (``>1`` means ``other``
-    is faster), keyed by query name."""
+def _run_matrix_service(
+    catalog: ViewCatalog,
+    cells: Sequence[tuple[QuerySpec, str, str]],
+    mode: Mode | str,
+    dataset: str,
+    workers: int,
+    repeats: int,
+) -> list[RunRecord]:
+    """Dispatch grid cells through the query service (cold per cell)."""
+    from repro.service import EvalJob, QueryService
+
+    jobs = [
+        EvalJob.from_patterns(
+            index, spec.query, spec.views, algorithm, scheme,
+            mode=mode, emit_matches=False, repeats=repeats,
+            query_name=spec.name,
+        )
+        for index, (spec, algorithm, scheme) in enumerate(cells)
+    ]
+    service = QueryService(catalog)
+    try:
+        results = service.evaluate_jobs(jobs, workers=workers)
+    finally:
+        service.close()  # drops only the snapshot; the catalog is ours
+    mode_value = Mode.parse(mode).value
+    return [
+        RunRecord(
+            dataset=dataset,
+            query=spec.name or spec.query.to_xpath(),
+            combo=result.combo,
+            mode=mode_value,
+            elapsed_s=result.elapsed_s,
+            matches=result.match_count,
+            counters=result.counters,
+            io=result.io,
+            peak_buffer_entries=result.peak_buffer_entries,
+            peak_buffer_bytes=result.peak_buffer_bytes,
+            output_seconds=result.output_seconds,
+            repeats=max(repeats, 1),
+        )
+        for (spec, __, ___), result in zip(cells, results)
+    ]
+
+
+def _ratio_by_query(
+    records: Sequence[RunRecord],
+    base: str,
+    other: str,
+    metric: Callable[[RunRecord], float],
+) -> dict[str, float]:
+    """Per-query ``metric(base) / metric(other)`` for two combos.
+
+    The shared pairing kernel behind :func:`speedup` and
+    :func:`work_ratio`: group records by query, pick the two requested
+    combos, and ratio the extracted metric (skipping zero denominators).
+    """
     by_query: dict[str, dict[str, RunRecord]] = {}
     for record in records:
         by_query.setdefault(record.query, {})[record.combo] = record
     result = {}
     for query, combos in by_query.items():
-        if base in combos and other in combos and combos[other].elapsed_s > 0:
-            result[query] = combos[base].elapsed_s / combos[other].elapsed_s
+        if base in combos and other in combos and metric(combos[other]) > 0:
+            result[query] = metric(combos[base]) / metric(combos[other])
     return result
+
+
+def speedup(records: Sequence[RunRecord], base: str, other: str) -> dict[str, float]:
+    """Per-query wall-clock ratio ``base / other`` (``>1`` means ``other``
+    is faster), keyed by query name."""
+    return _ratio_by_query(records, base, other, lambda r: r.elapsed_s)
 
 
 def work_ratio(records: Sequence[RunRecord], base: str, other: str) -> dict[str, float]:
     """Per-query work-counter ratio ``base / other`` (machine-independent)."""
-    by_query: dict[str, dict[str, RunRecord]] = {}
-    for record in records:
-        by_query.setdefault(record.query, {})[record.combo] = record
-    result = {}
-    for query, combos in by_query.items():
-        if base in combos and other in combos and combos[other].work > 0:
-            result[query] = combos[base].work / combos[other].work
-    return result
+    return _ratio_by_query(records, base, other, lambda r: r.work)

@@ -1,0 +1,90 @@
+"""Small LRU cache with observable statistics.
+
+Shared by the planner's plan cache and the query service's result cache
+(:mod:`repro.service`).  The point of rolling our own instead of using
+``functools.lru_cache`` is explicit invalidation (both caches must be
+dropped when the catalog generation changes) and inspectable counters —
+the acceptance tests pin cache behaviour on the stats, not on timing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache (monotone per instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used replacement.
+
+    ``capacity <= 0`` disables storage entirely (every lookup is a miss);
+    that lets callers keep one code path whether or not caching is on.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``key``, evicting the least-recently-used entry if full."""
+        if self.capacity <= 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats survive; counts one invalidation)."""
+        if self._entries:
+            self._entries.clear()
+        self.stats.invalidations += 1

@@ -11,6 +11,7 @@ Subcommands:
 * ``scalability`` — scale sweep of ViewJoin work/memory (Fig. 7 shape);
 * ``materialize`` — build a persistent view store from an XML document;
 * ``query`` — answer a query from a persistent store (planner-driven);
+* ``batch`` — answer many queries from a store, optionally in parallel;
 * ``advise`` — recommend views worth materializing for a query.
 """
 
@@ -46,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
         "scalability": _cmd_scalability,
         "materialize": _cmd_materialize,
         "query": _cmd_query,
+        "batch": _cmd_batch,
         "advise": _cmd_advise,
     }[args.command]
     return handler(args)
@@ -98,6 +100,11 @@ def _build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--metric", default="ms",
                     choices=("ms", "work", "scanned", "cmp", "pages",
                              "jumps", "skipped", "matches"))
+    wl.add_argument("--workers", type=int, default=0,
+                    help="fan the grid out over N worker processes"
+                         " (0 = classic in-process loop)")
+    wl.add_argument("--repeats", type=int, default=1,
+                    help="repeat each cell and report median wall-clock")
 
     space = sub.add_parser(
         "space", help="view size/pointers per scheme (Table IV shape)"
@@ -134,6 +141,20 @@ def _build_parser() -> argparse.ArgumentParser:
     qry.add_argument("store", help="store directory (from `materialize`)")
     qry.add_argument("query", help="TPQ to answer")
     qry.add_argument("--show-matches", type=int, default=0, metavar="N")
+
+    bat = sub.add_parser(
+        "batch", help="answer many queries from a persistent store"
+    )
+    bat.add_argument("store", help="store directory (from `materialize`)")
+    bat.add_argument("--query", action="append", required=True,
+                     dest="queries", help="TPQ to answer (repeatable)")
+    bat.add_argument("--workers", type=int, default=0,
+                     help="evaluate in parallel over N worker processes")
+    bat.add_argument("--repeats", type=int, default=1,
+                     help="re-run the batch and report the median"
+                          " wall-clock")
+    bat.add_argument("--result-cache", type=int, default=0, metavar="N",
+                     help="enable a keyed result cache of N entries")
 
     adv = sub.add_parser(
         "advise", help="recommend views to materialize for a query"
@@ -215,7 +236,10 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         document = nasa_data.generate(scale=args.scale, seed=args.seed)
         specs = (nasa_workload.PATH_QUERIES if kind == "paths"
                  else nasa_workload.TWIG_QUERIES)
-    records = run_query_matrix(document, specs, dataset=args.name)
+    records = run_query_matrix(
+        document, specs, dataset=args.name,
+        workers=args.workers, repeats=args.repeats,
+    )
     print(format_records(records, metric=args.metric))
     return 0
 
@@ -267,6 +291,52 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
     print(format_table(
         ["scale", "nodes", "ms", "work", "peak buffer B", "matches"], rows
     ))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service import QueryService
+
+    with QueryService.open(
+        args.store, result_cache_size=args.result_cache
+    ) as service:
+        service.warmup(args.queries)
+        elapsed = []
+        batch = None
+        for __ in range(max(args.repeats, 1)):
+            begin = time.perf_counter()
+            if args.workers > 1:
+                batch = service.evaluate_parallel(
+                    args.queries, workers=args.workers, emit_matches=False
+                )
+            else:
+                batch = service.evaluate_batch(
+                    args.queries, emit_matches=False
+                )
+            elapsed.append(time.perf_counter() - begin)
+        assert batch is not None
+        elapsed.sort()
+        rows = [
+            [outcome.query, outcome.combo, outcome.match_count,
+             round(outcome.elapsed_s * 1e3, 2),
+             "yes" if outcome.cached else ("refuted" if outcome.refuted
+                                           else "no")]
+            for outcome in batch.outcomes
+        ]
+        print(format_table(
+            ["query", "combo", "matches", "ms", "cached"], rows
+        ))
+        print()
+        print(f"batch wall-clock (median of {max(args.repeats, 1)}):"
+              f" {elapsed[len(elapsed) // 2] * 1e3:.2f} ms"
+              f" ({'parallel x' + str(args.workers) if args.workers > 1 else 'sequential'})")
+        print(f"merged counters: {batch.counters.as_dict()}")
+        print(f"merged io: {batch.io.as_dict()}")
+        print(f"plan cache: {service.plan_cache_stats.as_dict()}")
+        if args.result_cache:
+            print(f"result cache: {service.result_cache_stats.as_dict()}")
     return 0
 
 

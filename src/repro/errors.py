@@ -56,3 +56,12 @@ class EvaluationError(ReproError):
 
 class SelectionError(ReproError):
     """Raised when view selection cannot produce a covering subset."""
+
+
+class ServiceError(ReproError):
+    """Raised by the query service for lifecycle/contract violations.
+
+    For example: evaluating a job whose views were not warmed up even
+    though the caller promised a warm catalog, or dispatching parallel
+    work from a service whose catalog cannot be snapshotted.
+    """

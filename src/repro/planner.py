@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.algorithms.base import EvalResult, Mode
 from repro.algorithms.engine import Algorithm, evaluate
+from repro.caching import CacheStats, LRUCache
 from repro.errors import SelectionError
 from repro.selection.greedy import select_views
 from repro.storage.catalog import Scheme, ViewCatalog
@@ -78,6 +79,7 @@ class Planner:
         scheme: Scheme | str = Scheme.LINKED_PARTIAL,
         algorithm: Algorithm | str = Algorithm.VIEWJOIN,
         prune_with_dataguide: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.catalog = catalog
         self.scheme = Scheme.parse(scheme)
@@ -85,6 +87,12 @@ class Planner:
         self.prune_with_dataguide = prune_with_dataguide
         self._registered: list[Pattern] = []
         self._dataguide = None
+        # parse → containment → greedy cover → Plan is a pure function of
+        # (canonical query text, registered view set), so plans memoize
+        # per catalog generation: any registration bumps the generation
+        # and drops the cache.
+        self._plan_cache = LRUCache(plan_cache_size)
+        self._generation = 0
 
     def _guide(self):
         if self._dataguide is None:
@@ -96,11 +104,16 @@ class Planner:
     # -- registration ----------------------------------------------------------
 
     def register(self, pattern: Pattern | str, name: str | None = None) -> Pattern:
-        """Register (and materialize) a view pattern."""
+        """Register (and materialize) a view pattern.
+
+        Registration changes what future plans may use, so it bumps the
+        catalog generation and invalidates the plan cache.
+        """
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern, name=name)
         self.catalog.add(pattern, self.scheme)
         self._registered.append(pattern)
+        self._bump_generation()
         return pattern
 
     def adopt_catalog_views(self) -> int:
@@ -114,7 +127,22 @@ class Planner:
             self._registered.append(info.pattern)
             known.add(info.pattern.to_xpath())
             adopted += 1
+        if adopted:
+            self._bump_generation()
         return adopted
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._plan_cache.clear()
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of view-set changes (plan-cache epochs)."""
+        return self._generation
+
+    @property
+    def plan_cache_stats(self) -> CacheStats:
+        return self._plan_cache.stats
 
     @property
     def registered(self) -> list[Pattern]:
@@ -123,13 +151,37 @@ class Planner:
     # -- planning -----------------------------------------------------------------
 
     def plan(self, query: Pattern | str) -> Plan:
-        """Build an evaluation plan for ``query``.
+        """Build an evaluation plan for ``query`` (memoized).
 
         Greedily covers as many query nodes as possible with registered
         views (tag-disjointly), then fills the gaps with base views.
+        Plans are cached by canonical pattern text until the next
+        registration; the caller always receives a private copy, so
+        mutating ``explanation`` (as :meth:`answer` does) never corrupts
+        the cached entry.
         """
         if isinstance(query, str):
             query = parse_pattern(query)
+        key = query.to_xpath()
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return self._copy_plan(cached)
+        plan = self._build_plan(query)
+        self._plan_cache.put(key, plan)
+        return self._copy_plan(plan)
+
+    @staticmethod
+    def _copy_plan(plan: Plan) -> Plan:
+        return Plan(
+            query=plan.query,
+            views=list(plan.views),
+            base_views=list(plan.base_views),
+            algorithm=plan.algorithm,
+            scheme=plan.scheme,
+            explanation=list(plan.explanation),
+        )
+
+    def _build_plan(self, query: Pattern) -> Plan:
         explanation: list[str] = []
         usable = [
             view for view in self._registered if is_subpattern(view, query)
@@ -202,6 +254,19 @@ class Planner:
     def _base_view(self, qnode: PatternNode) -> Pattern:
         return Pattern(PatternNode(qnode.tag), name=f"base:{qnode.tag}")
 
+    def refutes(self, query: Pattern | str) -> bool:
+        """True when the DataGuide proves ``query`` can match nothing.
+
+        Always False when ``prune_with_dataguide`` is off.  Exposed so
+        callers that bypass :meth:`answer` (the query service) apply the
+        same pruning decision as the planner itself.
+        """
+        if not self.prune_with_dataguide:
+            return False
+        if isinstance(query, str):
+            query = parse_pattern(query)
+        return not self._guide().may_match(query)
+
     # -- execution -------------------------------------------------------------------
 
     def answer(
@@ -217,9 +282,7 @@ class Planner:
         any view.
         """
         plan = self.plan(query)
-        if self.prune_with_dataguide and not self._guide().may_match(
-            plan.query
-        ):
+        if self.refutes(plan.query):
             plan.explanation.append(
                 "DataGuide refutation: no document path can match;"
                 " evaluation skipped"

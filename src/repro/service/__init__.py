@@ -1,0 +1,33 @@
+"""Multi-process query service with plan and result caching.
+
+Public surface::
+
+    from repro.service import QueryService
+
+    service = QueryService(catalog)          # or QueryService.open(store)
+    service.register("//a//b")
+    service.warmup(queries)
+    one   = service.evaluate("//a//b//c")
+    batch = service.evaluate_batch(queries)
+    fast  = service.evaluate_parallel(queries, workers=4)
+
+``evaluate_parallel`` is byte-identical to ``evaluate_batch`` in match
+keys and merged work/I-O counters (see :mod:`repro.service.core` for the
+determinism contract); :class:`EvalJob`/:func:`run_job` are the lower
+level explicit-plan API the benchmark harness drives.
+"""
+
+from repro.service.core import BatchResult, QueryOutcome, QueryService
+from repro.service.jobs import EvalJob, JobResult, merge_results, run_job
+from repro.service.worker import run_worker_jobs
+
+__all__ = [
+    "BatchResult",
+    "EvalJob",
+    "JobResult",
+    "QueryOutcome",
+    "QueryService",
+    "merge_results",
+    "run_job",
+    "run_worker_jobs",
+]

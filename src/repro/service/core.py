@@ -1,0 +1,433 @@
+"""The multi-process query service.
+
+:class:`QueryService` is the layer the ROADMAP's "heavy traffic" goal
+asks for on top of the single-query engine: it owns one materialized
+:class:`~repro.storage.catalog.ViewCatalog` (built in memory, or attached
+from a :func:`~repro.storage.persistence.save_catalog` store), answers
+queries through a plan-cached :class:`~repro.planner.Planner`, and fans
+independent queries out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+whose workers reattach the persisted store and run the existing engine.
+
+Determinism contract
+--------------------
+Every job runs **cold** (buffer pool dropped per repeat, stats reset per
+run) and the per-job counters are folded in job-index order, so
+``evaluate_parallel`` returns match keys and aggregated work/I-O counters
+byte-identical to ``evaluate_batch`` over the same queries — whatever the
+worker count or scheduling order.  Wall-clock fields are the only
+non-deterministic outputs.
+
+Cache layers
+------------
+* the planner's **plan cache** (parse → cover → :class:`Plan`, memoized
+  per catalog generation; invalidated by ``register`` /
+  ``adopt_catalog_views``);
+* an optional keyed **result cache** in the service itself
+  (``result_cache_size > 0``), invalidated explicitly or whenever the
+  view set changes.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.algorithms.base import Counters, Mode
+from repro.algorithms.engine import Algorithm, combo_label
+from repro.caching import CacheStats, LRUCache
+from repro.errors import ServiceError
+from repro.planner import Plan, Planner
+from repro.service.jobs import EvalJob, JobResult, merge_results, run_job
+from repro.service.worker import run_worker_jobs
+from repro.storage.catalog import Scheme, ViewCatalog
+from repro.storage.pager import IOStats
+from repro.storage.persistence import load_catalog, save_catalog
+from repro.tpq.parser import parse_pattern
+from repro.tpq.pattern import Pattern
+
+
+@dataclass
+class QueryOutcome:
+    """One answered query: canonical text, match keys and accounting."""
+
+    query: str
+    combo: str
+    match_keys: list[tuple[int, ...]]
+    match_count: int
+    counters: Counters
+    io: IOStats
+    elapsed_s: float
+    cached: bool = False
+    refuted: bool = False
+    plan_views: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BatchResult:
+    """Outcomes of one batch plus the deterministic counter merge."""
+
+    outcomes: list[QueryOutcome]
+    counters: Counters
+    io: IOStats
+    elapsed_s: float
+
+    @property
+    def match_counts(self) -> list[int]:
+        return [outcome.match_count for outcome in self.outcomes]
+
+
+class QueryService:
+    """Plan-cached, optionally parallel query answering over one catalog.
+
+    Args:
+        catalog: an existing in-memory catalog to serve from (mutually
+            exclusive with ``store_path``).
+        store_path: a ``save_catalog`` store directory to attach
+            read-mostly; the service owns (and closes) the loaded catalog.
+        scheme / algorithm: defaults handed to the planner.
+        plan_cache_size: LRU size of the planner's plan cache.
+        result_cache_size: LRU size of the keyed result cache; 0 disables.
+        prune_with_dataguide: refute impossible queries before running.
+    """
+
+    def __init__(
+        self,
+        catalog: ViewCatalog | None = None,
+        *,
+        store_path: str | None = None,
+        scheme: Scheme | str = Scheme.LINKED_PARTIAL,
+        algorithm: Algorithm | str = Algorithm.VIEWJOIN,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 0,
+        prune_with_dataguide: bool = True,
+    ):
+        if (catalog is None) == (store_path is None):
+            raise ServiceError(
+                "pass exactly one of `catalog` or `store_path`"
+            )
+        self._owns_catalog = store_path is not None
+        self._store_path = str(store_path) if store_path else None
+        if catalog is None:
+            catalog = load_catalog(store_path)
+        self.catalog = catalog
+        #: Workers must replay the parent's pool residency behaviour.
+        self.pool_capacity = catalog.pager.pool.capacity
+        self.planner = Planner(
+            catalog,
+            scheme=scheme,
+            algorithm=algorithm,
+            prune_with_dataguide=prune_with_dataguide,
+            plan_cache_size=plan_cache_size,
+        )
+        if self._store_path is not None:
+            self.planner.adopt_catalog_views()
+        self._store_version = catalog.version
+        self._snapshot_dir: str | None = None
+        self._snapshot_version: int | None = None
+        self._result_cache = LRUCache(result_cache_size)
+        self._executor: ProcessPoolExecutor | None = None
+        self._executor_workers = 0
+
+    @classmethod
+    def open(cls, store_path, **kwargs) -> "QueryService":
+        """Attach a service to a persisted view store."""
+        return cls(store_path=str(store_path), **kwargs)
+
+    # -- registration & invalidation ------------------------------------------
+
+    def register(self, pattern: Pattern | str, name: str | None = None) -> Pattern:
+        """Register (and materialize) a view; drops both cache layers."""
+        pattern = self.planner.register(pattern, name=name)
+        self.invalidate_results()
+        return pattern
+
+    def adopt_catalog_views(self) -> int:
+        adopted = self.planner.adopt_catalog_views()
+        if adopted:
+            self.invalidate_results()
+        return adopted
+
+    def invalidate_results(self) -> None:
+        """Explicitly drop the result cache (the catalog changed)."""
+        self._result_cache.clear()
+
+    @property
+    def plan_cache_stats(self) -> CacheStats:
+        return self.planner.plan_cache_stats
+
+    @property
+    def result_cache_stats(self) -> CacheStats:
+        return self._result_cache.stats
+
+    # -- warm-up --------------------------------------------------------------
+
+    def warmup(self, queries: Sequence[Pattern | str]) -> int:
+        """Materialize every view the given queries will need, exactly
+        once per (view, scheme); returns how many materializations ran.
+
+        After warm-up, evaluating those queries performs no
+        materialization inside the timed region (enforced by
+        :func:`~repro.service.jobs.run_job`).
+        """
+        before = self.catalog.materializations
+        for query in queries:
+            self._materialize_plan(self.planner.plan(query))
+        return self.catalog.materializations - before
+
+    def warmup_jobs(self, jobs: Sequence[EvalJob]) -> int:
+        """Materialize each distinct (view, scheme) of explicit jobs once."""
+        before = self.catalog.materializations
+        seen: set[tuple[str, str]] = set()
+        for job in jobs:
+            for xpath, name in job.views:
+                key = (name or xpath, job.scheme)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.catalog.add(
+                    parse_pattern(xpath, name=name), job.scheme
+                )
+        return self.catalog.materializations - before
+
+    def _materialize_plan(self, plan: Plan) -> None:
+        for view in plan.all_views:
+            self.catalog.add(view, plan.scheme)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: Pattern | str,
+        mode: Mode | str = Mode.MEMORY,
+        emit_matches: bool = True,
+    ) -> QueryOutcome:
+        """Plan (cached), warm up, and evaluate one query cold."""
+        return self._evaluate_one(query, Mode.parse(mode), emit_matches)
+
+    def evaluate_batch(
+        self,
+        queries: Sequence[Pattern | str],
+        mode: Mode | str = Mode.MEMORY,
+        emit_matches: bool = True,
+    ) -> BatchResult:
+        """Evaluate ``queries`` sequentially; merge counters in order."""
+        mode = Mode.parse(mode)
+        begin = time.perf_counter()
+        outcomes = [
+            self._evaluate_one(query, mode, emit_matches)
+            for query in queries
+        ]
+        return self._assemble(outcomes, time.perf_counter() - begin)
+
+    def evaluate_parallel(
+        self,
+        queries: Sequence[Pattern | str],
+        workers: int = 2,
+        mode: Mode | str = Mode.MEMORY,
+        emit_matches: bool = True,
+    ) -> BatchResult:
+        """Fan ``queries`` out over ``workers`` processes.
+
+        Results and merged counters are byte-identical to
+        :meth:`evaluate_batch` on the same queries; only wall-clock
+        differs.  ``workers <= 1`` degenerates to the sequential path.
+        """
+        mode = Mode.parse(mode)
+        begin = time.perf_counter()
+        outcomes: list[QueryOutcome | None] = [None] * len(queries)
+        jobs: list[EvalJob] = []
+        plans: dict[int, Plan] = {}
+        for i, query in enumerate(queries):
+            plan = self.planner.plan(query)
+            canonical = plan.query.to_xpath()
+            if self.planner.refutes(plan.query):
+                outcomes[i] = self._refuted_outcome(plan, canonical)
+                continue
+            cached = self._result_cache.get(
+                (canonical, mode.value, emit_matches)
+            )
+            if cached is not None:
+                outcomes[i] = replace(cached, cached=True)
+                continue
+            self._materialize_plan(plan)
+            plans[i] = plan
+            jobs.append(
+                EvalJob.from_patterns(
+                    i, plan.query, plan.all_views, plan.algorithm,
+                    plan.scheme, mode=mode, emit_matches=emit_matches,
+                )
+            )
+        for result in self.run_jobs(jobs, workers=workers, warm=True):
+            plan = plans[result.index]
+            outcome = self._outcome_from(result, plan)
+            self._result_cache.put(
+                (outcome.query, mode.value, emit_matches), outcome
+            )
+            outcomes[result.index] = outcome
+        assert all(outcome is not None for outcome in outcomes)
+        return self._assemble(outcomes, time.perf_counter() - begin)
+
+    def evaluate_jobs(
+        self, jobs: Sequence[EvalJob], workers: int = 0
+    ) -> list[JobResult]:
+        """Explicit-plan entry point (the bench harness grid): warm up
+        every (view, scheme) once, then run the jobs, parallel when
+        ``workers > 1``.  Results come back in job-index order."""
+        jobs = list(jobs)
+        self.warmup_jobs(jobs)
+        return self.run_jobs(jobs, workers=workers, warm=True)
+
+    def run_jobs(
+        self, jobs: Sequence[EvalJob], workers: int = 0, warm: bool = True
+    ) -> list[JobResult]:
+        """Run already-warm jobs, in-process or across worker processes."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if workers <= 1:
+            return [
+                run_job(self.catalog, job, expect_warm=warm) for job in jobs
+            ]
+        store = self._ensure_snapshot()
+        stripes = [jobs[k::workers] for k in range(workers)]
+        pool = self._get_executor(workers)
+        futures = [
+            pool.submit(
+                run_worker_jobs, store, stripe, self.pool_capacity,
+                self.catalog.version,
+            )
+            for stripe in stripes
+            if stripe
+        ]
+        results: list[JobResult] = []
+        for future in futures:
+            results.extend(future.result())
+        results.sort(key=lambda result: result.index)
+        return results
+
+    def _get_executor(self, workers: int) -> ProcessPoolExecutor:
+        """A worker pool kept alive across batches.
+
+        Reusing processes lets the worker-side attachment memo
+        (:mod:`repro.service.worker`) skip re-parsing the store between
+        batches; the pool is rebuilt only when the worker count changes.
+        """
+        if self._executor is not None and self._executor_workers != workers:
+            self._executor.shutdown()
+            self._executor = None
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
+    # -- internals ------------------------------------------------------------
+
+    def _evaluate_one(
+        self, query: Pattern | str, mode: Mode, emit_matches: bool
+    ) -> QueryOutcome:
+        plan = self.planner.plan(query)
+        canonical = plan.query.to_xpath()
+        if self.planner.refutes(plan.query):
+            return self._refuted_outcome(plan, canonical)
+        key = (canonical, mode.value, emit_matches)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            return replace(cached, cached=True)
+        self._materialize_plan(plan)
+        job = EvalJob.from_patterns(
+            0, plan.query, plan.all_views, plan.algorithm, plan.scheme,
+            mode=mode, emit_matches=emit_matches,
+        )
+        outcome = self._outcome_from(
+            run_job(self.catalog, job, expect_warm=True), plan
+        )
+        self._result_cache.put(key, outcome)
+        return outcome
+
+    @staticmethod
+    def _outcome_from(result: JobResult, plan: Plan) -> QueryOutcome:
+        return QueryOutcome(
+            query=plan.query.to_xpath(),
+            combo=result.combo,
+            match_keys=result.match_keys,
+            match_count=result.match_count,
+            counters=result.counters,
+            io=result.io,
+            elapsed_s=result.elapsed_s,
+            plan_views=[view.to_xpath() for view in plan.all_views],
+        )
+
+    @staticmethod
+    def _refuted_outcome(plan: Plan, canonical: str) -> QueryOutcome:
+        return QueryOutcome(
+            query=canonical,
+            combo=combo_label(plan.algorithm, plan.scheme),
+            match_keys=[],
+            match_count=0,
+            counters=Counters(),
+            io=IOStats(),
+            elapsed_s=0.0,
+            refuted=True,
+        )
+
+    @staticmethod
+    def _assemble(
+        outcomes: Sequence[QueryOutcome], elapsed: float
+    ) -> BatchResult:
+        counters = Counters()
+        io = IOStats()
+        for outcome in outcomes:
+            counters.merge(outcome.counters)
+            io.merge(outcome.io)
+        return BatchResult(
+            outcomes=list(outcomes),
+            counters=counters,
+            io=io,
+            elapsed_s=elapsed,
+        )
+
+    def snapshot(self) -> str:
+        """Ensure (and return) an on-disk store reflecting the current
+        view set.  Parallel dispatch calls this lazily; exposing it lets
+        callers pay the save cost up front, outside any timed region."""
+        return self._ensure_snapshot()
+
+    def _ensure_snapshot(self) -> str:
+        """Path of a store that reflects the catalog's current view set.
+
+        A service attached to an up-to-date on-disk store hands workers
+        that store directly; otherwise the catalog is saved to a private
+        temp directory, re-saved only when the view set has grown since.
+        """
+        version = self.catalog.version
+        if self._store_path is not None and version == self._store_version:
+            return self._store_path
+        if self._snapshot_dir is None:
+            self._snapshot_dir = tempfile.mkdtemp(prefix="repro-service-")
+        if self._snapshot_version != version:
+            save_catalog(self.catalog, self._snapshot_dir)
+            self._snapshot_version = version
+        return self._snapshot_dir
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._snapshot_dir is not None:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._snapshot_dir = None
+            self._snapshot_version = None
+        if self._owns_catalog:
+            self.catalog.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

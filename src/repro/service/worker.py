@@ -1,0 +1,69 @@
+"""Process-pool worker entry point.
+
+Kept in its own module so it stays importable under both ``fork`` and
+``spawn`` start methods: the executor pickles only the function
+reference plus plain-data jobs, never a catalog or a service.  Each
+worker task attaches the persisted store with :func:`load_catalog` —
+page bytes are shared through the file and decoded lazily via the
+worker's own buffer pool, so nothing heavyweight ever crosses the
+process boundary in either direction.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.service.jobs import EvalJob, JobResult, run_job
+from repro.storage.catalog import ViewCatalog
+from repro.storage.persistence import load_catalog
+
+#: Per-process store attachments, keyed by (store path, catalog version).
+#: A service keeps its worker pool alive across batches; re-parsing the
+#: store's document XML on every batch would dominate small batches, so
+#: each worker attaches once per snapshot version and reuses the catalog
+#: until the parent rewrites the snapshot (version bump → re-attach).
+_ATTACHED: dict[tuple[str, int], ViewCatalog] = {}
+
+
+def run_worker_jobs(
+    store_dir: str | os.PathLike,
+    jobs: Sequence[EvalJob],
+    pool_capacity: int = 64,
+    store_version: int | None = None,
+) -> list[JobResult]:
+    """Attach the store and evaluate ``jobs`` in order.
+
+    ``pool_capacity`` must mirror the parent's buffer-pool capacity:
+    physical-read counts depend on pool size, and the deterministic-merge
+    contract needs workers to observe the same residency behaviour a
+    sequential run would.  (Jobs themselves always run cold — the memoized
+    attachment keeps decoded pages and packed columns, but
+    :func:`~repro.service.jobs.run_job` drops the buffer pool per repeat,
+    so reuse never changes any counter.)
+
+    ``store_version`` enables the per-process attachment memo: pass the
+    catalog version the snapshot was saved at, and the worker re-attaches
+    only when it changes.  ``None`` keeps the one-shot behaviour (attach,
+    evaluate, close).
+
+    Every view a job references must already exist in the store
+    (:func:`repro.service.jobs.run_job` enforces ``expect_warm``): a
+    worker must never materialize, because its pager is attached
+    read-write to a file shared with sibling workers.
+    """
+    path = os.fspath(store_dir)
+    if store_version is None:
+        catalog = load_catalog(path, pool_capacity=pool_capacity)
+        try:
+            return [run_job(catalog, job, expect_warm=True) for job in jobs]
+        finally:
+            catalog.close()
+    key = (path, store_version)
+    catalog = _ATTACHED.get(key)
+    if catalog is None:
+        for stale in [k for k in _ATTACHED if k[0] == path]:
+            _ATTACHED.pop(stale).close()
+        catalog = load_catalog(path, pool_capacity=pool_capacity)
+        _ATTACHED[key] = catalog
+    return [run_job(catalog, job, expect_warm=True) for job in jobs]

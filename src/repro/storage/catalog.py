@@ -132,6 +132,14 @@ class ViewCatalog:
         self.pager = pager if pager is not None else Pager()
         self.partial_distance = partial_distance
         self._views: dict[tuple[str, Scheme], ViewInfo] = {}
+        #: Count of actual materializations performed through this catalog
+        #: (idempotent re-adds do not count).  The query service uses it to
+        #: assert that warm-up really covered every view a timed region
+        #: needs, and as a cheap change marker for snapshot invalidation.
+        self.materializations = 0
+        #: Monotone change marker: bumped whenever the set of stored views
+        #: grows (materialization or persistence attach).
+        self.version = 0
 
     @staticmethod
     def _key_name(pattern: Pattern) -> str:
@@ -157,6 +165,8 @@ class ViewCatalog:
         )
         info = ViewInfo(pattern, scheme, view)
         self._views[key] = info
+        self.materializations += 1
+        self.version += 1
         return info
 
     def add_all(
@@ -191,6 +201,8 @@ class ViewCatalog:
         )
         info = ViewInfo(query, scheme, view)
         self._views[key] = info
+        self.materializations += 1
+        self.version += 1
         return info
 
     def get(self, pattern: Pattern, scheme: Scheme | str) -> AnyView:

@@ -141,6 +141,7 @@ def load_catalog(
         info = _load_view(record, document, pager)
         key = (info.pattern.name or info.pattern.to_xpath(), info.scheme)
         catalog._views[key] = info
+        catalog.version += 1
     return catalog
 
 

@@ -53,6 +53,51 @@ def test_run_query_matrix_consistency():
         assert len(counts) == 1, f"{query}: engines disagree {counts}"
 
 
+def test_run_combo_repeats_surfaced_in_row():
+    doc = nasa_data.generate(scale=0.4, seed=1)
+    spec = nasa.BY_NAME["N2"]
+    with ViewCatalog(doc) as catalog:
+        record = run_combo(
+            catalog, spec.query, spec.views, "VJ", "LE",
+            query_name="N2", repeats=3,
+        )
+    assert record.repeats == 3
+    assert record.row()["repeats"] == 3
+
+
+def test_run_query_matrix_warmup_precedes_timed_region():
+    """All (view, scheme) pairs materialize before any cell runs."""
+    doc = nasa_data.generate(scale=0.4, seed=1)
+    spec = nasa.BY_NAME["N5"]
+    with ViewCatalog(doc) as catalog:
+        run_query_matrix(doc, [spec], dataset="nasa", catalog=catalog)
+        before = catalog.materializations
+        # A second pass over the same grid must not materialize at all.
+        run_query_matrix(doc, [spec], dataset="nasa", catalog=catalog)
+        assert catalog.materializations == before
+
+
+def test_run_query_matrix_workers_match_sequential():
+    """Service-dispatched grids agree with the classic loop, and the
+    parallel fan-out agrees byte-for-byte with workers=1."""
+    doc = nasa_data.generate(scale=0.4, seed=1)
+    specs = [nasa.BY_NAME["N1"], nasa.BY_NAME["N5"]]
+    legacy = run_query_matrix(doc, specs, dataset="nasa")
+    cold = run_query_matrix(doc, specs, dataset="nasa", workers=1)
+    parallel = run_query_matrix(doc, specs, dataset="nasa", workers=2)
+    assert [r.matches for r in legacy] == [r.matches for r in cold]
+    assert [r.counters for r in legacy] == [r.counters for r in cold]
+    assert [r.counters for r in cold] == [r.counters for r in parallel]
+    assert [
+        (r.io.logical_reads, r.io.physical_reads, r.io.pages_written)
+        for r in cold
+    ] == [
+        (r.io.logical_reads, r.io.physical_reads, r.io.pages_written)
+        for r in parallel
+    ]
+    assert [r.combo for r in legacy] == [r.combo for r in parallel]
+
+
 def test_speedup_and_work_ratio():
     doc = nasa_data.generate(scale=0.5, seed=1)
     records = run_query_matrix(doc, [nasa.BY_NAME["N5"]], dataset="nasa")

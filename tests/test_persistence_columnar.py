@@ -1,0 +1,111 @@
+"""Persistence round-trip under both ``REPRO_COLUMNAR`` settings.
+
+The columnar fast path builds packed columns at list *attach* time too
+(DESIGN.md §8), so a reloaded store must behave identically to the
+reference decode path: ``save_catalog``/``load_catalog`` followed by
+evaluation has to produce the same matches, work counters and I/O
+statistics whether the fast path is on (default) or forced off.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.algorithms.engine import evaluate
+from repro.datasets import random_trees
+from repro.storage.catalog import ViewCatalog
+from repro.storage.persistence import load_catalog, save_catalog
+from repro.tpq.parser import parse_pattern
+
+QUERY = parse_pattern("//a[//b]//c//d")
+VIEWS = [
+    parse_pattern("//a//c", name="v1"),
+    parse_pattern("//b", name="v2"),
+    parse_pattern("//d", name="v3"),
+]
+PATH_QUERY = parse_pattern("//a//c//d")
+PATH_VIEWS = [
+    parse_pattern("//a//c", name="v1"),
+    parse_pattern("//d", name="v3"),
+]
+SCHEMES = ("E", "LE", "LEp")
+
+
+@contextmanager
+def columnar(flag: str):
+    """Set the REPRO_COLUMNAR knob (read at list construction time)."""
+    old = os.environ.get("REPRO_COLUMNAR")
+    os.environ["REPRO_COLUMNAR"] = flag
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_COLUMNAR"]
+        else:
+            os.environ["REPRO_COLUMNAR"] = old
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(size=300, max_depth=9, seed=7)
+
+
+def build_store(doc, directory):
+    with ViewCatalog(doc) as catalog:
+        for scheme in SCHEMES:
+            catalog.add_all(VIEWS, scheme)
+        for view in PATH_VIEWS:
+            catalog.add(view, "T")
+        save_catalog(catalog, directory)
+
+
+def evaluate_all(directory):
+    """Reload the store and fingerprint every engine × scheme combo."""
+    catalog = load_catalog(directory)
+    out = {}
+    try:
+        for scheme in SCHEMES:
+            for engine in ("TS", "VJ"):
+                result = evaluate(QUERY, catalog, VIEWS, engine, scheme)
+                out[engine, scheme] = (
+                    result.match_keys(),
+                    result.match_count,
+                    result.counters.as_dict(),
+                    (
+                        result.io.logical_reads,
+                        result.io.physical_reads,
+                        result.io.pages_written,
+                    ),
+                )
+        ij = evaluate(PATH_QUERY, catalog, PATH_VIEWS, "IJ", "T")
+        out["IJ", "T"] = (
+            ij.match_keys(), ij.match_count, ij.counters.as_dict(),
+            (ij.io.logical_reads, ij.io.physical_reads,
+             ij.io.pages_written),
+        )
+    finally:
+        catalog.close()
+    return out
+
+
+@pytest.mark.parametrize("save_flag", ["0", "1"])
+def test_roundtrip_identical_with_columnar_on_and_off(
+    doc, tmp_path, save_flag
+):
+    """Store built under either flag answers identically under both."""
+    directory = tmp_path / "store"
+    with columnar(save_flag):
+        build_store(doc, directory)
+    with columnar("1"):
+        fast = evaluate_all(directory)
+    with columnar("0"):
+        reference = evaluate_all(directory)
+    assert fast == reference
+    # And the store's answers match a never-persisted catalog's.
+    with columnar("1"):
+        with ViewCatalog(doc) as catalog:
+            fresh = evaluate(QUERY, catalog, VIEWS, "VJ", "LEp")
+            assert fresh.match_keys() == fast["VJ", "LEp"][0]

@@ -135,3 +135,40 @@ def test_dataguide_pruning_never_blocks_real_matches(doc):
         planner = Planner(catalog)
         __, result = planner.answer("//a//b")
         assert result.match_keys() == truth_keys(doc, parse_pattern("//a//b"))
+
+
+def test_plan_cache_hits_and_generation(doc, planner):
+    planner.register("//a//b")
+    assert planner.plan_cache_stats.lookups == 0
+    planner.plan("//a//b//c")
+    planner.plan("//a//b//c")
+    planner.plan(parse_pattern("//a//b//c"))
+    stats = planner.plan_cache_stats
+    assert stats.misses == 1
+    assert stats.hits == 2
+    generation = planner.generation
+    planner.register("//c")
+    assert planner.generation == generation + 1
+    planner.plan("//a//b//c")
+    assert planner.plan_cache_stats.misses == 2
+
+
+def test_cached_plan_copies_are_isolated(doc, planner):
+    planner.register("//a//b")
+    first = planner.plan("//a//b//c")
+    first.explanation.append("mutated by caller")
+    first.views.clear()
+    second = planner.plan("//a//b//c")
+    assert "mutated by caller" not in second.explanation
+    assert [v.to_xpath() for v in second.views] == ["//a//b"]
+
+
+def test_adopt_catalog_views_invalidates_plan_cache(doc):
+    with ViewCatalog(doc) as catalog:
+        catalog.add(parse_pattern("//a//b", name="w1"), "LEp")
+        planner = Planner(catalog)
+        plan = planner.plan("//a//b")
+        assert not plan.views  # nothing registered yet: base views only
+        assert planner.adopt_catalog_views() == 1
+        plan = planner.plan("//a//b")
+        assert [v.to_xpath() for v in plan.views] == ["//a//b"]

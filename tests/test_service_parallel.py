@@ -1,0 +1,144 @@
+"""Differential tests: parallel evaluation is byte-identical to sequential.
+
+The acceptance contract of the service (DESIGN.md §9): for the same
+batch, ``evaluate_parallel(queries, workers=N)`` must return match keys
+and merged work/I-O counters byte-identical to ``evaluate_batch`` —
+across engines, schemes and output modes.  Wall-clock fields are the
+only permitted difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import random_trees
+from repro.service import EvalJob, QueryService, merge_results
+from repro.storage.catalog import ViewCatalog
+from repro.tpq.parser import parse_pattern
+
+QUERIES = ["//a//b//c", "//a[//b]//c", "//a//b", "//b//c", "//a//c"]
+
+#: (query, covering views, engines) explicit-plan grid cases.
+GRID_CASES = [
+    ("//a[//b]//c", ["//a//c", "//b"], ("TS", "VJ")),
+    ("//a//b//c", ["//a//b", "//c"], ("TS", "PS", "VJ")),
+]
+SCHEMES = ("E", "LE", "LEp")
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return random_trees.generate(size=300, max_depth=9, seed=21)
+
+
+def io_key(io):
+    """The deterministic (integer) part of the I/O statistics."""
+    return (io.logical_reads, io.physical_reads, io.pages_written)
+
+
+def assert_equivalent(sequential, parallel):
+    assert len(sequential.outcomes) == len(parallel.outcomes)
+    for seq, par in zip(sequential.outcomes, parallel.outcomes):
+        assert seq.query == par.query
+        assert seq.match_keys == par.match_keys, seq.query
+        assert seq.match_count == par.match_count
+        assert seq.counters == par.counters, seq.query
+        assert io_key(seq.io) == io_key(par.io), seq.query
+    assert sequential.counters == parallel.counters
+    assert io_key(sequential.io) == io_key(parallel.io)
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_parallel_batch_identical_to_sequential(doc, workers):
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            service.register("//a//b")
+            service.register("//c")
+            sequential = service.evaluate_batch(QUERIES)
+            parallel = service.evaluate_parallel(QUERIES, workers=workers)
+            assert_equivalent(sequential, parallel)
+
+
+def test_parallel_first_identical_to_sequential(doc):
+    """Order of first evaluation must not matter (snapshot warm-up path)."""
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            service.register("//a//b")
+            parallel = service.evaluate_parallel(QUERIES, workers=2)
+            sequential = service.evaluate_batch(QUERIES)
+            assert_equivalent(sequential, parallel)
+
+
+@pytest.mark.parametrize("mode", ["memory", "disk"])
+def test_grid_identical_across_engines_and_schemes(doc, mode):
+    """Explicit-plan differential across engines × schemes × modes."""
+    jobs = []
+    for query_text, views_text, engines in GRID_CASES:
+        query = parse_pattern(query_text)
+        views = [parse_pattern(text) for text in views_text]
+        for engine in engines:
+            for scheme in SCHEMES:
+                jobs.append(
+                    EvalJob.from_patterns(
+                        len(jobs), query, views, engine, scheme,
+                        mode=mode, emit_matches=True,
+                    )
+                )
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            sequential = service.evaluate_jobs(jobs, workers=0)
+            parallel = service.evaluate_jobs(jobs, workers=2)
+    for seq, par in zip(sequential, parallel):
+        assert seq.index == par.index
+        assert seq.match_keys == par.match_keys, seq.combo
+        assert seq.counters == par.counters, seq.combo
+        assert io_key(seq.io) == io_key(par.io), seq.combo
+    seq_counters, seq_io = merge_results(sequential)
+    par_counters, par_io = merge_results(parallel)
+    assert seq_counters == par_counters
+    assert io_key(seq_io) == io_key(par_io)
+
+
+def test_snapshot_refreshed_after_registration(doc):
+    """New views registered after a parallel run reach the workers."""
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            service.register("//a//b")
+            first = service.evaluate_parallel(["//a//b//c"], workers=2)
+            service.register("//c")  # base view //c becomes a real view
+            second = service.evaluate_parallel(["//a//b//c"], workers=2)
+            check = service.evaluate_batch(["//a//b//c"])
+            assert second.outcomes[0].match_keys == \
+                check.outcomes[0].match_keys == first.outcomes[0].match_keys
+            assert second.counters == check.counters
+
+
+def test_parallel_serves_result_cache_hits_from_parent(doc):
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog, result_cache_size=8) as service:
+            service.register("//a//b")
+            warm = service.evaluate_batch(QUERIES)
+            hits = service.result_cache_stats.hits
+            parallel = service.evaluate_parallel(QUERIES, workers=2)
+            assert service.result_cache_stats.hits == hits + len(QUERIES)
+            assert all(outcome.cached for outcome in parallel.outcomes)
+            assert_equivalent(warm, parallel)
+
+
+def test_duplicate_queries_in_one_parallel_batch(doc):
+    queries = ["//a//b", "//a//b", "//b//c", "//a//b"]
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            service.register("//a//b")
+            sequential = service.evaluate_batch(queries)
+            parallel = service.evaluate_parallel(queries, workers=2)
+            assert_equivalent(sequential, parallel)
+
+
+def test_workers_one_degenerates_to_sequential(doc):
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            service.register("//a//b")
+            parallel = service.evaluate_parallel(QUERIES, workers=1)
+            sequential = service.evaluate_batch(QUERIES)
+            assert_equivalent(sequential, parallel)
