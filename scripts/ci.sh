@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
+echo "== repro-lint (RL101-RL105 invariants) =="
+python -m repro.cli lint --json | python scripts/lint_report.py
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Summarize a `repro.cli lint --json` report for CI logs.
+
+Reads the JSON report from stdin (or a file argument) and prints
+per-rule counts plus the findings themselves.  Exit status mirrors the
+report: 0 when no new findings, 1 otherwise — so this can terminate a
+pipeline on its own even without `pipefail`.
+
+Usage::
+
+    python -m repro.cli lint --json | python scripts/lint_report.py
+    python scripts/lint_report.py report.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        with open(argv[1], encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(sys.stdin)
+
+    counts = payload["counts"]
+    names = {rule["code"]: rule["name"] for rule in payload.get("rules", [])}
+    print(f"repro-lint: {payload['files_checked']} files,"
+          f" {counts['new']} new / {counts['baselined']} baselined"
+          f" / {counts['suppressed']} suppressed")
+    for code in sorted(counts["per_rule"]):
+        label = names.get(code, "")
+        tally = counts["per_rule"][code]
+        marker = "!!" if tally else "ok"
+        print(f"  [{marker}] {code} {label:<22} {tally}")
+    for finding in payload["findings"]:
+        print(f"  {finding['path']}:{finding['line']}:{finding['col']}:"
+              f" {finding['code']}: {finding['message']}")
+    stale = payload.get("stale_baseline", [])
+    if stale:
+        print(f"  {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} — remove them:")
+        for entry in stale:
+            print(f"    {entry['code']} {entry['path']}: {entry['message']}")
+    return 0 if counts["new"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -120,7 +120,9 @@ class TagSource:
         while lo < hi:
             mid = (lo + hi) // 2
             counters.comparisons += 1
-            if stored.read(mid).start <= value:
+            # Reference fallback when packed columns are absent
+            # (REPRO_COLUMNAR=0): pool-served decode is the point here.
+            if stored.read(mid).start <= value:  # repro-lint: disable=RL101 (reference path)
                 lo = mid + 1
             else:
                 hi = mid
@@ -148,12 +150,15 @@ class TagSource:
                 counters.comparisons += 1
                 if starts[index] >= bound:
                     break
-                result.append(entry_at(index))
+                # Records are built only for *collected* entries — the
+                # probe/compare above ran on raw column ints.
+                result.append(entry_at(index))  # repro-lint: disable=RL101 (emission only)
                 counters.elements_scanned += 1
                 index += 1
             return result
         while index < total:
-            entry = stored.read(index)
+            # Reference fallback when packed columns are absent.
+            entry = stored.read(index)  # repro-lint: disable=RL101 (reference path)
             counters.comparisons += 1
             if entry.start >= bound:
                 break
@@ -189,7 +194,9 @@ def build_sources(
     """
     sources: dict[str, TagSource] = {}
     for pattern, view in zip(view_patterns, views):
-        for tag in pattern.tag_set():
+        # Preorder, not tag_set(): source construction order decides
+        # index build order and therefore page-touch order.
+        for tag in pattern.tags():
             if query.has_tag(tag):
                 source = TagSource(view, tag)
                 if use_index:

@@ -22,6 +22,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.errors import EvaluationError
 from repro.storage.lists import ListCursor
 from repro.storage.pager import IOStats
 from repro.storage.records import ElementEntry
@@ -41,7 +42,13 @@ class Mode(enum.Enum):
     def parse(cls, value: "Mode | str") -> "Mode":
         if isinstance(value, Mode):
             return value
-        return cls(value.strip().lower())
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise EvaluationError(
+                f"unknown output mode {value!r}"
+                f" (expected one of {[m.value for m in cls]})"
+            ) from None
 
 
 @dataclass

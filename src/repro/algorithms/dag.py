@@ -27,6 +27,7 @@ from bisect import bisect_left
 from typing import Callable, Mapping, Sequence
 
 from repro.algorithms.base import Counters, Match, element_of
+from repro.errors import EvaluationError
 from repro.storage.lists import StoredList
 from repro.storage.pager import Pager
 from repro.storage.records import ElementEntry, element_codec
@@ -94,7 +95,7 @@ class DagBuffer:
         if bucket and bucket[-1].start >= entry.start:
             if bucket[-1].start == entry.start:
                 return
-            raise ValueError(
+            raise EvaluationError(
                 f"candidates for {tag!r} must arrive in document order"
             )
         bucket.append(entry)
@@ -217,6 +218,9 @@ class DagBuffer:
         # Project linked records down to bare element labels once per
         # candidate, so emitted match tuples need no per-component
         # conversion (matches repeat each candidate many times over).
+        # Dict iteration order here is admission order (insertion-ordered
+        # dict), and the `found.sort()` below canonicalizes emission
+        # order anyway — RL103-safe without an explicit sort.
         candidates = {
             tag: [element_of(entry) for entry in entries]
             for tag, entries in candidates.items()

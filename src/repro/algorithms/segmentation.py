@@ -135,8 +135,11 @@ def segment_query(query: Pattern, views: list[Pattern]) -> SegmentedQuery:
     caller's concern (the view-selection module produces minimal sets).
     """
     views = covering_view_set(views, query)
+    # Preorder tags(), not tag_set(): the mapping itself is order-free,
+    # but building it deterministically keeps dict layout (and any
+    # downstream iteration) identical across runs.
     view_of = {
-        tag: view for view in views for tag in view.tag_set()
+        tag: view for view in views for tag in view.tags()
         if query.has_tag(tag)
     }
 

@@ -373,6 +373,9 @@ class _ViewJoinRun:
         materialized child pointers under LE/LE_p, or pager-accounted
         binary search under the element scheme (Section III-B advantage 3).
         """
+        # `buffered` is insertion-ordered by admission (DagBuffer fills it
+        # in document order per tag), and DagBuffer.flush sorts matches
+        # before emission — iteration order here cannot leak into output.
         candidates: dict[str, list] = {
             tag: list(entries) for tag, entries in buffered.items()
         }

@@ -1,0 +1,37 @@
+"""repro-lint: AST-based invariant checks for this repository.
+
+The engine grew three load-bearing conventions that nothing enforced:
+
+* the columnar fast path must mirror every raw column access into the
+  buffer pool's I/O accounting (``pool.touch`` / ``touch_index``);
+* parallel service evaluation must stay deterministic — no unordered
+  ``set`` iteration feeding emission or counter merges, no wall-clock
+  reads outside measurement code;
+* every catalog/planner mutator must bump the plan-cache generation.
+
+:mod:`repro.analysis` turns those conventions (plus hot-path purity and
+exception discipline) into CI-enforced rules over :mod:`ast`.  See
+``DESIGN.md`` §10 for the rule catalog.
+
+Public surface:
+
+* :func:`repro.analysis.runner.lint_package` — lint a package tree;
+* :func:`repro.analysis.runner.lint_text` — lint one source snippet
+  (fixture tests and editor integrations);
+* :data:`repro.analysis.rules.RULES` — the rule registry;
+* reporters in :mod:`repro.analysis.reporters`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Finding, ModuleInfo, Rule
+from repro.analysis.runner import LintReport, lint_package, lint_text
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Rule",
+    "lint_package",
+    "lint_text",
+]

@@ -1,0 +1,85 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a checked-in JSON file listing finding fingerprints
+(code, path, message — deliberately line-number-free, so entries survive
+unrelated edits).  The linter subtracts baselined findings from its
+failure count; anything new fails.  ``--write-baseline`` regenerates the
+file from the current findings, and entries that no longer match any
+finding are reported as stale so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+from repro.errors import LintError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """Read a baseline file into a set of fingerprints.
+
+    A missing file is an empty baseline; a malformed one raises
+    :class:`~repro.errors.LintError` (silently ignoring it would turn
+    the whole gate off).
+    """
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline file {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise LintError(
+            f"baseline file {path} must be an object with a 'findings' list"
+        )
+    fingerprints: set[tuple[str, str, str]] = set()
+    for entry in payload["findings"]:
+        try:
+            fingerprints.add(
+                (str(entry["code"]), str(entry["path"]),
+                 str(entry["message"]))
+            )
+        except (TypeError, KeyError) as exc:
+            raise LintError(
+                f"baseline file {path} has a malformed entry: {entry!r}"
+            ) from exc
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the given findings as the new baseline (sorted, stable)."""
+    entries = sorted(
+        {f.fingerprint() for f in findings}
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"code": code, "path": rel, "message": message}
+            for code, rel, message in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], fingerprints: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding], set[tuple[str, str, str]]]:
+    """Partition findings into (new, baselined) plus stale fingerprints."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in fingerprints:
+            baselined.append(finding)
+            matched.add(fp)
+        else:
+            new.append(finding)
+    stale = fingerprints - matched
+    return new, baselined, stale

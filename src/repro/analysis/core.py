@@ -1,0 +1,211 @@
+"""Lint-engine primitives: findings, modules, suppressions, rule base.
+
+A :class:`ModuleInfo` wraps one parsed source file together with its
+package-relative path (rules scope on the path, e.g. ``storage/`` for the
+I/O-accounting mirror) and its per-line suppressions.
+
+Suppressions are line comments of the form::
+
+    something()  # repro-lint: disable=RL101 (reason why this is fine)
+    other()      # repro-lint: disable=RL101,RL103 legacy path
+    anything()   # repro-lint: disable=all
+
+A suppression silences findings *anchored on that physical line* only —
+there is no block or file scope, so every grandfathered site stays
+visible and individually justified.  Hot-path registration for RL101 can
+likewise be done in source with ``# repro-lint: hot`` on (or directly
+above) a ``def`` line; the rule registry in :mod:`repro.analysis.rules`
+carries the repository's standing registrations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z]+\d*(?:\s*,\s*[A-Za-z]+\d*)*|all)"
+)
+_HOT_RE = re.compile(r"#\s*repro-lint:\s*hot\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``path`` is package-relative and POSIX-style (``algorithms/dag.py``),
+    so findings are stable across checkouts; ``symbol`` names the
+    enclosing function/class qualname when the rule tracks one.
+    """
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching.
+
+        Baselined findings survive unrelated edits above them; rules keep
+        messages free of line/position text for exactly this reason.
+        """
+        return (self.code, self.path, self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+class ModuleInfo:
+    """One source file prepared for rule checks.
+
+    Args:
+        path: package-relative POSIX path (drives rule scoping).
+        source: the file's text.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.suppressions: dict[int, set[str] | None] = {}
+        self.hot_marker_lines: set[int] = set()
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                spec = match.group(1)
+                if spec.strip().lower() == "all":
+                    self.suppressions[number] = None  # None == every code
+                else:
+                    self.suppressions[number] = {
+                        code.strip().upper() for code in spec.split(",")
+                    }
+            if _HOT_RE.search(line):
+                self.hot_marker_lines.add(number)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressions.get(finding.line, ())
+        if codes is None:
+            return True
+        return finding.code in codes
+
+    def has_hot_marker(self, node: ast.AST) -> bool:
+        """True when ``def`` carries ``# repro-lint: hot`` on its first
+        line, the line above it, or a decorator line."""
+        lines = {node.lineno, node.lineno - 1}
+        for decorator in getattr(node, "decorator_list", ()):
+            lines.add(decorator.lineno)
+            lines.add(node.body[0].lineno - 1 if node.body else node.lineno)
+        return bool(lines & self.hot_marker_lines)
+
+
+class Rule:
+    """Base class: one stable code, one invariant, one ``check``."""
+
+    code: str = "RL000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str,
+        symbol: str = "",
+    ) -> Finding:
+        return Finding(
+            code=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """All function definitions with dotted qualnames (``Class.method``)."""
+    found: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found.append((qualname, child))
+                walk(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return found
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """Dotted text of a ``Name``/``Attribute`` chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_target_name(node: ast.Call) -> str | None:
+    """Final name of a call target: ``a.b.c()`` -> ``c``, ``f()`` -> ``f``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def local_attr_aliases(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Map simple local aliases to the final attribute they name.
+
+    ``touch = self.pager.pool.touch`` binds ``touch -> "touch"``;
+    ``entry_at = columns.entry`` binds ``entry_at -> "entry"``.  Only
+    straight-line ``name = attr.chain`` assignments are tracked — enough
+    for the hot-loop aliasing idiom the fast paths use.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if isinstance(node.value, ast.Attribute):
+            aliases[target.id] = node.value.attr
+    return aliases
+
+
+def loops_in(func: ast.AST) -> list[ast.For | ast.While]:
+    return [
+        node for node in ast.walk(func)
+        if isinstance(node, (ast.For, ast.While))
+    ]

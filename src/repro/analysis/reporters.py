@@ -1,0 +1,68 @@
+"""Text and JSON renderings of a lint run.
+
+The text reporter is for humans at a terminal; the JSON reporter feeds
+``scripts/lint_report.py`` (per-rule CI summaries) and any other tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import LintReport
+
+_RULE_NAMES = {rule.code: rule.name for rule in RULES}
+
+
+def render_text(report: "LintReport") -> str:
+    lines: list[str] = []
+    for finding in report.new_findings:
+        name = _RULE_NAMES.get(finding.code, "")
+        tag = f"{finding.code}({name})" if name else finding.code
+        lines.append(f"{finding.location()}: {tag}: {finding.message}")
+    if report.stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (fixed or moved — remove them):")
+        for code, path, message in sorted(report.stale_baseline):
+            lines.append(f"  {code} {path}: {message}")
+    lines.append("")
+    lines.append(
+        f"repro-lint: {len(report.new_findings)} finding(s)"
+        f" in {report.files_checked} file(s)"
+        f" ({len(report.baselined)} baselined,"
+        f" {report.suppressed_count} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    per_rule: dict[str, int] = {rule.code: 0 for rule in RULES}
+    for finding in report.new_findings:
+        per_rule[finding.code] = per_rule.get(finding.code, 0) + 1
+    payload = {
+        "files_checked": report.files_checked,
+        "counts": {
+            "new": len(report.new_findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed_count,
+            "per_rule": per_rule,
+        },
+        "rules": [
+            {
+                "code": rule.code,
+                "name": rule.name,
+                "description": rule.description,
+            }
+            for rule in RULES
+        ],
+        "findings": [f.as_dict() for f in report.new_findings],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": [
+            {"code": code, "path": path, "message": message}
+            for code, path, message in sorted(report.stale_baseline)
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,147 @@
+"""Drive the rule registry over source files and fold in the baseline.
+
+The default target is the installed ``repro`` package itself (the
+directory containing this file's grandparent); the default baseline is
+``.repro-lint-baseline.json`` at the repository root.  Both can be
+overridden, which is how fixture tests lint synthetic trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline, split_by_baseline
+from repro.analysis.core import Finding, ModuleInfo
+from repro.analysis.rules import RULES
+from repro.errors import LintError
+
+#: The ``src/repro`` package directory this module lives under.
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+
+def default_baseline_path() -> Path:
+    """``.repro-lint-baseline.json`` at the repository root.
+
+    The repo root is two levels above the package (``src/repro`` ->
+    repo); when the package is installed elsewhere, fall back to the
+    current directory so ``--baseline`` stays optional.
+    """
+    candidate = PACKAGE_ROOT.parents[1] / ".repro-lint-baseline.json"
+    if candidate.parent.is_dir():
+        return candidate
+    return Path(".repro-lint-baseline.json")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: set[tuple[str, str, str]] = field(default_factory=set)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def all_findings(self) -> list[Finding]:
+        return sorted(
+            self.new_findings + self.baselined,
+            key=lambda f: (f.path, f.line, f.col, f.code),
+        )
+
+
+def check_module(module: ModuleInfo) -> tuple[list[Finding], int]:
+    """Run every rule over one module; returns (findings, suppressed)."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in RULES:
+        for finding in rule.check(module):
+            if module.is_suppressed(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def lint_text(source: str, path: str = "snippet.py") -> list[Finding]:
+    """Lint one source string under a pretend package-relative path.
+
+    The path picks which scoped rules apply (``storage/x.py`` enables
+    RL102, etc.).  Suppressions work; the baseline does not apply.
+    Used by fixture tests and editor integrations.
+    """
+    try:
+        module = ModuleInfo(path, source)
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}")
+    findings, _ = check_module(module)
+    return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def _iter_source_files(root: Path) -> list[Path]:
+    return sorted(
+        p for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def lint_package(
+    root: Path | None = None,
+    paths: list[Path] | None = None,
+    baseline_path: Path | None = None,
+) -> LintReport:
+    """Lint a package tree (default: the ``repro`` package itself).
+
+    Args:
+        root: directory treated as the package root — rule scoping uses
+            paths relative to it.
+        paths: optional subset of files/directories to check (still
+            resolved relative to ``root`` for scoping).
+        baseline_path: baseline file; defaults to the repo-root
+            ``.repro-lint-baseline.json``.
+    """
+    root = (root or PACKAGE_ROOT).resolve()
+    if baseline_path is None:
+        baseline_path = default_baseline_path()
+    fingerprints = load_baseline(baseline_path)
+
+    if paths:
+        files: list[Path] = []
+        for path in paths:
+            path = path.resolve()
+            if path.is_dir():
+                files.extend(_iter_source_files(path))
+            else:
+                files.append(path)
+    else:
+        files = _iter_source_files(root)
+
+    report = LintReport()
+    all_findings: list[Finding] = []
+    for file_path in files:
+        try:
+            rel = file_path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            raise LintError(
+                f"lint target {file_path} is outside the package root {root}"
+            )
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            module = ModuleInfo(rel, source)
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {file_path}: {exc}")
+        findings, suppressed = check_module(module)
+        all_findings.extend(findings)
+        report.suppressed_count += suppressed
+        report.files_checked += 1
+
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    new, baselined, stale = split_by_baseline(all_findings, fingerprints)
+    report.new_findings = new
+    report.baselined = baselined
+    report.stale_baseline = stale
+    return report

@@ -12,7 +12,8 @@ Subcommands:
 * ``materialize`` — build a persistent view store from an XML document;
 * ``query`` — answer a query from a persistent store (planner-driven);
 * ``batch`` — answer many queries from a store, optionally in parallel;
-* ``advise`` — recommend views worth materializing for a query.
+* ``advise`` — recommend views worth materializing for a query;
+* ``lint`` — run the repro-lint invariant checker over the package.
 """
 
 from __future__ import annotations
@@ -49,6 +50,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "batch": _cmd_batch,
         "advise": _cmd_advise,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -165,6 +167,23 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="largest candidate view (nodes)")
     adv.add_argument("--top", type=int, default=10,
                      help="show this many ranked candidates")
+
+    lint = sub.add_parser(
+        "lint", help="run the repro-lint invariant checker (RL101-RL105)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: the whole"
+                           " repro package)")
+    lint.add_argument("--root", default=None,
+                      help="package root for rule scoping (default: the"
+                           " installed repro package)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: .repro-lint-baseline"
+                           ".json at the repo root)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the machine-readable JSON report")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from current findings")
     return parser
 
 
@@ -401,6 +420,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
     finally:
         catalog.close()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.baseline import write_baseline
+    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.runner import (
+        default_baseline_path,
+        lint_package,
+    )
+
+    root = Path(args.root) if args.root else None
+    baseline = Path(args.baseline) if args.baseline else None
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    report = lint_package(root=root, paths=paths, baseline_path=baseline)
+    if args.write_baseline:
+        target = baseline or default_baseline_path()
+        write_baseline(target, report.all_findings())
+        print(f"baseline written to {target}"
+              f" ({len(report.all_findings())} finding(s))")
+        return 0
+    if args.as_json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import DatasetError
 from repro.xmltree.document import Document, DocumentBuilder
 
 #: Fraction of datasets that are content-rich (the skew head).
@@ -43,7 +44,7 @@ def generate(scale: float = 1.0, seed: int = 0) -> Document:
         The region-labelled document rooted at ``datasets``.
     """
     if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale}")
+        raise DatasetError(f"scale must be positive, got {scale}")
     rng = random.Random(seed)
     builder = DocumentBuilder(name=f"nasa-{scale}")
     num_datasets = max(2, round(60 * scale))

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import DatasetError
 from repro.xmltree.document import Document, DocumentBuilder
 
 REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
@@ -43,7 +44,7 @@ def generate(scale: float = 1.0, seed: int = 0) -> Document:
         The region-labelled document rooted at ``site``.
     """
     if scale <= 0:
-        raise ValueError(f"scale must be positive, got {scale}")
+        raise DatasetError(f"scale must be positive, got {scale}")
     rng = random.Random(seed)
     gen = _XMarkGenerator(rng, scale)
     return gen.run()

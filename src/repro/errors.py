@@ -65,3 +65,15 @@ class ServiceError(ReproError):
     though the caller promised a warm catalog, or dispatching parallel
     work from a service whose catalog cannot be snapshotted.
     """
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic-dataset generator receives bad parameters."""
+
+
+class LintError(ReproError):
+    """Raised by the repro-lint analyzer for unusable inputs.
+
+    For example: a baseline file that is not valid JSON, or a lint target
+    path outside the analyzed package root.
+    """

@@ -181,13 +181,16 @@ class QueryService:
     def warmup_jobs(self, jobs: Sequence[EvalJob]) -> int:
         """Materialize each distinct (view, scheme) of explicit jobs once."""
         before = self.catalog.materializations
-        seen: set[tuple[str, str]] = set()
+        # Insertion-ordered dict, not a set: materialization must follow
+        # job order because page layout (and thus physical-read counts)
+        # depends on the order views hit the store.
+        seen: dict[tuple[str, str], None] = {}
         for job in jobs:
             for xpath, name in job.views:
                 key = (name or xpath, job.scheme)
                 if key in seen:
                     continue
-                seen.add(key)
+                seen[key] = None
                 self.catalog.add(
                     parse_pattern(xpath, name=name), job.scheme
                 )

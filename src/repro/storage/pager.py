@@ -229,7 +229,7 @@ class BufferPool:
                 return cached
             # Touched but never decoded: the physical read was already
             # accounted when the mirrored residency was established.
-            decoded = decode(self.page_file.read_page_raw(page_id))
+            decoded = decode(self.page_file.read_page_raw(page_id))  # repro-lint: disable=RL102 (get IS the accounting primitive)
             self._pages[key] = decoded
             return decoded
         raw = self.page_file.read_page(page_id)

@@ -18,6 +18,8 @@ import sys
 from array import array
 from typing import NamedTuple
 
+from repro.errors import StorageError
+
 #: Bulk column building reinterprets raw little-endian page bytes as native
 #: arrays; fall back to struct iteration anywhere that identity breaks.
 _NATIVE_U32 = sys.byteorder == "little" and array("I").itemsize == 4
@@ -142,7 +144,7 @@ def _encode_pointer(value: int) -> int:
     if value == UNMATERIALIZED_POINTER:
         return _UNMATERIALIZED_RAW
     if not 0 <= value < _UNMATERIALIZED_RAW:
-        raise ValueError(f"pointer {value} out of encodable range")
+        raise StorageError(f"pointer {value} out of encodable range")
     return value
 
 
@@ -209,14 +211,14 @@ class LinkedCodec:
 
     def __init__(self, num_children: int):
         if num_children < 0:
-            raise ValueError("num_children must be >= 0")
+            raise StorageError("num_children must be >= 0")
         self.num_children = num_children
         self._struct = struct.Struct(f"<III{2 + num_children}I")
         self.width = self._struct.size
 
     def encode(self, entry: LinkedEntry) -> bytes:
         if len(entry.children) != self.num_children:
-            raise ValueError(
+            raise StorageError(
                 f"expected {self.num_children} child pointers,"
                 f" got {len(entry.children)}"
             )
@@ -264,14 +266,14 @@ class TupleCodec:
 
     def __init__(self, arity: int):
         if arity <= 0:
-            raise ValueError("tuple arity must be positive")
+            raise StorageError("tuple arity must be positive")
         self.arity = arity
         self._struct = struct.Struct(f"<{3 * arity}I")
         self.width = self._struct.size
 
     def encode(self, entries: tuple[ElementEntry, ...]) -> bytes:
         if len(entries) != self.arity:
-            raise ValueError(
+            raise StorageError(
                 f"expected {self.arity} components, got {len(entries)}"
             )
         flat: list[int] = []
@@ -312,7 +314,7 @@ class CompactLinkedCodec:
 
     def __init__(self, num_children: int):
         if not 0 <= num_children <= self.MAX_CHILDREN:
-            raise ValueError(
+            raise StorageError(
                 f"compact codec supports up to {self.MAX_CHILDREN} child"
                 f" pointers, got {num_children}"
             )
@@ -335,7 +337,7 @@ class CompactLinkedCodec:
 
     def encode(self, entry: LinkedEntry) -> bytes:
         if len(entry.children) != self.num_children:
-            raise ValueError(
+            raise StorageError(
                 f"expected {self.num_children} child pointers,"
                 f" got {len(entry.children)}"
             )
@@ -348,7 +350,7 @@ class CompactLinkedCodec:
             present.append(entry.descendant)
         for i, child in enumerate(entry.children):
             if child == UNMATERIALIZED_POINTER:
-                raise ValueError("child pointers are always materialized")
+                raise StorageError("child pointers are always materialized")
             if child >= 0:
                 flags |= 1 << (4 + i)
                 present.append(child)

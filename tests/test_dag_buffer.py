@@ -9,6 +9,7 @@ from repro.algorithms.dag import DagBuffer
 from repro.storage.pager import Pager
 from repro.storage.records import ElementEntry
 from repro.tpq.parser import parse_pattern
+from repro.errors import EvaluationError
 
 Q = parse_pattern("//a//b")
 
@@ -37,7 +38,7 @@ def test_duplicate_adds_ignored():
 def test_out_of_order_add_rejected():
     dag = DagBuffer(Q, Counters())
     dag.add("a", entry(5, 10, 0))
-    with pytest.raises(ValueError):
+    with pytest.raises(EvaluationError):
         dag.add("a", entry(1, 2, 0))
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import nasa, random_trees, xmark
+from repro.errors import DatasetError
 
 
 def test_xmark_deterministic():
@@ -50,7 +51,7 @@ def test_xmark_parlist_recursion_present():
 
 
 def test_xmark_rejects_bad_scale():
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         xmark.generate(scale=0)
 
 
@@ -90,7 +91,7 @@ def test_nasa_skewed_distribution():
 
 
 def test_nasa_rejects_bad_scale():
-    with pytest.raises(ValueError):
+    with pytest.raises(DatasetError):
         nasa.generate(scale=-1)
 
 

@@ -201,7 +201,7 @@ def test_mode_parse():
     assert Mode.parse("memory") is Mode.MEMORY
     assert Mode.parse("disk") is Mode.DISK
     assert Mode.parse(Mode.DISK) is Mode.DISK
-    with pytest.raises(ValueError):
+    with pytest.raises(EvaluationError):
         Mode.parse("floppy")
 
 

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import StorageError
 from repro.storage.records import (
     NULL_POINTER,
     UNMATERIALIZED_POINTER,
@@ -59,13 +60,13 @@ def test_linked_element_projection():
 def test_linked_child_arity_checked():
     codec = linked_codec(2)
     entry = LinkedEntry(1, 2, 3, -1, -1, (0,))
-    with pytest.raises(ValueError):
+    with pytest.raises(StorageError):
         codec.encode(entry)
 
 
 def test_pointer_range_checked():
     codec = linked_codec(0)
-    with pytest.raises(ValueError):
+    with pytest.raises(StorageError):
         codec.encode(LinkedEntry(1, 2, 3, -7, -1, ()))
 
 
@@ -79,7 +80,7 @@ def test_tuple_roundtrip(components):
 
 def test_tuple_arity_checked():
     codec = tuple_codec(2)
-    with pytest.raises(ValueError):
+    with pytest.raises(StorageError):
         codec.encode((ElementEntry(1, 2, 3),))
-    with pytest.raises(ValueError):
+    with pytest.raises(StorageError):
         tuple_codec(0)

@@ -1,0 +1,368 @@
+"""repro-lint tests: one fixture per rule (positive + suppressed +
+baseline), CLI exit codes on seeded violations, and the self-check that
+the repository itself is lint-clean against the committed baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_package, lint_text
+from repro.analysis.baseline import write_baseline
+from repro.analysis.core import Finding
+from repro.cli import main
+from repro.errors import LintError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+# -- RL101: hot-path purity ----------------------------------------------------
+
+RL101_POSITIVE = """\
+def scan(entries):  # repro-lint: hot
+    out = []
+    for entry in entries:
+        try:
+            out.append(element_of(entry))
+        except KeyError:
+            pass
+    return out
+"""
+
+RL101_SUPPRESSED = """\
+def scan(columns, n):  # repro-lint: hot
+    out = []
+    for i in range(n):
+        out.append(columns.entry(i))  # repro-lint: disable=RL101 (emission only)
+    return out
+"""
+
+
+def test_rl101_flags_record_construction_and_try_in_loop():
+    found = lint_text(RL101_POSITIVE, "algorithms/foo.py")
+    assert codes(found) == ["RL101"]
+    messages = " ".join(f.message for f in found)
+    assert "element_of" in messages
+    assert "try/except" in messages
+
+
+def test_rl101_registry_covers_known_hot_functions():
+    snippet = (
+        "class TagSource:\n"
+        "    def collect_from(self, index):\n"
+        "        return self.stored.read(index)\n"
+    )
+    found = lint_text(snippet, "algorithms/access.py")
+    assert codes(found) == ["RL101"]
+    assert found[0].symbol == "TagSource.collect_from"
+    # The same code under an unregistered path/function is not hot.
+    assert lint_text(snippet, "algorithms/other.py") == []
+
+
+def test_rl101_suppression_silences_the_line():
+    assert lint_text(RL101_SUPPRESSED, "algorithms/foo.py") == []
+
+
+# -- RL102: I/O-accounting mirror ----------------------------------------------
+
+RL102_POSITIVE = """\
+class Reader:
+    def load(self, page_id):
+        return self.page_file.read_page_raw(page_id)
+"""
+
+RL102_MIRRORED = """\
+class Reader:
+    def load(self, page_id):
+        self.pool.touch(page_id, 0)
+        return self.page_file.read_page_raw(page_id)
+"""
+
+
+def test_rl102_flags_unmirrored_raw_reads_in_storage():
+    found = lint_text(RL102_POSITIVE, "storage/foo.py")
+    assert codes(found) == ["RL102"]
+    # Same code outside storage/ is out of scope.
+    assert lint_text(RL102_POSITIVE, "algorithms/foo.py") == []
+
+
+def test_rl102_touch_in_scope_satisfies_the_mirror():
+    assert lint_text(RL102_MIRRORED, "storage/foo.py") == []
+
+
+def test_rl102_alias_resolution():
+    snippet = (
+        "class Reader:\n"
+        "    def load(self, page_id):\n"
+        "        read_raw = self.page_file.read_page_raw\n"
+        "        return read_raw(page_id)\n"
+    )
+    assert codes(lint_text(snippet, "storage/foo.py")) == ["RL102"]
+
+
+# -- RL103: determinism --------------------------------------------------------
+
+RL103_SET_ITERATION = """\
+def emit(tags):
+    names = set(tags)
+    out = []
+    for name in names:
+        out.append(name)
+    return out
+"""
+
+RL103_SORTED = """\
+def emit(tags):
+    names = set(tags)
+    return [name for name in sorted(names)]
+"""
+
+
+def test_rl103_flags_unordered_set_iteration():
+    found = lint_text(RL103_SET_ITERATION, "algorithms/foo.py")
+    assert codes(found) == ["RL103"]
+    # Sorting launders the order; set comprehensions stay order-free.
+    assert lint_text(RL103_SORTED, "algorithms/foo.py") == []
+    assert lint_text(
+        "def keep(tags):\n    return {t for t in set(tags)}\n",
+        "algorithms/foo.py",
+    ) == []
+
+
+def test_rl103_scope_is_engine_and_service():
+    assert lint_text(RL103_SET_ITERATION, "bench/foo.py") == []
+
+
+def test_rl103_flags_random_and_wall_clock():
+    found = lint_text("import random\n", "service/foo.py")
+    assert codes(found) == ["RL103"]
+    assert lint_text("import random\n", "datasets/foo.py") == []
+
+    found = lint_text(
+        "import time\n\ndef now():\n    return time.time()\n",
+        "algorithms/foo.py",
+    )
+    assert codes(found) == ["RL103"]
+    assert lint_text(
+        "import time\n\ndef tick():\n    return time.perf_counter()\n",
+        "algorithms/foo.py",
+    ) == []
+
+
+def test_rl103_suppression():
+    suppressed = RL103_SET_ITERATION.replace(
+        "for name in names:",
+        "for name in names:  # repro-lint: disable=RL103 (membership only)",
+    )
+    assert lint_text(suppressed, "algorithms/foo.py") == []
+
+
+# -- RL104: cache coherence ----------------------------------------------------
+
+RL104_POSITIVE = """\
+class Planner:
+    def register(self, view):
+        self._registered.append(view)
+"""
+
+RL104_BUMPED = """\
+class Planner:
+    def register(self, view):
+        self._registered.append(view)
+        self._bump_generation()
+"""
+
+RL104_CATALOG = """\
+class ViewCatalog:
+    def add(self, key, info):
+        self._views[key] = info
+"""
+
+
+def test_rl104_flags_mutation_without_generation_bump():
+    found = lint_text(RL104_POSITIVE, "planner.py")
+    assert codes(found) == ["RL104"]
+    assert "register" in found[0].symbol
+    assert lint_text(RL104_BUMPED, "planner.py") == []
+    # Contracts are path-scoped: the same class elsewhere is unchecked.
+    assert lint_text(RL104_POSITIVE, "algorithms/foo.py") == []
+
+
+def test_rl104_catalog_contract_requires_version_store():
+    found = lint_text(RL104_CATALOG, "storage/catalog.py")
+    assert codes(found) == ["RL104"]
+    fixed = RL104_CATALOG.replace(
+        "self._views[key] = info",
+        "self._views[key] = info\n        self.version += 1",
+    )
+    assert lint_text(fixed, "storage/catalog.py") == []
+
+
+def test_rl104_init_is_exempt():
+    snippet = (
+        "class Planner:\n"
+        "    def __init__(self):\n"
+        "        self._registered = []\n"
+    )
+    assert lint_text(snippet, "planner.py") == []
+
+
+# -- RL105: exception discipline -----------------------------------------------
+
+def test_rl105_flags_builtin_raises_and_broad_excepts():
+    found = lint_text(
+        "def f():\n    raise ValueError('bad')\n", "planner.py"
+    )
+    assert codes(found) == ["RL105"]
+    found = lint_text(
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        "planner.py",
+    )
+    assert codes(found) == ["RL105"]
+    found = lint_text(
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except:\n"
+        "        pass\n",
+        "planner.py",
+    )
+    assert codes(found) == ["RL105"]
+
+
+def test_rl105_allows_repro_errors_and_internal_invariants():
+    clean = (
+        "from repro.errors import StorageError\n"
+        "def f():\n"
+        "    raise StorageError('bad page')\n"
+        "def g():\n"
+        "    raise AssertionError  # unreachable\n"
+    )
+    assert lint_text(clean, "storage/foo.py") == []
+
+
+def test_rl105_suppression():
+    suppressed = (
+        "def f():\n"
+        "    raise ValueError('bad')  # repro-lint: disable=RL105 (legacy API)\n"
+    )
+    assert lint_text(suppressed, "planner.py") == []
+
+
+# -- baseline behaviour --------------------------------------------------------
+
+def _write_module(root: Path, rel: str, source: str) -> None:
+    target = root / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+
+
+def test_baseline_grandfathers_known_findings(tmp_path):
+    root = tmp_path / "pkg"
+    _write_module(root, "planner.py", "def f():\n    raise ValueError('x')\n")
+    baseline = tmp_path / "baseline.json"
+
+    report = lint_package(root=root, baseline_path=baseline)
+    assert not report.ok
+    assert codes(report.new_findings) == ["RL105"]
+
+    write_baseline(baseline, report.new_findings)
+    report = lint_package(root=root, baseline_path=baseline)
+    assert report.ok
+    assert len(report.baselined) == 1
+
+
+def test_baseline_reports_stale_entries(tmp_path):
+    root = tmp_path / "pkg"
+    _write_module(root, "planner.py", "def f():\n    return 1\n")
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, [
+        Finding("RL105", "planner.py", 2, 4, "raises builtin ValueError")
+    ])
+    report = lint_package(root=root, baseline_path=baseline)
+    assert report.ok
+    assert len(report.stale_baseline) == 1
+
+
+def test_malformed_baseline_raises_lint_error(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json", encoding="utf-8")
+    with pytest.raises(LintError):
+        lint_package(root=tmp_path, baseline_path=baseline)
+
+
+# -- CLI + seeded violations (acceptance criteria) -----------------------------
+
+SEEDED = {
+    "RL101": ("rl101.py", RL101_POSITIVE),
+    "RL102": ("storage/rl102.py", RL102_POSITIVE),
+    "RL103": ("service/rl103.py", "import random\n"),
+    "RL104": ("planner.py", RL104_POSITIVE),
+    "RL105": ("rl105.py", "def f():\n    raise ValueError('x')\n"),
+}
+
+
+@pytest.mark.parametrize("code", sorted(SEEDED))
+def test_cli_exits_nonzero_on_each_seeded_violation(tmp_path, capsys, code):
+    rel, source = SEEDED[code]
+    root = tmp_path / "pkg"
+    _write_module(root, rel, source)
+    baseline = tmp_path / "baseline.json"
+    exit_code = main([
+        "lint", "--root", str(root), "--baseline", str(baseline), "--json",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["counts"]["per_rule"][code] >= 1
+    assert {f["code"] for f in payload["findings"]} == {code}
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    root = tmp_path / "pkg"
+    _write_module(root, "ok.py", "def f():\n    return 1\n")
+    exit_code = main([
+        "lint", "--root", str(root),
+        "--baseline", str(tmp_path / "baseline.json"),
+    ])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    root = tmp_path / "pkg"
+    _write_module(root, "rl105.py", "def f():\n    raise ValueError('x')\n")
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "lint", "--root", str(root), "--baseline", str(baseline),
+        "--write-baseline",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "lint", "--root", str(root), "--baseline", str(baseline),
+    ]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+# -- self-check ----------------------------------------------------------------
+
+def test_repository_is_lint_clean_against_committed_baseline():
+    report = lint_package(
+        root=REPO_ROOT / "src" / "repro",
+        baseline_path=REPO_ROOT / ".repro-lint-baseline.json",
+    )
+    assert report.ok, "\n".join(
+        f"{f.location()}: {f.code}: {f.message}" for f in report.new_findings
+    )
+    assert not report.stale_baseline
+    assert report.files_checked > 50
