@@ -28,3 +28,6 @@ REPRO_BENCH_SCALE=0.1 REPRO_COLUMNAR=0 python -m pytest \
 
 echo "== service smoke (parallel sequential-equality, workers=2) =="
 python scripts/smoke_parallel.py
+
+echo "== maintenance smoke (canned WAL replay vs golden rebuild) =="
+python scripts/smoke_maintenance.py

@@ -387,6 +387,19 @@ CACHE_CONTRACTS: tuple[tuple[str, str, str, tuple[str, ...],
     ("storage/catalog.py", "ViewCatalog", "_views", (), ("version",)),
 )
 
+#: (path prefix, mutated attributes, required call names, required stores).
+#: Module-level variant of the contract for the maintenance subsystem:
+#: *any* function under the prefix that assigns the catalog-attached view
+#: state (``<catalog>._views`` / ``<catalog>.document``, whatever the
+#: receiver is named) must route through ``install_maintained`` or bump
+#: ``<catalog>.version`` itself — otherwise planners, result caches and
+#: worker attachments keep serving the pre-commit state.
+MAINTENANCE_CONTRACTS: tuple[tuple[str, tuple[str, ...], tuple[str, ...],
+                                   tuple[str, ...]], ...] = (
+    ("maintenance/", ("_views", "document"),
+     ("install_maintained",), ("version",)),
+)
+
 _MUTATOR_METHODS = frozenset({
     "append", "extend", "insert", "add", "update", "setdefault",
     "pop", "popitem", "clear", "remove", "discard",
@@ -397,9 +410,10 @@ class CacheCoherenceRule(Rule):
     code = "RL104"
     name = "cache-coherence"
     description = (
-        "Every planner/catalog method that mutates the registered view"
-        " set must bump the plan-cache generation (or the catalog"
-        " version), or stale plans outlive the views they reference."
+        "Every planner/catalog/maintenance function that mutates the"
+        " registered view set must bump the plan-cache generation (or"
+        " the catalog version), or stale plans outlive the views they"
+        " reference."
     )
 
     def check(self, module: ModuleInfo) -> list[Finding]:
@@ -412,7 +426,95 @@ class CacheCoherenceRule(Rule):
                     findings.extend(
                         self._check_class(module, node, attr, calls, stores)
                     )
+        for prefix, attrs, calls, stores in MAINTENANCE_CONTRACTS:
+            if module.path.startswith(prefix):
+                findings.extend(
+                    self._check_module(module, attrs, calls, stores)
+                )
         return findings
+
+    def _check_module(
+        self,
+        module: ModuleInfo,
+        attrs: tuple[str, ...],
+        required_calls: tuple[str, ...],
+        required_stores: tuple[str, ...],
+    ) -> list[Finding]:
+        """Any-receiver variant: maintenance code handles catalogs it does
+        not own, so the contract binds every function in the module, not
+        the methods of one class."""
+        findings = []
+        for qualname, func in iter_functions(module.tree):
+            mutation = self._find_any_receiver_mutation(func, attrs)
+            if mutation is None:
+                continue
+            if self._satisfies_any_receiver(
+                func, required_calls, required_stores
+            ):
+                continue
+            wanted = ", ".join(
+                [f"<catalog>.{name}(...)" for name in required_calls]
+                + [f"<catalog>.{name} = ..." for name in required_stores]
+            )
+            findings.append(self.finding(
+                module, mutation,
+                f"{qualname} assigns catalog-attached view state"
+                f" without invalidating dependent caches (expected"
+                f" {wanted})",
+                symbol=qualname,
+            ))
+        return findings
+
+    @staticmethod
+    def _is_any_attr(node: ast.AST, attrs: tuple[str, ...]) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in attrs
+
+    def _find_any_receiver_mutation(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        attrs: tuple[str, ...],
+    ) -> ast.AST | None:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if self._is_any_attr(target, attrs):
+                        return node
+                    if isinstance(target, ast.Subscript) and \
+                            self._is_any_attr(target.value, attrs):
+                        return node
+            elif isinstance(node, ast.Call):
+                func_node = node.func
+                if (
+                    isinstance(func_node, ast.Attribute)
+                    and func_node.attr in _MUTATOR_METHODS
+                    and self._is_any_attr(func_node.value, attrs)
+                ):
+                    return node
+        return None
+
+    def _satisfies_any_receiver(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        required_calls: tuple[str, ...],
+        required_stores: tuple[str, ...],
+    ) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if call_target_name(node) in required_calls:
+                    return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if self._is_any_attr(target, required_stores):
+                        return True
+        return False
 
     def _check_class(
         self,

@@ -83,8 +83,29 @@ class LRUCache:
             entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def invalidate(self, predicate=None) -> int:
+        """Drop entries and return how many were dropped.
+
+        With no ``predicate`` every entry goes; otherwise only keys for
+        which ``predicate(key)`` is true.  Each dropped entry counts as
+        an eviction (they left before being naturally replaced) and the
+        call counts as one invalidation, so cache-health dashboards can
+        distinguish capacity pressure from explicit maintenance drops by
+        comparing the two counters.
+        """
+        entries = self._entries
+        if predicate is None:
+            dropped = len(entries)
+            entries.clear()
+        else:
+            doomed = [key for key in entries if predicate(key)]
+            for key in doomed:
+                del entries[key]
+            dropped = len(doomed)
+        self.stats.evictions += dropped
+        self.stats.invalidations += 1
+        return dropped
+
     def clear(self) -> None:
         """Drop every entry (stats survive; counts one invalidation)."""
-        if self._entries:
-            self._entries.clear()
-        self.stats.invalidations += 1
+        self.invalidate()

@@ -12,6 +12,8 @@ Subcommands:
 * ``materialize`` — build a persistent view store from an XML document;
 * ``query`` — answer a query from a persistent store (planner-driven);
 * ``batch`` — answer many queries from a store, optionally in parallel;
+* ``update`` — apply document updates to a store, repairing its views
+  incrementally (or replay its update log after a crash);
 * ``advise`` — recommend views worth materializing for a query;
 * ``lint`` — run the repro-lint invariant checker over the package.
 """
@@ -49,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         "materialize": _cmd_materialize,
         "query": _cmd_query,
         "batch": _cmd_batch,
+        "update": _cmd_update,
         "advise": _cmd_advise,
         "lint": _cmd_lint,
     }[args.command]
@@ -157,6 +160,38 @@ def _build_parser() -> argparse.ArgumentParser:
                           " wall-clock")
     bat.add_argument("--result-cache", type=int, default=0, metavar="N",
                      help="enable a keyed result cache of N entries")
+
+    upd = sub.add_parser(
+        "update",
+        help="apply document updates to a store (incremental view"
+             " maintenance)",
+    )
+    upd.add_argument("store", help="store directory (from `materialize`)")
+    upd.add_argument(
+        "--insert", action="append", default=[], metavar="JSON",
+        dest="inserts",
+        help="insert-subtree delta as JSON:"
+             ' {"parent_start": S, "position": P, "rows": [["tag", 0], ...]}'
+             " (repeatable)",
+    )
+    upd.add_argument(
+        "--delete", action="append", default=[], type=int, metavar="START",
+        dest="deletes",
+        help="delete the subtree rooted at this start label (repeatable)",
+    )
+    upd.add_argument(
+        "--rename", action="append", default=[], metavar="START:TAG",
+        dest="renames",
+        help="rename the node at this start label (repeatable)",
+    )
+    upd.add_argument(
+        "--replay", action="store_true",
+        help="only replay the store's pending update-log tail (recovery)",
+    )
+    upd.add_argument(
+        "--force-rebuild", action="store_true",
+        help="rematerialize every view instead of repairing (baseline)",
+    )
 
     adv = sub.add_parser(
         "advise", help="recommend views to materialize for a query"
@@ -356,6 +391,56 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"plan cache: {service.plan_cache_stats.as_dict()}")
         if args.result_cache:
             print(f"result cache: {service.result_cache_stats.as_dict()}")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import MaintenanceError
+    from repro.maintenance import (
+        DeleteSubtree,
+        RenameTag,
+        delta_from_dict,
+        recover_store,
+        update_store,
+    )
+
+    if args.replay:
+        replayed = recover_store(args.store)
+        print(f"replayed {replayed} pending update-log record(s)")
+        return 0
+    deltas = []
+    for text in args.inserts:
+        payload = json.loads(text)
+        payload.setdefault("kind", "insert-subtree")
+        deltas.append(delta_from_dict(payload))
+    deltas.extend(DeleteSubtree(root_start=start) for start in args.deletes)
+    for text in args.renames:
+        start, __, tag = text.partition(":")
+        if not tag:
+            raise MaintenanceError(
+                f"--rename expects START:TAG, got {text!r}"
+            )
+        deltas.append(RenameTag(node_start=int(start), new_tag=tag))
+    if not deltas:
+        print("nothing to do: pass --insert/--delete/--rename or --replay")
+        return 1
+    report = update_store(
+        args.store, deltas, force_rebuild=args.force_rebuild
+    )
+    summary = report.as_dict()
+    print(
+        f"applied {summary['deltas']} delta(s):"
+        f" +{summary['nodes_inserted']} node(s),"
+        f" -{summary['nodes_deleted']} node(s),"
+        f" {summary['renames']} rename(s)"
+    )
+    rows = [
+        [row["view"], row["scheme"], row["action"], row["reason"]]
+        for row in summary["views"]
+    ]
+    print(format_table(["view", "scheme", "action", "reason"], rows))
     return 0
 
 

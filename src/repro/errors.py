@@ -71,6 +71,14 @@ class DatasetError(ReproError):
     """Raised when a synthetic-dataset generator receives bad parameters."""
 
 
+class MaintenanceError(ReproError):
+    """Raised by the incremental view-maintenance subsystem.
+
+    For example: a delta addressing a node that does not exist, an
+    attempt to delete the document root, or a corrupt update-log record.
+    """
+
+
 class LintError(ReproError):
     """Raised by the repro-lint analyzer for unusable inputs.
 

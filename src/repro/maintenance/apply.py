@@ -1,0 +1,260 @@
+"""Applying deltas to an immutable region-labelled document.
+
+Region labels make delta application a *piecewise shift*: a subtree of
+``k`` nodes occupies one contiguous interval of ``2k`` start/end counters
+(one per open and close event), so
+
+* inserting it at counter ``c`` shifts every surviving label ``>= c``
+  up by ``2k`` and leaves labels ``< c`` alone;
+* deleting the subtree spanning ``[a, b]`` removes exactly the labels in
+  that interval and shifts every surviving label ``>= a`` down by
+  ``b - a + 1`` (an ancestor keeps its start and shifts only its end —
+  the single threshold covers both because no surviving label lies
+  inside ``[a, b]``);
+* renaming shifts nothing.
+
+:func:`apply_delta` builds the post-delta :class:`Document` (fresh nodes;
+the input document is never mutated) and an :class:`AppliedDelta` record
+carrying the shift map, the touched element types and the inserted /
+deleted label material — everything :mod:`repro.maintenance.repair`
+needs to fix a materialized view without re-matching it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import MaintenanceError, ReproError
+from repro.maintenance.deltas import (
+    Delta,
+    DeleteSubtree,
+    InsertSubtree,
+    RenameTag,
+)
+from repro.xmltree.document import Document, Node, document_from_tuples
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """One applied delta plus the relabelling facts view repair needs.
+
+    Attributes:
+        document: the post-delta document.
+        kind: the delta's ``kind`` string.
+        touched_tags: element types whose membership changed (inserted,
+            deleted, or renamed-from/-to); a view over disjoint tags keeps
+            its solution sets and needs at most a label shift.
+        shift_start / shift_amount: every surviving pre-delta label
+            ``>= shift_start`` moved by ``shift_amount`` (0 for renames).
+        inserted: ``(tag, start, end, level)`` of each inserted node, in
+            document order, with **post-delta** labels.
+        deleted_range: the pre-delta ``[a, b]`` label interval removed by
+            a delete, else None.
+        renamed: ``(node_start, old_tag, new_tag)`` for a rename, else None.
+    """
+
+    document: Document
+    kind: str
+    touched_tags: frozenset[str]
+    shift_start: int
+    shift_amount: int
+    inserted: tuple[tuple[str, int, int, int], ...] = ()
+    deleted_range: tuple[int, int] | None = None
+    renamed: tuple[int, str, str] | None = None
+
+    def shift(self, label: int) -> int:
+        """Map one surviving pre-delta label into the post-delta space."""
+        if self.shift_amount and label >= self.shift_start:
+            return label + self.shift_amount
+        return label
+
+
+def apply_delta(document: Document, delta: Delta) -> AppliedDelta:
+    """Apply one delta; returns the new document plus the change record."""
+    if isinstance(delta, InsertSubtree):
+        return _apply_insert(document, delta)
+    if isinstance(delta, DeleteSubtree):
+        return _apply_delete(document, delta)
+    if isinstance(delta, RenameTag):
+        return _apply_rename(document, delta)
+    raise MaintenanceError(f"unknown delta object {delta!r}")
+
+
+def apply_deltas(
+    document: Document, deltas: Iterable[Delta]
+) -> tuple[Document, list[AppliedDelta]]:
+    """Apply ``deltas`` in order; returns the final document and the
+    per-delta change records (each in the label space of its turn)."""
+    changes: list[AppliedDelta] = []
+    for delta in deltas:
+        applied = apply_delta(document, delta)
+        document = applied.document
+        changes.append(applied)
+    return document, changes
+
+
+def _node_at_start(document: Document, start: int) -> Node:
+    nodes = document.nodes
+    i = bisect_left(_Starts(nodes), start)
+    if i < len(nodes) and nodes[i].start == start:
+        return nodes[i]
+    raise MaintenanceError(
+        f"no node with start label {start} in document {document.name!r}"
+    )
+
+
+def _subtree_end_index(document: Document, node: Node) -> int:
+    """Index one past the last descendant of ``node`` (document order)."""
+    return bisect_left(_Starts(document.nodes), node.end, lo=node.index + 1)
+
+
+class _Starts(Sequence[int]):
+    """Zero-copy bisect view over node start labels."""
+
+    __slots__ = ("_nodes",)
+
+    def __init__(self, nodes: Sequence[Node]):
+        self._nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._nodes[i].start
+
+
+def _subtree_document(rows: Sequence[tuple[str, int]]) -> Document:
+    try:
+        return document_from_tuples(rows, name="inserted-subtree")
+    except MaintenanceError:
+        raise
+    except ReproError as exc:
+        raise MaintenanceError(f"invalid subtree rows: {exc}") from exc
+
+
+def _apply_insert(document: Document, delta: InsertSubtree) -> AppliedDelta:
+    parent = _node_at_start(document, delta.parent_start)
+    children = document.children(parent)
+    if delta.position > len(children):
+        raise MaintenanceError(
+            f"insert position {delta.position} exceeds the {len(children)}"
+            f" children of node @{parent.start}"
+        )
+    subtree = _subtree_document(delta.rows)
+    if delta.position == len(children):
+        cut = parent.end
+        at = _subtree_end_index(document, parent)
+    else:
+        anchor = children[delta.position]
+        cut = anchor.start
+        at = anchor.index
+    count = len(subtree)
+    width = 2 * count
+
+    nodes: list[Node] = []
+    old = document.nodes
+    for node in old[:at]:
+        # Prefix nodes all start before the cut; only still-open regions
+        # (ancestors and earlier-closing siblings of ancestors) end after it.
+        nodes.append(Node(
+            node.start,
+            node.end + width if node.end >= cut else node.end,
+            node.level, node.tag, node.index, node.parent_index,
+        ))
+    inserted: list[tuple[str, int, int, int]] = []
+    for sub in subtree.nodes:
+        parent_index = (
+            parent.index if sub.parent_index < 0 else at + sub.parent_index
+        )
+        grafted = Node(
+            cut + sub.start, cut + sub.end,
+            parent.level + 1 + sub.level, sub.tag,
+            at + sub.index, parent_index,
+        )
+        nodes.append(grafted)
+        inserted.append(
+            (grafted.tag, grafted.start, grafted.end, grafted.level)
+        )
+    for node in old[at:]:
+        parent_index = (
+            node.parent_index + count
+            if node.parent_index >= at else node.parent_index
+        )
+        nodes.append(Node(
+            node.start + width, node.end + width,
+            node.level, node.tag, node.index + count, parent_index,
+        ))
+    return AppliedDelta(
+        document=Document(nodes, name=document.name),
+        kind=delta.kind,
+        touched_tags=frozenset(tag for tag, __, __, __ in inserted),
+        shift_start=cut,
+        shift_amount=width,
+        inserted=tuple(inserted),
+    )
+
+
+def _apply_delete(document: Document, delta: DeleteSubtree) -> AppliedDelta:
+    root = _node_at_start(document, delta.root_start)
+    if root.parent_index < 0:
+        raise MaintenanceError("cannot delete the document root")
+    first = root.index
+    last = _subtree_end_index(document, root)
+    count = last - first
+    a, b = root.start, root.end
+    width = b - a + 1
+
+    nodes: list[Node] = []
+    old = document.nodes
+    for node in old[:first]:
+        # Survivors never end inside [a, b]: those labels all belong to
+        # the deleted subtree.
+        nodes.append(Node(
+            node.start,
+            node.end - width if node.end > b else node.end,
+            node.level, node.tag, node.index, node.parent_index,
+        ))
+    for node in old[last:]:
+        parent_index = (
+            node.parent_index - count
+            if node.parent_index >= last else node.parent_index
+        )
+        nodes.append(Node(
+            node.start - width, node.end - width,
+            node.level, node.tag, node.index - count, parent_index,
+        ))
+    return AppliedDelta(
+        document=Document(nodes, name=document.name),
+        kind=delta.kind,
+        touched_tags=frozenset(node.tag for node in old[first:last]),
+        shift_start=a,
+        shift_amount=-width,
+        deleted_range=(a, b),
+    )
+
+
+def _apply_rename(document: Document, delta: RenameTag) -> AppliedDelta:
+    target = _node_at_start(document, delta.node_start)
+    old_tag = target.tag
+    touched = (
+        frozenset() if old_tag == delta.new_tag
+        else frozenset((old_tag, delta.new_tag))
+    )
+    nodes = [
+        Node(
+            node.start, node.end, node.level,
+            delta.new_tag if node.index == target.index else node.tag,
+            node.index, node.parent_index,
+        )
+        for node in document.nodes
+    ]
+    return AppliedDelta(
+        document=Document(nodes, name=document.name),
+        kind=delta.kind,
+        touched_tags=touched,
+        shift_start=0,
+        shift_amount=0,
+        renamed=(target.start, old_tag, delta.new_tag),
+    )

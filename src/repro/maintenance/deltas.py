@@ -1,0 +1,143 @@
+"""The update vocabulary: subtree-granular deltas against a document.
+
+Three delta kinds cover the structural updates the XML update languages
+reduce to (insert/delete work on whole subtrees, matching the region
+algebra: a subtree occupies one contiguous label interval):
+
+* :class:`InsertSubtree` — graft a new subtree under an existing node;
+* :class:`DeleteSubtree` — remove an existing node and its descendants;
+* :class:`RenameTag` — change one node's element type in place.
+
+Nodes are addressed by their **start label** in the pre-delta document,
+which is stable, order-defining and cheap to look up (document order is
+ascending start).  Every delta has a JSON wire form (used by the WAL and
+the CLI) via :func:`delta_to_dict` / :func:`delta_from_dict`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import MaintenanceError
+
+#: Element type names the XML writer/parser round-trip safely.
+_TAG_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def _check_tag(tag: str) -> str:
+    if not isinstance(tag, str) or not _TAG_RE.match(tag):
+        raise MaintenanceError(f"invalid element type name {tag!r}")
+    return tag
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert a subtree under the node whose start label is ``parent_start``.
+
+    Args:
+        parent_start: start label of the (existing) parent node.
+        position: child slot to insert at: 0 prepends, ``len(children)``
+            appends; the new subtree becomes the child at this position.
+        rows: the subtree as ``(tag, depth)`` rows in document order
+            (depth 0 is the subtree root and must appear exactly once,
+            first) — the same compact format
+            :func:`repro.xmltree.document.document_from_tuples` accepts.
+    """
+
+    parent_start: int
+    position: int
+    rows: tuple[tuple[str, int], ...]
+
+    kind = "insert-subtree"
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise MaintenanceError(
+                f"insert position must be >= 0, got {self.position}"
+            )
+        rows = tuple((row[0], int(row[1])) for row in self.rows)
+        if not rows:
+            raise MaintenanceError("an inserted subtree needs at least one row")
+        if rows[0][1] != 0 or any(depth == 0 for __, depth in rows[1:]):
+            raise MaintenanceError(
+                "subtree rows must contain exactly one depth-0 root, first"
+            )
+        for tag, __ in rows:
+            _check_tag(tag)
+        object.__setattr__(self, "rows", rows)
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Delete the node whose start label is ``root_start``, plus its
+    descendants.  The document root itself cannot be deleted."""
+
+    root_start: int
+
+    kind = "delete-subtree"
+
+
+@dataclass(frozen=True)
+class RenameTag:
+    """Rename the node whose start label is ``node_start`` to ``new_tag``.
+
+    Labels do not move; only element-type membership changes."""
+
+    node_start: int
+    new_tag: str
+
+    kind = "rename-tag"
+
+    def __post_init__(self) -> None:
+        _check_tag(self.new_tag)
+
+
+Delta = Union[InsertSubtree, DeleteSubtree, RenameTag]
+
+
+def delta_to_dict(delta: Delta) -> dict:
+    """JSON-ready wire form of one delta (inverse of :func:`delta_from_dict`)."""
+    if isinstance(delta, InsertSubtree):
+        return {
+            "kind": delta.kind,
+            "parent_start": delta.parent_start,
+            "position": delta.position,
+            "rows": [[tag, depth] for tag, depth in delta.rows],
+        }
+    if isinstance(delta, DeleteSubtree):
+        return {"kind": delta.kind, "root_start": delta.root_start}
+    if isinstance(delta, RenameTag):
+        return {
+            "kind": delta.kind,
+            "node_start": delta.node_start,
+            "new_tag": delta.new_tag,
+        }
+    raise MaintenanceError(f"unknown delta object {delta!r}")
+
+
+def delta_from_dict(payload: dict) -> Delta:
+    """Rebuild a delta from its wire form; rejects malformed payloads."""
+    try:
+        kind = payload["kind"]
+        if kind == InsertSubtree.kind:
+            return InsertSubtree(
+                parent_start=int(payload["parent_start"]),
+                position=int(payload["position"]),
+                rows=tuple(
+                    (row[0], int(row[1])) for row in payload["rows"]
+                ),
+            )
+        if kind == DeleteSubtree.kind:
+            return DeleteSubtree(root_start=int(payload["root_start"]))
+        if kind == RenameTag.kind:
+            return RenameTag(
+                node_start=int(payload["node_start"]),
+                new_tag=payload["new_tag"],
+            )
+    except MaintenanceError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise MaintenanceError(f"malformed delta payload: {exc}") from exc
+    raise MaintenanceError(f"unknown delta kind {payload.get('kind')!r}")

@@ -1,0 +1,105 @@
+"""The durable, replayable update log (write-ahead log).
+
+One JSON record per line in ``wal.jsonl`` inside a ``save_catalog``
+store directory::
+
+    {"lsn": 1, "op": {"kind": "insert-subtree", ...}}
+
+LSNs are contiguous and start at 1.  The store manifest records the
+highest LSN its pages reflect (``wal_lsn``), so recovery is a pure
+function of the two files: replay every record with ``lsn > wal_lsn``.
+Commits append (and fsync) the log **before** any view page or manifest
+is touched; a crash mid-commit therefore loses nothing — the old
+manifest still points at the old pages, and the logged tail replays on
+the next :func:`repro.maintenance.engine.recover_store`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.errors import MaintenanceError
+from repro.maintenance.deltas import Delta, delta_from_dict, delta_to_dict
+
+WAL_FILENAME = "wal.jsonl"
+
+
+class UpdateLog:
+    """Append-only delta log bound to one file path."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = pathlib.Path(path)
+        self._tip: int | None = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def tip(self) -> int:
+        """Highest LSN in the log (0 when empty or absent)."""
+        if self._tip is None:
+            self._tip = 0
+            for lsn, __ in self._records():
+                self._tip = lsn
+        return self._tip
+
+    def append(self, deltas: Sequence[Delta]) -> int:
+        """Durably append ``deltas`` as consecutive records; returns the
+        new tip LSN.  The file is fsynced before returning."""
+        lsn = self.tip()
+        lines = []
+        for delta in deltas:
+            lsn += 1
+            lines.append(json.dumps(
+                {"lsn": lsn, "op": delta_to_dict(delta)},
+                separators=(",", ":"), sort_keys=True,
+            ))
+        if not lines:
+            return lsn
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._tip = lsn
+        return lsn
+
+    def read(self, after: int = 0) -> list[tuple[int, Delta]]:
+        """All ``(lsn, delta)`` records with ``lsn > after``, in order."""
+        out = []
+        for lsn, payload in self._records():
+            if lsn > after:
+                out.append((lsn, delta_from_dict(payload)))
+        return out
+
+    def replay(self) -> Iterable[tuple[int, Delta]]:
+        """Every record in order (alias for ``read(after=0)``)."""
+        return self.read(after=0)
+
+    def _records(self) -> Iterable[tuple[int, dict]]:
+        if not self.path.exists():
+            return
+        expected = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    lsn = int(record["lsn"])
+                    payload = record["op"]
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise MaintenanceError(
+                        f"corrupt update log {self.path}:{line_no}: {exc}"
+                    ) from exc
+                expected += 1
+                if lsn != expected:
+                    raise MaintenanceError(
+                        f"update log {self.path}:{line_no}: LSN {lsn}"
+                        f" breaks the contiguous sequence (expected"
+                        f" {expected})"
+                    )
+                yield lsn, payload

@@ -93,6 +93,7 @@ class Planner:
         # and drops the cache.
         self._plan_cache = LRUCache(plan_cache_size)
         self._generation = 0
+        self._maintenance_epoch = catalog.maintenance_epoch
 
     def _guide(self):
         if self._dataguide is None:
@@ -100,6 +101,32 @@ class Planner:
 
             self._dataguide = DataGuide(self.catalog.document)
         return self._dataguide
+
+    def sync_catalog(self) -> bool:
+        """Re-sync with the catalog after a maintenance commit.
+
+        Ordinary ``version`` bumps (warm-up materializations) never
+        invalidate plans — the view *set* the planner registered is what
+        plans depend on.  A maintenance commit is different: the document
+        changed (DataGuide stale), views may have been dropped, and every
+        memoized plan may reference dead state.  Keyed off
+        ``catalog.maintenance_epoch``; called lazily from :meth:`plan` /
+        :meth:`refutes` / :meth:`register` so external committers (e.g.
+        another handle to the same catalog) are picked up too.  Returns
+        True when a re-sync happened.
+        """
+        epoch = self.catalog.maintenance_epoch
+        if epoch == self._maintenance_epoch:
+            return False
+        self._maintenance_epoch = epoch
+        self._dataguide = None
+        surviving = self.catalog.view_names()
+        self._registered = [
+            view for view in self._registered
+            if (view.name or view.to_xpath()) in surviving
+        ]
+        self._bump_generation()
+        return True
 
     # -- registration ----------------------------------------------------------
 
@@ -109,6 +136,7 @@ class Planner:
         Registration changes what future plans may use, so it bumps the
         catalog generation and invalidates the plan cache.
         """
+        self.sync_catalog()
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern, name=name)
         self.catalog.add(pattern, self.scheme)
@@ -133,7 +161,7 @@ class Planner:
 
     def _bump_generation(self) -> None:
         self._generation += 1
-        self._plan_cache.clear()
+        self._plan_cache.invalidate()
 
     @property
     def generation(self) -> int:
@@ -160,6 +188,7 @@ class Planner:
         mutating ``explanation`` (as :meth:`answer` does) never corrupts
         the cached entry.
         """
+        self.sync_catalog()
         if isinstance(query, str):
             query = parse_pattern(query)
         key = query.to_xpath()
@@ -263,6 +292,7 @@ class Planner:
         """
         if not self.prune_with_dataguide:
             return False
+        self.sync_catalog()
         if isinstance(query, str):
             query = parse_pattern(query)
         return not self._guide().may_match(query)

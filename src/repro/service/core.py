@@ -112,6 +112,11 @@ class QueryService:
         self._owns_catalog = store_path is not None
         self._store_path = str(store_path) if store_path else None
         if catalog is None:
+            # Finish any update-log tail an interrupted maintenance
+            # commit left behind before attaching.
+            from repro.maintenance.engine import recover_store
+
+            recover_store(store_path)
             catalog = load_catalog(store_path)
         self.catalog = catalog
         #: Workers must replay the parent's pool residency behaviour.
@@ -151,9 +156,52 @@ class QueryService:
             self.invalidate_results()
         return adopted
 
-    def invalidate_results(self) -> None:
-        """Explicitly drop the result cache (the catalog changed)."""
-        self._result_cache.clear()
+    def invalidate_results(self) -> int:
+        """Drop the result cache (the catalog changed); returns how many
+        entries were evicted."""
+        return self._result_cache.invalidate()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def apply_updates(self, deltas, force_rebuild: bool = False):
+        """Commit document updates and repair every view (incremental
+        view maintenance).
+
+        Runs :func:`repro.maintenance.engine.apply_updates` against the
+        served catalog, then restores the service's end-to-end
+        consistency contract:
+
+        * store-backed services log the deltas to the store's update log
+          first and commit the repaired pages/manifest in place
+          (``store_version`` bump), so pooled workers detect the rewrite
+          and reattach;
+        * the planner re-syncs (stale DataGuide and plans dropped,
+          dropped views deregistered) and the keyed result cache is
+          evicted — match keys embed region labels, which the commit
+          just shifted.
+
+        Returns the :class:`repro.maintenance.engine.MaintenanceReport`.
+        """
+        from repro.maintenance.engine import apply_updates as maintain
+        from repro.maintenance.wal import WAL_FILENAME, UpdateLog
+        from repro.storage.persistence import commit_store
+        import pathlib
+
+        wal = None
+        if self._store_path is not None:
+            wal = UpdateLog(pathlib.Path(self._store_path) / WAL_FILENAME)
+        report = maintain(
+            self.catalog, deltas, wal=wal, force_rebuild=force_rebuild
+        )
+        if report.deltas:
+            if self._store_path is not None:
+                commit_store(
+                    self.catalog, self._store_path, wal_lsn=wal.tip()
+                )
+                self._store_version = self.catalog.version
+            self.planner.sync_catalog()
+            self.invalidate_results()
+        return report
 
     @property
     def plan_cache_stats(self) -> CacheStats:

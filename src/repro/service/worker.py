@@ -16,14 +16,19 @@ from typing import Sequence
 
 from repro.service.jobs import EvalJob, JobResult, run_job
 from repro.storage.catalog import ViewCatalog
-from repro.storage.persistence import load_catalog
+from repro.storage.persistence import load_catalog, read_store_version
 
-#: Per-process store attachments, keyed by (store path, catalog version).
+#: Per-process store attachments: path -> (parent catalog version,
+#: on-disk ``store_version`` at attach time, attached catalog).
 #: A service keeps its worker pool alive across batches; re-parsing the
 #: store's document XML on every batch would dominate small batches, so
-#: each worker attaches once per snapshot version and reuses the catalog
-#: until the parent rewrites the snapshot (version bump → re-attach).
-_ATTACHED: dict[tuple[str, int], ViewCatalog] = {}
+#: each worker attaches once and reuses the catalog until either marker
+#: moves.  The parent version catches view-set growth (snapshot re-saved
+#: under the same path); the on-disk version catches maintenance commits
+#: that rewrite the store underneath a live attachment — the manifest is
+#: re-read on every call, so a worker can never serve pages from a store
+#: generation the manifest no longer describes.
+_ATTACHED: dict[str, tuple[int, int, ViewCatalog]] = {}
 
 
 def run_worker_jobs(
@@ -59,11 +64,15 @@ def run_worker_jobs(
             return [run_job(catalog, job, expect_warm=True) for job in jobs]
         finally:
             catalog.close()
-    key = (path, store_version)
-    catalog = _ATTACHED.get(key)
-    if catalog is None:
-        for stale in [k for k in _ATTACHED if k[0] == path]:
-            _ATTACHED.pop(stale).close()
+    disk_version, __ = read_store_version(path)
+    memo = _ATTACHED.get(path)
+    if memo is not None:
+        parent_version, attached_disk, catalog = memo
+        if parent_version != store_version or attached_disk != disk_version:
+            _ATTACHED.pop(path)
+            catalog.close()
+            memo = None
+    if memo is None:
         catalog = load_catalog(path, pool_capacity=pool_capacity)
-        _ATTACHED[key] = catalog
+        _ATTACHED[path] = (store_version, disk_version, catalog)
     return [run_job(catalog, job, expect_warm=True) for job in jobs]

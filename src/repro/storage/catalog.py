@@ -93,11 +93,19 @@ def materialize(
 
 @dataclass
 class ViewInfo:
-    """Catalog row: a materialized view plus its statistics."""
+    """Catalog row: a materialized view plus its statistics.
+
+    ``derived`` marks result views (:meth:`ViewCatalog.add_result_view`):
+    their content is a query *result*, not the pattern's solution sets,
+    so incremental maintenance may label-shift them but must never
+    rebuild them via :func:`materialize` — a structurally invalidating
+    delta drops them instead.
+    """
 
     pattern: Pattern
     scheme: Scheme
     view: AnyView
+    derived: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -138,8 +146,19 @@ class ViewCatalog:
         #: needs, and as a cheap change marker for snapshot invalidation.
         self.materializations = 0
         #: Monotone change marker: bumped whenever the set of stored views
-        #: grows (materialization or persistence attach).
+        #: grows (materialization or persistence attach) or a maintenance
+        #: commit replaces document/view state.
         self.version = 0
+        #: Monotone maintenance marker: bumped only by
+        #: :meth:`install_maintained`.  Planners key their document-derived
+        #: state (DataGuide, plan cache) off this instead of ``version``
+        #: so ordinary warm-up materializations do not thrash plan caches.
+        self.maintenance_epoch = 0
+        #: Version of the on-disk store this catalog was attached from
+        #: (``manifest.json``'s ``store_version``); 0 for in-memory
+        #: catalogs.  Workers compare it against the manifest on disk to
+        #: detect stores rewritten underneath a live attachment.
+        self.store_version = 0
 
     @staticmethod
     def _key_name(pattern: Pattern) -> str:
@@ -199,7 +218,7 @@ class ViewCatalog:
             pager=self.pager,
             partial_distance=self.partial_distance,
         )
-        info = ViewInfo(query, scheme, view)
+        info = ViewInfo(query, scheme, view, derived=True)
         self._views[key] = info
         self.materializations += 1
         self.version += 1
@@ -217,6 +236,34 @@ class ViewCatalog:
 
     def views(self) -> list[ViewInfo]:
         return list(self._views.values())
+
+    def entries(self) -> list[tuple[tuple[str, Scheme], ViewInfo]]:
+        """Catalog rows with their ``(name, scheme)`` keys, in insertion
+        order (read-only snapshot; maintenance iterates this)."""
+        return list(self._views.items())
+
+    def view_names(self) -> set[str]:
+        """Names (or xpaths) of the currently stored views, any scheme."""
+        return {name for name, __ in self._views}
+
+    def install_maintained(
+        self,
+        document: Document,
+        views: dict[tuple[str, Scheme], ViewInfo],
+    ) -> None:
+        """Atomically swap in a post-maintenance document and view set.
+
+        Only the maintenance engine calls this: the new views must
+        already be materialized against ``document`` on this catalog's
+        pager.  Bumps both change markers (so snapshots, workers and
+        plan caches all invalidate) and drops buffer-pool residency —
+        decoded pages cached from replaced views must not serve reads.
+        """
+        self.document = document
+        self._views = dict(views)
+        self.version += 1
+        self.maintenance_epoch += 1
+        self.pager.pool.clear()
 
     def space_report(self) -> list[dict[str, object]]:
         """Per-view size/pointer rows (the shape of paper Table IV)."""

@@ -45,6 +45,19 @@ class ElementView:
                 stored.append(ElementEntry(node.start, node.end, node.level))
             self.lists[qnode.tag] = stored.finalize()
 
+    # -- maintenance ---------------------------------------------------------
+
+    def relabeled(self, ops: Sequence[tuple[int, int]]) -> "ElementView":
+        """Copy-on-write clone with every list's labels shifted (the
+        incremental-maintenance SHIFT repair)."""
+        view = ElementView.__new__(ElementView)
+        view.pattern = self.pattern
+        view.pager = self.pager
+        view.lists = {
+            tag: stored.shifted(ops) for tag, stored in self.lists.items()
+        }
+        return view
+
     # -- access ------------------------------------------------------------------
 
     def tags(self) -> list[str]:

@@ -131,23 +131,103 @@ class LinkedElementView:
             entries = self._build_list(
                 document, qnode, nodes_by_tag, position_by_tag
             )
-            if self.partial:
-                # LE_p drops many pointers: variable-width compact records
-                # in slotted pages keep the view strictly smaller than LE
-                # (the Table IV property).
-                stored: StoredList | SlottedList = SlottedList(
-                    self.pager,
-                    compact_linked_codec(len(qnode.children)),
-                    name=qnode.tag,
-                )
-            else:
-                stored = StoredList(
-                    self.pager,
-                    linked_codec(len(qnode.children)),
-                    name=qnode.tag,
-                )
+            stored = self._new_list(qnode)
             stored.extend(entries)
             self.lists[qnode.tag] = stored.finalize()
+
+    def _new_list(self, qnode: PatternNode) -> StoredList | SlottedList:
+        if self.partial:
+            # LE_p drops many pointers: variable-width compact records
+            # in slotted pages keep the view strictly smaller than LE
+            # (the Table IV property).
+            return SlottedList(
+                self.pager,
+                compact_linked_codec(len(qnode.children)),
+                name=qnode.tag,
+            )
+        return StoredList(
+            self.pager,
+            linked_codec(len(qnode.children)),
+            name=qnode.tag,
+        )
+
+    @classmethod
+    def from_entries(
+        cls,
+        pattern: Pattern,
+        pager: Pager,
+        entries_by_tag: Mapping[str, Sequence[LinkedEntry]],
+        partial: bool,
+        partial_distance: int = 1,
+    ) -> "LinkedElementView":
+        """Rebuild a view from already-computed per-tag entry lists.
+
+        The incremental-maintenance repair path: pointers were computed
+        (or label-shifted) by the caller, so this skips solution matching
+        and pointer derivation entirely and only re-runs the storage
+        construction — same codecs, same page fill discipline, byte-
+        identical layout to :meth:`__init__` given equal entries.
+        Pointer statistics are recounted from the entries (a pointer is
+        materialized iff its slot holds a non-sentinel index).
+        """
+        if partial_distance < 1:
+            raise StorageError("partial_distance must be >= 1")
+        view = cls.__new__(cls)
+        view.pattern = pattern
+        view.pager = pager
+        view.partial = partial
+        view.partial_distance = partial_distance
+        view.pointer_stats = PointerStats()
+        view.child_tag_order = {
+            qnode.tag: [child.tag for child in qnode.children]
+            for qnode in pattern.nodes
+        }
+        view.lists = {}
+        stats = view.pointer_stats
+        for qnode in pattern.nodes:
+            entries = list(entries_by_tag.get(qnode.tag, ()))
+            for entry in entries:
+                if entry.descendant >= 0:
+                    stats.descendant += 1
+                if entry.following >= 0:
+                    stats.following += 1
+                for pointer in entry.children:
+                    if pointer >= 0:
+                        stats.child += 1
+            stored = view._new_list(qnode)
+            stored.extend(entries)
+            view.lists[qnode.tag] = stored.finalize()
+        return view
+
+    def relabeled(
+        self, ops: Sequence[tuple[int, int]]
+    ) -> "LinkedElementView":
+        """Copy-on-write clone with all region labels shifted.
+
+        The incremental-maintenance SHIFT repair: a monotone relabelling
+        preserves document order, containment among view nodes and entry
+        indexes, so every stored pointer, every LE_p materialization
+        decision and the pointer statistics carry over verbatim — only
+        the label bytes inside the pages change (in one bulk pass per
+        page, without decoding records).
+        """
+        view = LinkedElementView.__new__(LinkedElementView)
+        view.pattern = self.pattern
+        view.pager = self.pager
+        view.partial = self.partial
+        view.partial_distance = self.partial_distance
+        view.pointer_stats = PointerStats(
+            child=self.pointer_stats.child,
+            descendant=self.pointer_stats.descendant,
+            following=self.pointer_stats.following,
+        )
+        view.child_tag_order = {
+            tag: list(order) for tag, order in self.child_tag_order.items()
+        }
+        view.lists = {
+            tag: stored.shifted(ops) for tag, stored in self.lists.items()
+        }
+        return view
 
     def _build_list(
         self,

@@ -149,6 +149,39 @@ class StoredList:
                 self._page_map = cached
         return cached
 
+    # -- maintenance -----------------------------------------------------------
+
+    def shifted(self, ops: Sequence[tuple[int, int]]) -> "StoredList":
+        """Copy-on-write clone with every record's region labels run
+        through the piecewise shifts ``ops`` (incremental-maintenance
+        SHIFT repair).
+
+        The shift map is monotone, so membership, order, page fill and
+        entry indexes are all preserved; the codec relabels each page in
+        one bulk pass without decoding records.  Repaired pages are
+        freshly allocated — the source pages are never patched — so a
+        crash before the manifest commit leaves the original list intact.
+        """
+        if not self._finalized:
+            raise StorageError(f"list {self.name!r} not finalized")
+        clone = StoredList(self.pager, self.codec, name=self.name)
+        page_file = self.pager.page_file
+        shift_page = self.codec.shift_page
+        per_page = self.records_per_page
+        remaining = self._length
+        for page_id in self._page_ids:
+            count = per_page if remaining >= per_page else remaining
+            # Maintenance-time rewrite, outside any measured evaluation.
+            raw = page_file.read_page_raw(page_id)  # repro-lint: disable=RL102 (copy-on-write repair, pre-measurement)
+            new_id = page_file.allocate()
+            page_file.write_page(new_id, shift_page(raw, count, ops))
+            clone._page_ids.append(new_id)
+            remaining -= count
+        clone._length = self._length
+        clone._finalized = True
+        clone._build_columns()
+        return clone
+
     # -- persistence ---------------------------------------------------------
 
     def manifest(self) -> dict:
@@ -383,6 +416,38 @@ class SlottedList:
             if self._finalized:
                 self._page_map = cached
         return cached
+
+    # -- maintenance -----------------------------------------------------------
+
+    def shifted(self, ops: Sequence[tuple[int, int]]) -> "SlottedList":
+        """Copy-on-write clone with all region labels shifted.
+
+        Labels occupy fixed-width fields inside the variable-width
+        records, so each record is relabelled in place through the slot
+        directory and the page layout survives byte-for-byte (modulo the
+        label bytes themselves).  See :meth:`StoredList.shifted`.
+        """
+        if not self._finalized:
+            raise StorageError(f"list {self.name!r} not finalized")
+        clone = SlottedList(self.pager, self.codec, name=self.name)
+        page_file = self.pager.page_file
+        shift_at = self.codec.shift_labels_at
+        for first_index, count, page_id in self._directory:
+            # Maintenance-time rewrite, outside any measured evaluation.
+            raw = bytearray(page_file.read_page_raw(page_id))  # repro-lint: disable=RL102 (copy-on-write repair, pre-measurement)
+            for slot in range(count):
+                (offset,) = struct.unpack_from(
+                    "<H", raw, self._HEADER + slot * self._SLOT
+                )
+                shift_at(raw, offset, ops)
+            new_id = page_file.allocate()
+            page_file.write_page(new_id, bytes(raw))
+            clone._directory.append((first_index, count, new_id))
+        clone._length = self._length
+        clone._payload_bytes = self._payload_bytes
+        clone._finalized = True
+        clone._build_columns()
+        return clone
 
     # -- persistence ---------------------------------------------------------
 

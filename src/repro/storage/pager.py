@@ -167,6 +167,15 @@ class PageFile:
                 f"page id {page_id} out of range [0, {self._num_pages})"
             )
 
+    def flush(self) -> None:
+        """Push buffered writes to the backing store (fsync when file-backed).
+
+        Maintenance commits call this before replacing the store manifest so
+        the manifest never points at pages the OS has not yet persisted."""
+        self._file.flush()
+        if self.path is not None:
+            os.fsync(self._file.fileno())
+
     def close(self) -> None:
         self._file.close()
 
@@ -321,6 +330,9 @@ class Pager:
     def reset_stats(self) -> None:
         self.pool.reset_stats()
         self.page_file.stats.reset()
+
+    def flush(self) -> None:
+        self.page_file.flush()
 
     def close(self) -> None:
         self.page_file.close()

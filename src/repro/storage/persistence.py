@@ -41,10 +41,60 @@ from repro.xmltree.writer import write_xml_file
 _FORMAT_VERSION = 1
 
 
+def read_store_version(
+    directory: str | os.PathLike,
+) -> tuple[int, int]:
+    """``(store_version, wal_lsn)`` from a store's manifest on disk.
+
+    Returns ``(0, 0)`` when the directory has no manifest.  Manifests
+    written before these fields existed read as ``(1, 0)``.  Workers use
+    the version to detect stores rewritten underneath a live attachment;
+    recovery uses the LSN to find unapplied update-log records.
+    """
+    manifest_path = pathlib.Path(directory) / "manifest.json"
+    if not manifest_path.exists():
+        return 0, 0
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    return (
+        int(manifest.get("store_version", 1)),
+        int(manifest.get("wal_lsn", 0)),
+    )
+
+
+def _write_manifest(target: pathlib.Path, manifest: dict) -> None:
+    """Atomically replace ``manifest.json`` (tmp file + fsync + rename)."""
+    tmp = target / "manifest.json.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target / "manifest.json")
+
+
 def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
-    """Write the catalog (document + views + pages) to ``directory``."""
+    """Write the catalog (document + views + pages) to ``directory``.
+
+    This is the snapshot/export path: pages are *copied* into a freshly
+    truncated ``pages.bin``.  It therefore must never target the store the
+    catalog is currently attached to — truncating the backing file of a
+    live pager would destroy the pages mid-copy.  Use
+    :func:`commit_store` for in-place maintenance commits.
+    """
     target = pathlib.Path(directory)
     target.mkdir(parents=True, exist_ok=True)
+    live = catalog.pager.page_file.path
+    pages = target / "pages.bin"
+    if (
+        live is not None
+        and pages.exists()
+        and os.path.exists(live)
+        and os.path.samefile(live, pages)
+    ):
+        raise StorageError(
+            f"refusing to save the catalog onto its own attached store"
+            f" {target}; use commit_store for in-place commits"
+        )
+    old_version, old_lsn = read_store_version(target)
     write_xml_file(catalog.document, target / "document.xml")
 
     out_pager = Pager(target / "pages.bin", page_size=catalog.pager.page_size)
@@ -52,18 +102,73 @@ def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
         views = []
         for info in catalog.views():
             views.append(_save_view(info, catalog.pager, out_pager))
+        out_pager.flush()
         manifest = {
             "format": _FORMAT_VERSION,
             "page_size": catalog.pager.page_size,
             "partial_distance": catalog.partial_distance,
             "document": catalog.document.name,
+            # A freshly saved snapshot is current by construction: any
+            # update-log records already in the directory are reflected.
+            "store_version": old_version + 1,
+            "wal_lsn": _wal_tip(target, old_lsn),
             "views": views,
         }
-        (target / "manifest.json").write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+        _write_manifest(target, manifest)
     finally:
         out_pager.page_file.close()
+
+
+def _wal_tip(target: pathlib.Path, fallback: int) -> int:
+    wal_path = target / "wal.jsonl"
+    if not wal_path.exists():
+        return fallback
+    from repro.maintenance.wal import UpdateLog
+
+    return UpdateLog(wal_path).tip()
+
+
+def commit_store(
+    catalog: ViewCatalog,
+    directory: str | os.PathLike,
+    wal_lsn: int | None = None,
+) -> int:
+    """Commit an attached catalog's current state back to its own store.
+
+    The maintenance counterpart of :func:`save_catalog`: repaired view
+    pages were already appended (copy-on-write) to the store's own
+    ``pages.bin``, so nothing is copied — the page file is flushed, then
+    ``document.xml`` and ``manifest.json`` are atomically replaced.  The
+    manifest gets a bumped ``store_version`` and, when given, the new
+    ``wal_lsn`` high-water mark.  Returns the new store version.
+    """
+    target = pathlib.Path(directory)
+    live = catalog.pager.page_file.path
+    pages = target / "pages.bin"
+    if live is None or not pages.exists() or not os.path.samefile(live, pages):
+        raise StorageError(
+            f"catalog is not attached to the store at {target};"
+            " commit_store only performs in-place commits"
+        )
+    old_version, old_lsn = read_store_version(target)
+    catalog.pager.flush()
+
+    tmp_doc = target / "document.xml.tmp"
+    write_xml_file(catalog.document, tmp_doc)
+    os.replace(tmp_doc, target / "document.xml")
+
+    manifest = {
+        "format": _FORMAT_VERSION,
+        "page_size": catalog.pager.page_size,
+        "partial_distance": catalog.partial_distance,
+        "document": catalog.document.name,
+        "store_version": old_version + 1,
+        "wal_lsn": old_lsn if wal_lsn is None else wal_lsn,
+        "views": [_view_record(info) for info in catalog.views()],
+    }
+    _write_manifest(target, manifest)
+    catalog.store_version = old_version + 1
+    return catalog.store_version
 
 
 def _copy_pages(source: Pager, target: Pager, page_ids) -> list[int]:
@@ -76,23 +181,42 @@ def _copy_pages(source: Pager, target: Pager, page_ids) -> list[int]:
     return new_ids
 
 
-def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
+def _view_record(info: ViewInfo) -> dict:
+    """Manifest record for one view, page ids as currently allocated.
+
+    Used directly by :func:`commit_store` (repaired pages already live in
+    the store's own page file); :func:`_save_view` additionally remaps the
+    page ids while copying pages into the snapshot target.
+    """
     view = info.view
     record: dict = {
         "name": info.pattern.name,
         "xpath": info.pattern.to_xpath(),
         "scheme": info.scheme.value,
     }
+    if info.derived:
+        record["derived"] = True
     if isinstance(view, TupleView):
-        manifest = view.tuples.manifest()
+        record["tuples"] = view.tuples.manifest()
+        return record
+    record["lists"] = {
+        tag: stored.manifest() for tag, stored in view.lists.items()
+    }
+    if isinstance(view, LinkedElementView):
+        record["pointer_stats"] = view.pointer_stats.as_dict()
+        record["partial_distance"] = view.partial_distance
+    return record
+
+
+def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
+    record = _view_record(info)
+    if "tuples" in record:
+        manifest = record["tuples"]
         manifest["page_ids"] = _copy_pages(
             source, target, manifest["page_ids"]
         )
-        record["tuples"] = manifest
         return record
-    lists = {}
-    for tag, stored in view.lists.items():
-        manifest = stored.manifest()
+    for manifest in record["lists"].values():
         if "page_ids" in manifest:
             manifest["page_ids"] = _copy_pages(
                 source, target, manifest["page_ids"]
@@ -104,11 +228,6 @@ def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
                 [first, count, new_id]
                 for (first, count, __), new_id in zip(old_rows, new_ids)
             ]
-        lists[tag] = manifest
-    record["lists"] = lists
-    if isinstance(view, LinkedElementView):
-        record["pointer_stats"] = view.pointer_stats.as_dict()
-        record["partial_distance"] = view.partial_distance
     return record
 
 
@@ -137,6 +256,7 @@ def load_catalog(
         document, pager=pager,
         partial_distance=manifest.get("partial_distance", 1),
     )
+    catalog.store_version = int(manifest.get("store_version", 1))
     for record in manifest["views"]:
         info = _load_view(record, document, pager)
         key = (info.pattern.name or info.pattern.to_xpath(), info.scheme)
@@ -148,6 +268,7 @@ def load_catalog(
 def _load_view(record: dict, document, pager: Pager) -> ViewInfo:
     pattern = parse_pattern(record["xpath"], name=record.get("name"))
     scheme = Scheme.parse(record["scheme"])
+    derived = bool(record.get("derived", False))
     if scheme is Scheme.TUPLE:
         view = TupleView.__new__(TupleView)
         view.pattern = pattern
@@ -157,7 +278,7 @@ def _load_view(record: dict, document, pager: Pager) -> ViewInfo:
             pager, tuple_codec(len(view.tags)), record["tuples"],
             name=pattern.to_xpath(),
         )
-        return ViewInfo(pattern, scheme, view)
+        return ViewInfo(pattern, scheme, view, derived=derived)
     if scheme is Scheme.ELEMENT:
         view = ElementView.__new__(ElementView)
         view.pattern = pattern
@@ -168,7 +289,7 @@ def _load_view(record: dict, document, pager: Pager) -> ViewInfo:
             )
             for tag, manifest in record["lists"].items()
         }
-        return ViewInfo(pattern, scheme, view)
+        return ViewInfo(pattern, scheme, view, derived=derived)
 
     partial = scheme is Scheme.LINKED_PARTIAL
     view = LinkedElementView.__new__(LinkedElementView)
@@ -197,4 +318,4 @@ def _load_view(record: dict, document, pager: Pager) -> ViewInfo:
             view.lists[tag] = StoredList.attach(
                 pager, linked_codec(children), manifest, name=tag
             )
-    return ViewInfo(pattern, scheme, view)
+    return ViewInfo(pattern, scheme, view, derived=derived)

@@ -168,6 +168,49 @@ def _reinterpret_signed(column: array) -> array:
     return array("i", column.tobytes())
 
 
+def _shift_column(column: array, ops) -> array:
+    """Run one u32 label column through piecewise shifts, in op order."""
+    for cut, amount in ops:
+        column = array("I", (
+            value + amount if value >= cut else value for value in column
+        ))
+    return column
+
+
+def _shift_fixed_page(
+    raw: bytes,
+    count: int,
+    width: int,
+    fields: int,
+    label_fields: tuple[int, ...],
+    ops,
+) -> bytes:
+    """Relabel the label fields of ``count`` fixed-width records.
+
+    Every record is ``fields`` little-endian u32 values wide with region
+    labels at the ``label_fields`` positions; everything else (levels,
+    pointer slots, the zero-padded page tail) is copied through verbatim,
+    so a monotone shift leaves the page byte-identical to a rebuild from
+    the relabelled entries.
+    """
+    if not _NATIVE_U32:  # pragma: no cover - exotic platforms
+        out = bytearray(raw[: count * width])
+        u32 = struct.Struct("<I")
+        for record in range(count):
+            base = record * width
+            for index in label_fields:
+                (value,) = u32.unpack_from(out, base + index * 4)
+                for cut, amount in ops:
+                    if value >= cut:
+                        value += amount
+                u32.pack_into(out, base + index * 4, value)
+        return bytes(out) + raw[count * width:]
+    flat = array("I", raw[: count * width])
+    for index in label_fields:
+        flat[index::fields] = _shift_column(flat[index::fields], ops)
+    return flat.tobytes() + raw[count * width:]
+
+
 class ElementCodec:
     """Codec for element records: ``<start, end, level>``."""
 
@@ -200,6 +243,10 @@ class ElementCodec:
         columns.starts.extend(flat[0::3])
         columns.ends.extend(flat[1::3])
         columns.levels.extend(flat[2::3])
+
+    def shift_page(self, raw: bytes, count: int, ops) -> bytes:
+        """Bulk-relabel the start/end labels of ``count`` records."""
+        return _shift_fixed_page(raw, count, self.width, 3, (0, 1), ops)
 
 
 class LinkedCodec:
@@ -256,6 +303,13 @@ class LinkedCodec:
         for slot, column in enumerate(columns.children):
             column.extend(_reinterpret_signed(flat[5 + slot :: stride]))
 
+    def shift_page(self, raw: bytes, count: int, ops) -> bytes:
+        """Bulk-relabel start/end; pointer slots are entry indexes and
+        survive a shift untouched."""
+        return _shift_fixed_page(
+            raw, count, self.width, 5 + self.num_children, (0, 1), ops
+        )
+
 
 class TupleCodec:
     """Codec for tuple-scheme records: ``arity`` concatenated labels.
@@ -286,6 +340,17 @@ class TupleCodec:
         return tuple(
             ElementEntry(values[i], values[i + 1], values[i + 2])
             for i in range(0, len(values), 3)
+        )
+
+    def shift_page(self, raw: bytes, count: int, ops) -> bytes:
+        """Bulk-relabel the start/end labels of every tuple component."""
+        label_fields = tuple(
+            index
+            for component in range(self.arity)
+            for index in (3 * component, 3 * component + 1)
+        )
+        return _shift_fixed_page(
+            raw, count, self.width, 3 * self.arity, label_fields, ops
         )
 
 
@@ -387,6 +452,23 @@ class CompactLinkedCodec:
             start, end, level, decoded[0], decoded[1], tuple(children)
         )
         return entry, cursor - offset
+
+    _PAIR = struct.Struct("<II")
+
+    def shift_labels_at(self, buf: bytearray, offset: int, ops) -> None:
+        """Relabel one record's start/end in place.
+
+        Labels are always full-width u32 regardless of which pointers are
+        present, so the record's width (and the slotted page layout around
+        it) never changes.
+        """
+        start, end = self._PAIR.unpack_from(buf, offset + 2)
+        for cut, amount in ops:
+            if start >= cut:
+                start += amount
+            if end >= cut:
+                end += amount
+        self._PAIR.pack_into(buf, offset + 2, start, end)
 
 
 def element_codec() -> ElementCodec:

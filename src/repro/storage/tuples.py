@@ -55,6 +55,19 @@ class TupleView:
             )
         self.tuples = stored.finalize()
 
+    # -- maintenance ---------------------------------------------------------
+
+    def relabeled(self, ops: Sequence[tuple[int, int]]) -> "TupleView":
+        """Copy-on-write clone with all component labels shifted (the
+        incremental-maintenance SHIFT repair); the shift map is monotone,
+        so the composite-key sort order survives."""
+        view = TupleView.__new__(TupleView)
+        view.pattern = self.pattern
+        view.pager = self.pager
+        view.tags = list(self.tags)
+        view.tuples = self.tuples.shifted(ops)
+        return view
+
     # -- access ------------------------------------------------------------------
 
     def component_index(self, tag: str) -> int:

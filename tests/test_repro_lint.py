@@ -213,6 +213,40 @@ def test_rl104_init_is_exempt():
     assert lint_text(snippet, "planner.py") == []
 
 
+RL104_MAINTENANCE_POSITIVE = """\
+def install(catalog, document, views):
+    catalog.document = document
+    catalog._views = dict(views)
+"""
+
+RL104_MAINTENANCE_SATISFIED = """\
+def install(catalog, document, views):
+    catalog.install_maintained(document, views)
+"""
+
+
+def test_rl104_maintenance_mutators_need_install_or_version_bump():
+    # Any-receiver contract: assigning catalog-attached view state from
+    # maintenance code must go through install_maintained (or bump the
+    # catalog version itself), whatever the receiver variable is called.
+    found = lint_text(RL104_MAINTENANCE_POSITIVE, "maintenance/engine.py")
+    assert codes(found) == ["RL104"]
+    assert "install" in found[0].symbol
+    assert lint_text(
+        RL104_MAINTENANCE_SATISFIED, "maintenance/engine.py"
+    ) == []
+    bumped = RL104_MAINTENANCE_POSITIVE + "    catalog.version += 1\n"
+    assert lint_text(bumped, "maintenance/engine.py") == []
+    # Path-scoped: the same function outside maintenance/ is unchecked.
+    assert lint_text(RL104_MAINTENANCE_POSITIVE, "algorithms/foo.py") == []
+    suppressed = RL104_MAINTENANCE_POSITIVE.replace(
+        "catalog.document = document",
+        "catalog.document = document"
+        "  # repro-lint: disable=RL104 (caller installs)",
+    )
+    assert lint_text(suppressed, "maintenance/engine.py") == []
+
+
 # -- RL105: exception discipline -----------------------------------------------
 
 def test_rl105_flags_builtin_raises_and_broad_excepts():
