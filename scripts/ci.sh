@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
-echo "== repro-lint (RL101-RL105 invariants) =="
+echo "== repro-lint (RL101-RL106 invariants) =="
 python -m repro.cli lint --json | python scripts/lint_report.py
 
 echo "== tier-1 tests =="
@@ -31,3 +31,8 @@ python scripts/smoke_parallel.py
 
 echo "== maintenance smoke (canned WAL replay vs golden rebuild) =="
 python scripts/smoke_maintenance.py
+
+echo "== chaos smoke (fixed-seed fault plan, correct-or-typed) =="
+# `timeout` is the outer wall-clock guard: a chaos regression that
+# hangs (instead of returning typed outcomes) must fail CI, not wedge it.
+timeout 300 python scripts/smoke_chaos.py

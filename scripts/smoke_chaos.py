@@ -1,0 +1,105 @@
+"""CI smoke: a fixed-seed chaos run must stay correct or typed.
+
+Builds a deterministic store, takes the base-document ground truth
+(naive embedding search), then evaluates the same query batch under a
+fixed :class:`~repro.resilience.faults.FaultPlan` mixing page
+corruption, worker kills and stalls.  Every outcome must either match
+the ground truth exactly (possibly ``degraded=True``, recomputed from
+the base document) or carry a typed error from the failure taxonomy —
+silent wrong answers and hangs both fail the build.  The CI wrapper
+additionally bounds the wall clock with ``timeout``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+ERROR_KINDS = ("timeout", "worker-lost", "store-corrupt", "error")
+
+FAULTS = (
+    "seed=1789;page-read=corrupt:0.4;page-read=short:0.1;"
+    "worker=kill:0.2;worker=stall:0.25:0.05"
+)
+
+QUERIES = ["//a//b//c", "//a[//b]//c", "//a//b", "//c"]
+
+
+def main() -> int:
+    from repro.datasets import random_trees
+    from repro.resilience import FaultPlan, RetryPolicy, faults
+    from repro.service import QueryService
+    from repro.storage.catalog import ViewCatalog
+    from repro.storage.persistence import save_catalog
+    from repro.tpq.naive import find_embeddings
+    from repro.tpq.parser import parse_pattern
+
+    doc = random_trees.generate(size=400, max_depth=9, seed=29)
+    truth = {
+        query: sorted(
+            tuple(n.start for n in m)
+            for m in find_embeddings(doc, parse_pattern(query))
+        )
+        for query in QUERIES
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        store = Path(tmp) / "store"
+        with ViewCatalog(doc) as catalog:
+            catalog.add(parse_pattern("//a//b", name="w1"), "LEp")
+            catalog.add(parse_pattern("//c", name="w2"), "LEp")
+            save_catalog(catalog, store)
+
+        with QueryService.open(
+            str(store),
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.02,
+                                     max_delay_s=0.2, seed=0),
+        ) as service:
+            service.warmup(QUERIES)
+            service.snapshot()
+            faults.install(FaultPlan.parse(FAULTS))
+            try:
+                batch = service.evaluate_parallel(
+                    QUERIES, workers=2, deadline_s=60.0
+                )
+            finally:
+                faults.uninstall()
+
+            degraded = errored = correct = 0
+            for outcome in batch.outcomes:
+                if outcome.error:
+                    kind = outcome.error.split(":", 1)[0]
+                    if kind not in ERROR_KINDS:
+                        print(f"FAIL: untyped error for {outcome.query}:"
+                              f" {outcome.error}")
+                        return 1
+                    errored += 1
+                    continue
+                if sorted(outcome.match_keys) != truth[outcome.query]:
+                    print(f"FAIL: wrong answer for {outcome.query}"
+                          f" (degraded={outcome.degraded}):"
+                          f" {len(outcome.match_keys)} keys,"
+                          f" expected {len(truth[outcome.query])}")
+                    return 1
+                correct += 1
+                degraded += outcome.degraded
+            metrics = service.resilience_metrics()
+
+        print(f"chaos plan    : {FAULTS}")
+        print(f"queries       : {len(QUERIES)} "
+              f"({correct} correct, {degraded} degraded, {errored} typed"
+              " errors)")
+        print(f"quarantined   : {metrics['quarantined_views']}")
+        print(f"retries       : {metrics['job_retries']} job retries,"
+              f" {metrics['pool_respawns']} pool respawns,"
+              f" {metrics['deadline_expiries']} deadline expiries")
+        if correct == 0:
+            print("FAIL: no query produced a verified answer")
+            return 1
+        print("PASS: every outcome correct or typed under the fault plan")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""The repro-lint rule catalog (RL101–RL105).
+"""The repro-lint rule catalog (RL101–RL106).
 
 Each rule encodes one invariant this repository's correctness rests on;
 DESIGN.md §10 documents the contract behind every code.  Rules scope by
@@ -668,6 +668,101 @@ class ExceptionDisciplineRule(Rule):
         return findings
 
 
+# -- RL106: wait discipline ----------------------------------------------------
+
+#: Packages whose waiting must be policy-mediated.  ``resilience/`` is
+#: deliberately outside the scope: it is where the one sanctioned
+#: ``time.sleep`` (``policy.wait``) lives.
+_WAIT_PREFIXES = ("service/", "maintenance/")
+
+#: Iterating one of these RetryPolicy methods is the sanctioned attempt
+#: loop; a function that does so may legitimately ``except``+``continue``.
+_POLICY_ITERATORS = frozenset({"delays", "attempts"})
+
+
+class WaitDisciplineRule(Rule):
+    code = "RL106"
+    name = "wait-discipline"
+    description = (
+        "Service/maintenance code must not call time.sleep or hand-roll"
+        " retry loops; all waiting goes through repro.resilience.policy"
+        " (bounded attempts, deterministic jittered backoff)."
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        if not module.path.startswith(_WAIT_PREFIXES):
+            return []
+        findings: list[Finding] = []
+        findings.extend(self._check_sleep(module))
+        findings.extend(self._check_retry_loops(module))
+        return findings
+
+    def _check_sleep(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr == "sleep"
+            ):
+                findings.append(self.finding(
+                    module, node,
+                    "calls `time.sleep` directly — all waiting in"
+                    " service/maintenance code goes through"
+                    " repro.resilience.policy.wait so chaos runs stay"
+                    " bounded and deterministic",
+                ))
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and any(alias.name == "sleep" for alias in node.names)
+            ):
+                findings.append(self.finding(
+                    module, node,
+                    "imports `sleep` from time — use"
+                    " repro.resilience.policy.wait instead",
+                ))
+        return findings
+
+    def _check_retry_loops(self, module: ModuleInfo) -> list[Finding]:
+        findings = []
+        for qualname, func in iter_functions(module.tree):
+            sanctioned = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POLICY_ITERATORS
+                for node in ast.walk(func)
+            )
+            if sanctioned:
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.While)) and (
+                    self._is_retry_shape(node)
+                ):
+                    findings.append(self.finding(
+                        module, node,
+                        f"`{qualname}` hand-rolls a retry loop (except +"
+                        " continue) — iterate RetryPolicy.delays() /"
+                        " .attempts() from repro.resilience.policy so"
+                        " attempts stay capped and backoff jittered",
+                    ))
+        return findings
+
+    @staticmethod
+    def _is_retry_shape(loop: ast.For | ast.While) -> bool:
+        """An except handler that ``continue``s the loop: the signature
+        of swallow-and-try-again."""
+        return any(
+            isinstance(node, ast.ExceptHandler)
+            and any(
+                isinstance(inner, ast.Continue)
+                for inner in ast.walk(node)
+            )
+            for node in ast.walk(loop)
+        )
+
+
 #: The registry, in code order.  Stable: reporters, baselines and
 #: suppressions key on these codes.
 RULES: tuple[Rule, ...] = (
@@ -676,4 +771,5 @@ RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     CacheCoherenceRule(),
     ExceptionDisciplineRule(),
+    WaitDisciplineRule(),
 )

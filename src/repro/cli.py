@@ -15,6 +15,8 @@ Subcommands:
 * ``update`` — apply document updates to a store, repairing its views
   incrementally (or replay its update log after a crash);
 * ``advise`` — recommend views worth materializing for a query;
+* ``verify-store`` — checksum-verify a store's pages and update log;
+* ``chaos`` — run a batch under a deterministic fault-injection plan;
 * ``lint`` — run the repro-lint invariant checker over the package.
 """
 
@@ -53,6 +55,8 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "update": _cmd_update,
         "advise": _cmd_advise,
+        "verify-store": _cmd_verify_store,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)
@@ -203,8 +207,36 @@ def _build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--top", type=int, default=10,
                      help="show this many ranked candidates")
 
+    ver = sub.add_parser(
+        "verify-store",
+        help="verify a store's page checksums and update log",
+    )
+    ver.add_argument("store", help="store directory (from `materialize`)")
+    ver.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the machine-readable report")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="answer queries from a store under a deterministic"
+             " fault-injection plan (degrades, never wrong)",
+    )
+    chaos.add_argument("store", help="store directory (from `materialize`)")
+    chaos.add_argument("--query", action="append", required=True,
+                       dest="queries", help="TPQ to answer (repeatable)")
+    chaos.add_argument(
+        "--faults", default="seed=42;page-read=corrupt:0.5",
+        help="fault plan, REPRO_FAULTS grammar:"
+             " seed=N;site=kind:prob[:arg] — sites: page-read"
+             " (corrupt|short), store-write (torn), wal-append"
+             " (torn|garble), worker (kill|stall)",
+    )
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the batch")
+    chaos.add_argument("--deadline", type=float, default=30.0,
+                       help="whole-batch deadline in seconds")
+
     lint = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (RL101-RL105)"
+        "lint", help="run the repro-lint invariant checker (RL101-RL106)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the whole"
@@ -504,6 +536,68 @@ def _cmd_query(args: argparse.Namespace) -> int:
             ))
     finally:
         catalog.close()
+    return 0
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience import verify_store
+
+    report = verify_store(args.store)
+    summary = report.as_dict()
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0 if report.ok else 1
+    rows = [[key, value] for key, value in summary.items()
+            if key not in ("bad_views",)]
+    print(format_table(["check", "value"], rows))
+    if report.bad_views:
+        print()
+        print(format_table(
+            ["damaged view", "bad pages"],
+            [[name, ", ".join(map(str, pages))]
+             for name, pages in sorted(report.bad_views.items())],
+        ))
+    print()
+    print("store OK" if report.ok else "store CORRUPT")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import FaultPlan
+    from repro.resilience import faults as fault_state
+    from repro.service import QueryService
+
+    plan = FaultPlan.parse(args.faults)
+    print(f"fault plan: {plan.describe()}")
+    with QueryService.open(args.store) as service:
+        service.warmup(args.queries)
+        service.snapshot()  # pay the snapshot save before faults arm
+        fault_state.install(plan)
+        try:
+            batch = service.evaluate_parallel(
+                args.queries,
+                workers=args.workers,
+                emit_matches=False,
+                deadline_s=args.deadline,
+            )
+        finally:
+            fault_state.uninstall()
+        rows = [
+            [outcome.query, outcome.match_count,
+             "degraded" if outcome.degraded
+             else (outcome.error or "ok")]
+            for outcome in batch.outcomes
+        ]
+        print(format_table(["query", "matches", "status"], rows))
+        print()
+        metrics = service.resilience_metrics()
+    print(f"quarantined: {metrics['quarantined_views'] or 'none'}")
+    print(f"degraded queries: {metrics['degraded_queries']},"
+          f" failed: {metrics['failed_queries']},"
+          f" retries: {metrics['job_retries']},"
+          f" pool respawns: {metrics['pool_respawns']}")
     return 0
 
 

@@ -67,6 +67,55 @@ class ServiceError(ReproError):
     """
 
 
+class StoreCorrupt(StorageError):
+    """Raised when stored bytes fail integrity verification.
+
+    Carries enough context to quarantine the damaged unit: the page ids
+    that failed their checksum and the views (if known) whose manifests
+    reference them.  Raised by checksum-verified page reads, by
+    :func:`repro.storage.persistence.load_catalog` with ``verify=True``,
+    and by :func:`repro.resilience.guard.verify_store`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pages: tuple[int, ...] = (),
+        views: tuple[str, ...] = (),
+    ):
+        super().__init__(message)
+        self.pages = tuple(pages)
+        self.views = tuple(views)
+
+
+class QueryTimeout(ServiceError):
+    """Raised when a query (or batch) exceeds its deadline.
+
+    The bounded-time alternative to a hang: parallel dispatch abandons
+    outstanding work, recycles the worker pool, and surfaces this typed
+    failure instead of blocking on a stalled worker forever.
+    """
+
+
+class WorkerLost(ServiceError):
+    """Raised when a worker process died and capped retries ran out.
+
+    A killed pool worker breaks the whole :class:`ProcessPoolExecutor`;
+    the service respawns the pool and resubmits the unfinished jobs a
+    bounded number of times before giving up with this error.
+    """
+
+
+class FaultInjected(ReproError):
+    """Raised by a deterministic fault-injection point simulating a crash.
+
+    Only ever raised when a :class:`repro.resilience.faults.FaultPlan`
+    is installed (``REPRO_FAULTS`` or an explicit plan); production code
+    paths never see it.  Crash-atomicity tests assert that the state a
+    ``FaultInjected`` interrupts is still loadable/replayable.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a synthetic-dataset generator receives bad parameters."""
 

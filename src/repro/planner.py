@@ -23,6 +23,7 @@ compared against, reproduced in ``benchmarks/test_views_vs_no_views.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.algorithms.base import EvalResult, Mode
 from repro.algorithms.engine import Algorithm, evaluate
@@ -94,6 +95,7 @@ class Planner:
         self._plan_cache = LRUCache(plan_cache_size)
         self._generation = 0
         self._maintenance_epoch = catalog.maintenance_epoch
+        self._quarantined: set[str] = set()
 
     def _guide(self):
         if self._dataguide is None:
@@ -159,6 +161,41 @@ class Planner:
             self._bump_generation()
         return adopted
 
+    def quarantine(self, names: Iterable[str]) -> int:
+        """Exclude the named views from every future plan.
+
+        The circuit-breaker hook: a quarantined view stays registered
+        (the pattern may be rematerialized later) but no plan will read
+        its pages — queries transparently re-plan over surviving views
+        or base views.  Bumps the generation so memoized plans that
+        referenced the view are dropped.  Returns how many names were
+        newly quarantined.
+        """
+        added = {
+            name for name in names
+            if name not in self._quarantined
+        }
+        if added:
+            self._quarantined |= added
+            self._bump_generation()
+        return len(added)
+
+    @property
+    def quarantined(self) -> tuple[str, ...]:
+        return tuple(sorted(self._quarantined))
+
+    def lift_quarantine(self, name: str | None = None) -> None:
+        """Re-admit one view (or all) after a repair/rematerialization."""
+        if name is None:
+            if not self._quarantined:
+                return
+            self._quarantined.clear()
+        else:
+            if name not in self._quarantined:
+                return
+            self._quarantined.discard(name)
+        self._bump_generation()
+
     def _bump_generation(self) -> None:
         self._generation += 1
         self._plan_cache.invalidate()
@@ -212,10 +249,22 @@ class Planner:
 
     def _build_plan(self, query: Pattern) -> Plan:
         explanation: list[str] = []
+        candidates = self._registered
+        if self._quarantined:
+            candidates = [
+                view for view in candidates
+                if (view.name or view.to_xpath()) not in self._quarantined
+            ]
+            dropped = len(self._registered) - len(candidates)
+            if dropped:
+                explanation.append(
+                    f"{dropped} view(s) quarantined by the circuit breaker"
+                    " and excluded"
+                )
         usable = [
-            view for view in self._registered if is_subpattern(view, query)
+            view for view in candidates if is_subpattern(view, query)
         ]
-        skipped = len(self._registered) - len(usable)
+        skipped = len(candidates) - len(usable)
         if skipped:
             explanation.append(
                 f"{skipped} registered view(s) are not subpatterns of the"

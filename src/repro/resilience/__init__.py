@@ -1,0 +1,40 @@
+"""Resilience subsystem: deterministic faults, bounded waiting, integrity.
+
+Four cooperating pieces, threaded through storage, maintenance and the
+query service:
+
+* :mod:`repro.resilience.faults` — a seeded, picklable
+  :class:`~repro.resilience.faults.FaultPlan` with injection points in
+  the pager (corrupted/short page reads), persistence (torn store
+  writes), the update log (torn/garbled records) and the pool workers
+  (kill/stall).  Zero-cost when no plan is installed.
+* :mod:`repro.resilience.policy` — the only sanctioned way to wait:
+  deadlines, capped attempts, decorrelated-jitter backoff (repro-lint
+  RL106 rejects ad-hoc ``time.sleep``/retry loops in service and
+  maintenance code).
+* :mod:`repro.resilience.guard` — CRC32 integrity over store pages and
+  WAL records: verified on physical reads (when the manifest carries
+  checksums), at attach (``load_catalog(verify=True)``), and on demand
+  (``viewjoin verify-store``).
+* :mod:`repro.resilience.breaker` — a per-view circuit breaker; the
+  service quarantines views whose pages fail verification (or whose
+  jobs keep dying) and transparently degrades to base-document plans.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.guard import StoreReport, page_checksum, verify_store
+from repro.resilience.policy import Deadline, RetryPolicy, wait
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "StoreReport",
+    "page_checksum",
+    "verify_store",
+    "wait",
+]

@@ -1,0 +1,94 @@
+"""Per-view circuit breaker: quarantine views that keep failing.
+
+The paper treats materialized views as an optimization over the base
+document (a TPQ answerable from views is answerable without them); a
+production service must therefore never let a damaged view make a query
+unanswerable.  The breaker tracks failures per view:
+
+* **integrity failures** (checksum mismatches — ``StoreCorrupt``) trip
+  the breaker immediately: corrupted bytes do not heal on retry;
+* **operational failures** (worker lost, timeouts, unexpected errors)
+  trip it after ``failure_threshold`` occurrences, because one killed
+  worker says nothing about the view it happened to be reading.
+
+A tripped view is *quarantined*: the planner stops using it and queries
+transparently re-plan over surviving views or the base document
+(``degraded=True`` on the outcome).  Quarantine is deliberately sticky —
+pages do not un-corrupt — until :meth:`CircuitBreaker.reset` (e.g. after
+an operator repairs/rematerializes the store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Failure kinds that quarantine on first sight.
+INTEGRITY_KINDS = frozenset({"store-corrupt"})
+
+
+@dataclass
+class BreakerState:
+    """Failure bookkeeping for one view."""
+
+    failures: int = 0
+    quarantined: bool = False
+    last_kind: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "failures": self.failures,
+            "quarantined": self.quarantined,
+            "last_kind": self.last_kind,
+        }
+
+
+class CircuitBreaker:
+    """Counts per-view failures and decides quarantine."""
+
+    def __init__(self, failure_threshold: int = 3):
+        self.failure_threshold = max(failure_threshold, 1)
+        self._states: dict[str, BreakerState] = {}
+
+    def record_failure(self, view: str, kind: str) -> bool:
+        """Record one failure; returns True when this trips quarantine."""
+        state = self._states.setdefault(view, BreakerState())
+        state.failures += 1
+        state.last_kind = kind
+        if state.quarantined:
+            return False
+        if kind in INTEGRITY_KINDS or state.failures >= self.failure_threshold:
+            state.quarantined = True
+            return True
+        return False
+
+    def record_success(self, view: str) -> None:
+        """A healthy evaluation resets the operational-failure count
+        (never un-quarantines: corrupt pages stay corrupt)."""
+        state = self._states.get(view)
+        if state is not None and not state.quarantined:
+            state.failures = 0
+
+    def is_quarantined(self, view: str) -> bool:
+        state = self._states.get(view)
+        return state is not None and state.quarantined
+
+    @property
+    def quarantined(self) -> tuple[str, ...]:
+        """Quarantined view names, sorted (deterministic reporting)."""
+        return tuple(sorted(
+            view for view, state in self._states.items()
+            if state.quarantined
+        ))
+
+    def reset(self, view: str | None = None) -> None:
+        """Clear state for one view (or everything) after a repair."""
+        if view is None:
+            self._states.clear()
+        else:
+            self._states.pop(view, None)
+
+    def metrics(self) -> dict[str, dict[str, object]]:
+        return {
+            view: self._states[view].as_dict()
+            for view in sorted(self._states)
+        }

@@ -1,0 +1,261 @@
+"""Deterministic fault injection (the chaos harness's hammer).
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec` clauses.
+Injection points registered in the pager, persistence, update log and
+pool workers consult the installed plan; every decision is a pure
+function of ``(seed, salt, site, kind, per-site counter)`` hashed
+through SHA-256, so a chaos run replays bit-identically from its seed —
+no ``random`` module, no wall clock (the determinism contract RL103
+enforces elsewhere holds here too).
+
+Sites and kinds::
+
+    page-read   corrupt   flip bytes in a physically read page
+                short     return a truncated page payload
+    store-write torn      crash (FaultInjected) mid store write
+    wal-append  torn      write a partial record batch, then crash
+                garble    flip a byte inside an appended record
+    worker      kill      os._exit mid-job (BrokenProcessPool upstream)
+                stall     busy-delay a job (exceeds deadlines upstream)
+
+Install a plan explicitly (:func:`install`) or via the ``REPRO_FAULTS``
+environment variable, e.g.::
+
+    REPRO_FAULTS="seed=42;page-read=corrupt:0.1;worker=kill:0.05"
+
+Each clause is ``site=kind:prob[:arg]`` (``arg`` is the stall duration
+in seconds).  When nothing is installed, :data:`STATE` is ``None`` and
+every injection point is a single attribute load plus an ``is None``
+test — measurably free on the hot paths.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+from dataclasses import dataclass
+
+from repro.errors import FaultInjected, ReproError
+from repro.resilience.policy import wait
+
+#: Ceiling for injected stalls so a chaos run can never park a worker
+#: for longer than a test harness is willing to reap it.
+MAX_STALL_S = 2.0
+
+_SITES = ("page-read", "store-write", "wal-append", "worker")
+_KINDS = {
+    "page-read": ("corrupt", "short"),
+    "store-write": ("torn",),
+    "wal-append": ("torn", "garble"),
+    "worker": ("kill", "stall"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection clause: fire ``kind`` at ``site`` with ``prob``."""
+
+    site: str
+    kind: str
+    prob: float = 1.0
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITES:
+            raise ReproError(
+                f"unknown fault site {self.site!r} (expected one of"
+                f" {', '.join(_SITES)})"
+            )
+        if self.kind not in _KINDS[self.site]:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r} for site {self.site!r}"
+                f" (expected one of {', '.join(_KINDS[self.site])})"
+            )
+        if not 0.0 <= self.prob <= 1.0:
+            raise ReproError(
+                f"fault probability must be in [0, 1], got {self.prob}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable set of fault clauses.
+
+    Plans are plain frozen data so they cross the process boundary to
+    pool workers unchanged; the per-process mutable state (counters)
+    lives in the installed :class:`_Injector`, never on the plan.
+    """
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` clause grammar (see module doc)."""
+        seed = 0
+        specs: list[FaultSpec] = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            key, sep, rest = clause.partition("=")
+            if not sep:
+                raise ReproError(
+                    f"bad REPRO_FAULTS clause {clause!r} (expected"
+                    " seed=N or site=kind:prob[:arg])"
+                )
+            key = key.strip()
+            if key == "seed":
+                try:
+                    seed = int(rest)
+                except ValueError:
+                    raise ReproError(
+                        f"bad REPRO_FAULTS seed {rest!r}"
+                    ) from None
+                continue
+            parts = rest.split(":")
+            kind = parts[0].strip()
+            try:
+                prob = float(parts[1]) if len(parts) > 1 else 1.0
+                arg = float(parts[2]) if len(parts) > 2 else 0.0
+            except ValueError:
+                raise ReproError(
+                    f"bad REPRO_FAULTS clause {clause!r}: numeric"
+                    " prob/arg expected"
+                ) from None
+            specs.append(FaultSpec(key, kind, prob=prob, arg=arg))
+        return cls(seed=seed, specs=tuple(specs))
+
+    def for_sites(self, site: str) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.site == site)
+
+    def describe(self) -> str:
+        clauses = [f"seed={self.seed}"] + [
+            f"{s.site}={s.kind}:{s.prob}" + (f":{s.arg}" if s.arg else "")
+            for s in self.specs
+        ]
+        return ";".join(clauses)
+
+
+class _Injector:
+    """The installed plan plus its per-process decision counters."""
+
+    def __init__(self, plan: FaultPlan, salt: int = 0):
+        self.plan = plan
+        self.salt = salt
+        self._counters: dict[str, int] = {}
+
+    # -- deterministic decisions ------------------------------------------
+
+    def _draw(self, site: str, kind: str, counter: int) -> float:
+        token = f"{self.plan.seed}|{self.salt}|{site}|{kind}|{counter}"
+        digest = hashlib.sha256(token.encode("ascii")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def _next(self, site: str) -> int:
+        counter = self._counters.get(site, 0)
+        self._counters[site] = counter + 1
+        return counter
+
+    def _fired(self, site: str) -> list[FaultSpec]:
+        specs = self.plan.for_sites(site)
+        if not specs:
+            return []
+        counter = self._next(site)
+        return [
+            spec for spec in specs
+            if self._draw(site, spec.kind, counter) < spec.prob
+        ]
+
+    # -- injection points --------------------------------------------------
+
+    def page_read(self, page_id: int, data: bytes) -> bytes:
+        """Maybe damage the bytes of one physical page read."""
+        for spec in self._fired("page-read"):
+            if spec.kind == "short":
+                data = data[: max(len(data) // 2, 1)]
+            else:  # corrupt: deterministic bit flips on a byte run
+                width = min(8, len(data))
+                flipped = bytes(b ^ 0xFF for b in data[:width])
+                data = flipped + data[width:]
+        return data
+
+    def crash_point(self, site: str) -> None:
+        """Raise :class:`FaultInjected` (a simulated crash) if armed."""
+        for spec in self._fired(site):
+            raise FaultInjected(
+                f"injected {spec.kind} fault at {site}"
+            )
+
+    def wal_append(self, blob: bytes) -> tuple[bytes, bool]:
+        """Maybe tear or garble one WAL append.
+
+        Returns ``(bytes to actually write, crashed)``; when ``crashed``
+        is True the caller writes the partial bytes and then raises
+        :class:`FaultInjected` to simulate the process dying mid-append.
+        """
+        crashed = False
+        for spec in self._fired("wal-append"):
+            if spec.kind == "torn":
+                blob = blob[: max(len(blob) * 2 // 3, 1)]
+                crashed = True
+            else:  # garble: flip one byte, keep the record "complete"
+                position = len(blob) // 2
+                blob = (
+                    blob[:position]
+                    + bytes([blob[position] ^ 0x55])
+                    + blob[position + 1:]
+                )
+        return blob, crashed
+
+    def worker_job(self, job_index: int) -> None:
+        """Maybe kill or stall the current worker before a job runs."""
+        for spec in self._fired("worker"):
+            if spec.kind == "kill":
+                os._exit(13)
+            wait(min(spec.arg or 0.25, MAX_STALL_S))
+
+
+#: The installed injector, or None (the common case).  Injection points
+#: read this once and skip everything when it is None, so disabled fault
+#: injection costs one attribute load per physical read.
+STATE: _Injector | None = None
+
+
+def install(plan: FaultPlan | None, salt: int = 0) -> None:
+    """Install ``plan`` process-wide (None uninstalls)."""
+    global STATE
+    STATE = None if plan is None else _Injector(plan, salt=salt)
+
+
+def uninstall() -> None:
+    install(None)
+
+
+@contextlib.contextmanager
+def suspended():
+    """Temporarily mask the installed plan (degraded-path reruns: the
+    harness simulates *store* failures, so the recovery route that
+    recomputes from the base document must run fault-free)."""
+    global STATE
+    saved = STATE
+    STATE = None
+    try:
+        yield
+    finally:
+        STATE = saved
+
+
+def active() -> FaultPlan | None:
+    """The installed plan (what a parent ships to its pool workers)."""
+    return STATE.plan if STATE is not None else None
+
+
+def _install_from_env() -> None:
+    text = os.environ.get("REPRO_FAULTS", "").strip()
+    if text:
+        install(FaultPlan.parse(text))
+
+
+_install_from_env()

@@ -1,0 +1,180 @@
+"""Store integrity: CRC32 checksums over pages and WAL records.
+
+``save_catalog``/``commit_store`` record a CRC32 per view page in the
+manifest (``page_checksums``).  Three layers consume them:
+
+* **read-time** — an attached :class:`~repro.storage.pager.PageFile`
+  verifies every physical read against the manifest checksums and
+  raises :class:`~repro.errors.StoreCorrupt` on mismatch, so corruption
+  surfaces as a typed error on the page that is actually touched, never
+  as silently wrong match keys;
+* **attach-time** — ``load_catalog(verify=True)`` runs
+  :func:`verify_store` up front and refuses a damaged store;
+* **on demand** — ``viewjoin verify-store`` prints the report.
+
+WAL integrity lives in the records themselves (length prefix + CRC,
+:mod:`repro.maintenance.wal`); :func:`verify_store` folds the log scan
+into the same report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import MaintenanceError, StorageError, StoreCorrupt
+
+
+def page_checksum(data: bytes) -> int:
+    """CRC32 of one full (padded) page payload."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def manifest_view_pages(manifest: dict) -> dict[str, list[int]]:
+    """Page ids referenced by each view record of a store manifest.
+
+    Mirrors the two layouts persistence writes: explicit ``page_ids``
+    (stored lists / tuple views) and slotted-list ``directory`` rows of
+    ``[first, count, page_id]``.
+    """
+    views: dict[str, list[int]] = {}
+    for record in manifest.get("views", []):
+        name = record.get("name") or record.get("xpath", "?")
+        pages: list[int] = []
+        if "tuples" in record:
+            pages.extend(record["tuples"].get("page_ids", []))
+        for list_manifest in record.get("lists", {}).values():
+            if "page_ids" in list_manifest:
+                pages.extend(list_manifest["page_ids"])
+            else:
+                pages.extend(
+                    row[2] for row in list_manifest.get("directory", [])
+                )
+        views[name] = pages
+    return views
+
+
+def read_manifest(directory: str | os.PathLike) -> dict:
+    """The store manifest, with torn/garbled JSON surfaced as a typed
+    :class:`StoreCorrupt` instead of a bare ``json`` exception."""
+    path = pathlib.Path(directory) / "manifest.json"
+    if not path.exists():
+        raise StorageError(f"no catalog manifest under {directory}")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StoreCorrupt(
+            f"store manifest {path} is unreadable: {exc}"
+        ) from exc
+
+
+def checksum_map(manifest: dict) -> dict[int, int]:
+    """The manifest's ``page_checksums`` as ``{page_id: crc}`` (empty
+    for stores written before checksums existed)."""
+    return {
+        int(page_id): int(crc)
+        for page_id, crc in manifest.get("page_checksums", {}).items()
+    }
+
+
+@dataclass
+class StoreReport:
+    """Outcome of one full-store verification pass."""
+
+    directory: str
+    pages_checked: int = 0
+    pages_unverified: int = 0
+    #: page id -> (expected crc, actual crc)
+    bad_pages: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: view name -> bad page ids referenced by that view
+    bad_views: dict[str, list[int]] = field(default_factory=dict)
+    wal_records: int = 0
+    wal_torn_tail: bool = False
+    wal_error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.bad_pages and not self.wal_error
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "directory": self.directory,
+            "ok": self.ok,
+            "pages_checked": self.pages_checked,
+            "pages_unverified": self.pages_unverified,
+            "bad_pages": sorted(self.bad_pages),
+            "bad_views": {
+                name: list(pages)
+                for name, pages in sorted(self.bad_views.items())
+            },
+            "wal_records": self.wal_records,
+            "wal_torn_tail": self.wal_torn_tail,
+            "wal_error": self.wal_error,
+        }
+
+    def raise_if_bad(self) -> None:
+        if self.ok:
+            return
+        raise StoreCorrupt(
+            f"store {self.directory} failed verification:"
+            f" {len(self.bad_pages)} bad page(s)"
+            f" across views {sorted(self.bad_views) or ['<none>']}"
+            + (f"; wal: {self.wal_error}" if self.wal_error else ""),
+            pages=tuple(sorted(self.bad_pages)),
+            views=tuple(sorted(self.bad_views)),
+        )
+
+
+def verify_store(directory: str | os.PathLike) -> StoreReport:
+    """Verify every checksummed page and the WAL of one store.
+
+    Reads the at-rest bytes directly (not through a pager), so the
+    report reflects what is on disk rather than what a buffer pool may
+    still be caching.
+    """
+    source = pathlib.Path(directory)
+    manifest = read_manifest(source)
+    checksums = checksum_map(manifest)
+    page_size = int(manifest.get("page_size", 0)) or 4096
+    view_pages = manifest_view_pages(manifest)
+
+    report = StoreReport(directory=str(source))
+    pages_path = source / "pages.bin"
+    referenced = sorted({p for pages in view_pages.values() for p in pages})
+    if referenced:
+        try:
+            size = pages_path.stat().st_size
+        except OSError:
+            size = -1
+        with open(pages_path, "rb") as handle:
+            for page_id in referenced:
+                expected = checksums.get(page_id)
+                if expected is None:
+                    report.pages_unverified += 1
+                    continue
+                report.pages_checked += 1
+                if size >= 0 and (page_id + 1) * page_size > size:
+                    report.bad_pages[page_id] = (expected, -1)
+                    continue
+                handle.seek(page_id * page_size)
+                actual = page_checksum(handle.read(page_size))
+                if actual != expected:
+                    report.bad_pages[page_id] = (expected, actual)
+    for name, pages in view_pages.items():
+        bad = [p for p in pages if p in report.bad_pages]
+        if bad:
+            report.bad_views[name] = bad
+
+    from repro.maintenance.wal import WAL_FILENAME, UpdateLog
+
+    log = UpdateLog(source / WAL_FILENAME)
+    if log.exists():
+        try:
+            report.wal_records = len(log.read(after=0))
+            report.wal_torn_tail = log.torn_tail_detected
+        except MaintenanceError as exc:
+            report.wal_error = str(exc)
+    return report

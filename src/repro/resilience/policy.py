@@ -1,0 +1,124 @@
+"""Bounded waiting: deadlines, capped attempts, jittered backoff.
+
+This module is the *only* place service/maintenance code may wait —
+repro-lint RL106 flags ad-hoc ``time.sleep`` calls and hand-rolled
+retry loops anywhere under ``service/`` or ``maintenance/``.  Routing
+every wait through one policy keeps three properties the chaos suite
+depends on:
+
+* **bounded**: a :class:`RetryPolicy` yields at most ``max_attempts``
+  attempts, and a :class:`Deadline` turns "wait forever" into a typed
+  timeout upstream;
+* **deterministic**: backoff jitter is decorrelated (AWS-style:
+  ``delay = min(cap, uniform(base, prev * 3))``) but derived from a
+  seeded SHA-256 draw, so two runs of the same plan back off
+  identically;
+* **honest**: only durations are read (``time.perf_counter``), matching
+  the RL103 determinism contract — wall-clock values never feed logic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+def wait(seconds: float) -> None:
+    """Sleep; the single sanctioned blocking wait (see module doc)."""
+    if seconds > 0:
+        time.sleep(seconds)
+
+
+def _draw(seed: int, key: str, attempt: int) -> float:
+    token = f"{seed}|{key}|{attempt}"
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped attempts with decorrelated-jitter backoff.
+
+    Args:
+        max_attempts: total tries (first attempt included); >= 1.
+        base_delay_s: floor of every backoff delay.
+        max_delay_s: ceiling of every backoff delay.
+        seed: jitter seed — same seed + key => same delay sequence.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ReproError(
+                "need 0 <= base_delay_s <= max_delay_s, got"
+                f" {self.base_delay_s}/{self.max_delay_s}"
+            )
+
+    def delays(self, key: str = "") -> Iterator[float]:
+        """Backoff delay *before* each attempt: 0.0, then jittered.
+
+        Yields exactly ``max_attempts`` values; iterating them is the
+        attempt loop, so running out of the iterator IS the cap.
+        """
+        previous = self.base_delay_s
+        for attempt in range(self.max_attempts):
+            if attempt == 0:
+                yield 0.0
+                continue
+            span = max(previous * 3.0 - self.base_delay_s, 0.0)
+            delay = self.base_delay_s + _draw(self.seed, key, attempt) * span
+            previous = min(delay, self.max_delay_s)
+            yield previous
+
+    def attempts(self, key: str = "") -> Iterator[int]:
+        """``(attempt index)`` with the backoff wait applied between
+        attempts — the convenience loop for callers without a deadline."""
+        for attempt, delay in enumerate(self.delays(key)):
+            wait(delay)
+            yield attempt
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A monotonic time budget (``perf_counter`` based).
+
+    ``Deadline.after(None)`` is the infinite deadline: ``remaining()``
+    returns None and ``expired`` is always False, so optional deadlines
+    thread through APIs without branching at every call site.
+    """
+
+    expires_at: float | None
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        if seconds is None:
+            return cls(expires_at=None)
+        return cls(expires_at=time.perf_counter() + seconds)
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0.0), or None when unbounded."""
+        if self.expires_at is None:
+            return None
+        return max(self.expires_at - time.perf_counter(), 0.0)
+
+    @property
+    def expired(self) -> bool:
+        left = self.remaining()
+        return left is not None and left <= 0.0
+
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` limited to what's left of the budget."""
+        left = self.remaining()
+        return seconds if left is None else min(seconds, left)

@@ -18,12 +18,19 @@ level explicit-plan API the benchmark harness drives.
 """
 
 from repro.service.core import BatchResult, QueryOutcome, QueryService
-from repro.service.jobs import EvalJob, JobResult, merge_results, run_job
+from repro.service.jobs import (
+    EvalJob,
+    JobFailure,
+    JobResult,
+    merge_results,
+    run_job,
+)
 from repro.service.worker import run_worker_jobs
 
 __all__ = [
     "BatchResult",
     "EvalJob",
+    "JobFailure",
     "JobResult",
     "QueryOutcome",
     "QueryService",

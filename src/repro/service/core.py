@@ -33,15 +33,31 @@ import shutil
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as wait_futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.algorithms.base import Counters, Mode
 from repro.algorithms.engine import Algorithm, combo_label
 from repro.caching import CacheStats, LRUCache
-from repro.errors import ServiceError
+from repro.errors import (
+    QueryTimeout,
+    ServiceError,
+    StoreCorrupt,
+    WorkerLost,
+)
 from repro.planner import Plan, Planner
-from repro.service.jobs import EvalJob, JobResult, merge_results, run_job
+from repro.resilience import faults
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.policy import Deadline, RetryPolicy, wait
+from repro.service.jobs import (
+    EvalJob,
+    JobFailure,
+    JobResult,
+    merge_results,
+    run_job,
+)
 from repro.service.worker import run_worker_jobs
 from repro.storage.catalog import Scheme, ViewCatalog
 from repro.storage.pager import IOStats
@@ -64,6 +80,13 @@ class QueryOutcome:
     cached: bool = False
     refuted: bool = False
     plan_views: list[str] = field(default_factory=list)
+    #: True when the planned views failed and the answer was recomputed
+    #: from base views over the base document (still correct — views are
+    #: an optimization, never the source of truth).
+    degraded: bool = False
+    #: Non-empty when the query could not be answered at all:
+    #: ``"<kind>: <detail>"`` with the breaker's failure taxonomy.
+    error: str = ""
 
 
 @dataclass
@@ -104,6 +127,9 @@ class QueryService:
         plan_cache_size: int = 128,
         result_cache_size: int = 0,
         prune_with_dataguide: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        failure_threshold: int = 3,
+        verify: bool = False,
     ):
         if (catalog is None) == (store_path is None):
             raise ServiceError(
@@ -117,7 +143,7 @@ class QueryService:
             from repro.maintenance.engine import recover_store
 
             recover_store(store_path)
-            catalog = load_catalog(store_path)
+            catalog = load_catalog(store_path, verify=verify)
         self.catalog = catalog
         #: Workers must replay the parent's pool residency behaviour.
         self.pool_capacity = catalog.pager.pool.capacity
@@ -136,6 +162,16 @@ class QueryService:
         self._result_cache = LRUCache(result_cache_size)
         self._executor: ProcessPoolExecutor | None = None
         self._executor_workers = 0
+        self._closed = False
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker = CircuitBreaker(failure_threshold=failure_threshold)
+        self._degraded_queries = 0
+        self._failed_queries = 0
+        self._job_retries = 0
+        self._pool_respawns = 0
+        self._deadline_expiries = 0
 
     @classmethod
     def open(cls, store_path, **kwargs) -> "QueryService":
@@ -280,15 +316,27 @@ class QueryService:
         workers: int = 2,
         mode: Mode | str = Mode.MEMORY,
         emit_matches: bool = True,
+        deadline_s: float | None = None,
+        degrade: bool = True,
     ) -> BatchResult:
         """Fan ``queries`` out over ``workers`` processes.
 
         Results and merged counters are byte-identical to
         :meth:`evaluate_batch` on the same queries; only wall-clock
         differs.  ``workers <= 1`` degenerates to the sequential path.
+
+        Resilience: ``deadline_s`` bounds the whole batch (expired jobs
+        come back as ``error`` outcomes instead of hanging); lost
+        workers are respawned and their jobs resubmitted under the
+        service's :class:`RetryPolicy`; jobs that keep failing — or hit
+        checksum corruption — trip the per-view circuit breaker, and
+        with ``degrade=True`` their queries are transparently
+        re-answered from base views over the base document
+        (``degraded=True`` on the outcome, correctness preserved).
         """
         mode = Mode.parse(mode)
         begin = time.perf_counter()
+        deadline = Deadline.after(deadline_s)
         outcomes: list[QueryOutcome | None] = [None] * len(queries)
         jobs: list[EvalJob] = []
         plans: dict[int, Plan] = {}
@@ -312,13 +360,40 @@ class QueryService:
                     plan.scheme, mode=mode, emit_matches=emit_matches,
                 )
             )
-        for result in self.run_jobs(jobs, workers=workers, warm=True):
+        try:
+            results, failures = self._run_jobs_resilient(
+                jobs, workers, warm=True, deadline=deadline
+            )
+        except StoreCorrupt as exc:
+            # The snapshot save itself hit corruption: every dispatched
+            # job fails typed and (optionally) degrades below.
+            results = []
+            failures = [
+                JobFailure(
+                    index=job.index, kind="store-corrupt",
+                    message=str(exc), views=exc.views, pages=exc.pages,
+                )
+                for job in jobs
+            ]
+        for result in results:
             plan = plans[result.index]
             outcome = self._outcome_from(result, plan)
+            for name in self._plan_view_names(plan):
+                self.breaker.record_success(name)
             self._result_cache.put(
                 (outcome.query, mode.value, emit_matches), outcome
             )
             outcomes[result.index] = outcome
+        for failure in failures:
+            plan = plans[failure.index]
+            self._note_failure(plan, failure)
+            if degrade and failure.kind != "timeout":
+                outcomes[failure.index] = self._evaluate_degraded(
+                    plan, mode, emit_matches
+                )
+            else:
+                self._failed_queries += 1
+                outcomes[failure.index] = self._error_outcome(plan, failure)
         assert all(outcome is not None for outcome in outcomes)
         return self._assemble(outcomes, time.perf_counter() - begin)
 
@@ -333,47 +408,199 @@ class QueryService:
         return self.run_jobs(jobs, workers=workers, warm=True)
 
     def run_jobs(
-        self, jobs: Sequence[EvalJob], workers: int = 0, warm: bool = True
+        self,
+        jobs: Sequence[EvalJob],
+        workers: int = 0,
+        warm: bool = True,
+        deadline_s: float | None = None,
     ) -> list[JobResult]:
-        """Run already-warm jobs, in-process or across worker processes."""
-        jobs = list(jobs)
-        if not jobs:
-            return []
-        if workers <= 1:
-            return [
-                run_job(self.catalog, job, expect_warm=warm) for job in jobs
-            ]
-        store = self._ensure_snapshot()
-        stripes = [jobs[k::workers] for k in range(workers)]
-        pool = self._get_executor(workers)
-        futures = [
-            pool.submit(
-                run_worker_jobs, store, stripe, self.pool_capacity,
-                self.catalog.version,
-            )
-            for stripe in stripes
-            if stripe
-        ]
-        results: list[JobResult] = []
-        for future in futures:
-            results.extend(future.result())
-        results.sort(key=lambda result: result.index)
+        """Run already-warm jobs, in-process or across worker processes.
+
+        Raises the first failure as its typed exception
+        (:class:`QueryTimeout` / :class:`WorkerLost` /
+        :class:`StoreCorrupt`) — the explicit-plan API has no degraded
+        mode; use :meth:`evaluate_parallel` for that.
+        """
+        results, failures = self._run_jobs_resilient(
+            list(jobs), workers, warm=warm,
+            deadline=Deadline.after(deadline_s),
+        )
+        if failures:
+            raise self._failure_error(failures[0])
         return results
+
+    def _run_jobs_resilient(
+        self,
+        jobs: list[EvalJob],
+        workers: int,
+        warm: bool,
+        deadline: Deadline,
+    ) -> tuple[list[JobResult], list[JobFailure]]:
+        """Run jobs with bounded retries; never hangs, never raises for a
+        single job's failure.
+
+        Returns ``(results, failures)``, both in job-index order, their
+        indices disjoint and jointly covering the input.  Each job's
+        result is recorded exactly once (first success wins), and jobs
+        run cold, so counters merged from ``results`` are byte-identical
+        to a failure-free sequential pass over the same successes.
+        """
+        if not jobs:
+            return [], []
+        if workers <= 1:
+            return self._run_jobs_sequential(jobs, warm, deadline)
+        store = self._ensure_snapshot()
+        pending: dict[int, EvalJob] = {job.index: job for job in jobs}
+        results: dict[int, JobResult] = {}
+        failures: dict[int, JobFailure] = {}
+        for attempt, delay in enumerate(self.retry_policy.delays("run-jobs")):
+            if not pending:
+                break
+            if attempt:
+                self._job_retries += len(pending)
+                wait(deadline.clamp(delay))
+            if deadline.expired:
+                self._mark_timeouts(pending, failures)
+                break
+            batch = [pending[index] for index in sorted(pending)]
+            stripes = [batch[k::workers] for k in range(workers)]
+            pool = self._get_executor(workers)
+            futures = [
+                pool.submit(
+                    run_worker_jobs, store, stripe, self.pool_capacity,
+                    self.catalog.version, faults.active(), attempt,
+                )
+                for stripe in stripes
+                if stripe
+            ]
+            done, not_done = wait_futures(
+                futures, timeout=deadline.remaining()
+            )
+            pool_broken = False
+            for future in done:
+                try:
+                    items = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    continue
+                for item in items:
+                    if item.index not in pending:
+                        continue
+                    del pending[item.index]
+                    if isinstance(item, JobResult):
+                        results[item.index] = item
+                    else:
+                        # Typed worker-side failure (store corruption):
+                        # permanent, never retried — bytes do not heal.
+                        failures[item.index] = item
+            if not_done:
+                # Deadline hit with workers still running (e.g. stalled):
+                # abandon this pool rather than joining a stuck process.
+                self._deadline_expiries += 1
+                for future in not_done:
+                    future.cancel()
+                self._discard_executor(join=False)
+                self._mark_timeouts(pending, failures)
+                break
+            if pool_broken:
+                # A worker died mid-stripe; respawn the pool and resubmit
+                # whatever is still pending on the next attempt.
+                self._pool_respawns += 1
+                self._discard_executor(join=False)
+        for index in sorted(pending):
+            failures[index] = JobFailure(
+                index=index,
+                kind="worker-lost",
+                message=(
+                    f"worker died on every one of"
+                    f" {self.retry_policy.max_attempts} attempt(s)"
+                ),
+                views=tuple(
+                    name or xpath for xpath, name in pending[index].views
+                ),
+            )
+        return (
+            [results[index] for index in sorted(results)],
+            [failures[index] for index in sorted(failures)],
+        )
+
+    def _run_jobs_sequential(
+        self, jobs: list[EvalJob], warm: bool, deadline: Deadline
+    ) -> tuple[list[JobResult], list[JobFailure]]:
+        results: list[JobResult] = []
+        failures: list[JobFailure] = []
+        for job in jobs:
+            if deadline.expired:
+                failures.append(JobFailure(
+                    index=job.index, kind="timeout",
+                    message="batch deadline expired before this job ran",
+                ))
+                continue
+            try:
+                results.append(run_job(self.catalog, job, expect_warm=warm))
+            except StoreCorrupt as exc:
+                failures.append(JobFailure(
+                    index=job.index, kind="store-corrupt",
+                    message=str(exc),
+                    views=exc.views or tuple(
+                        name or xpath for xpath, name in job.views
+                    ),
+                    pages=exc.pages,
+                ))
+        return results, failures
+
+    def _mark_timeouts(
+        self, pending: dict[int, EvalJob], failures: dict[int, JobFailure]
+    ) -> None:
+        for index in sorted(pending):
+            failures[index] = JobFailure(
+                index=index, kind="timeout",
+                message="batch deadline expired before this job finished",
+                views=tuple(
+                    name or xpath for xpath, name in pending[index].views
+                ),
+            )
+        pending.clear()
+
+    @staticmethod
+    def _failure_error(failure: JobFailure) -> Exception:
+        detail = f"job {failure.index}: {failure.message}"
+        if failure.kind == "timeout":
+            return QueryTimeout(detail)
+        if failure.kind == "worker-lost":
+            return WorkerLost(detail)
+        if failure.kind == "store-corrupt":
+            return StoreCorrupt(
+                detail, pages=failure.pages, views=failure.views
+            )
+        return ServiceError(f"{failure.kind}: {detail}")
 
     def _get_executor(self, workers: int) -> ProcessPoolExecutor:
         """A worker pool kept alive across batches.
 
         Reusing processes lets the worker-side attachment memo
         (:mod:`repro.service.worker`) skip re-parsing the store between
-        batches; the pool is rebuilt only when the worker count changes.
+        batches; the pool is rebuilt only when the worker count changes
+        (or after :meth:`_discard_executor` dropped a broken one).
         """
         if self._executor is not None and self._executor_workers != workers:
-            self._executor.shutdown()
-            self._executor = None
+            self._discard_executor(join=True)
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=workers)
             self._executor_workers = workers
         return self._executor
+
+    def _discard_executor(self, join: bool = True) -> None:
+        """Shut the pool down; ``join=False`` abandons stalled/broken
+        workers instead of blocking on them (they exit on their own once
+        their current task — bounded by the injected-stall ceiling —
+        completes or their pipe closes)."""
+        if self._executor is None:
+            return
+        executor = self._executor
+        self._executor = None
+        self._executor_workers = 0
+        executor.shutdown(wait=join, cancel_futures=True)
 
     # -- internals ------------------------------------------------------------
 
@@ -411,6 +638,94 @@ class QueryService:
             elapsed_s=result.elapsed_s,
             plan_views=[view.to_xpath() for view in plan.all_views],
         )
+
+    # -- resilience -----------------------------------------------------------
+
+    @staticmethod
+    def _plan_view_names(plan: Plan) -> list[str]:
+        return [view.name or view.to_xpath() for view in plan.views]
+
+    def _note_failure(self, plan: Plan, failure: JobFailure) -> None:
+        """Feed one failure to the circuit breaker; quarantine trips."""
+        names = [
+            name for name in failure.views if not name.startswith("base:")
+        ] or self._plan_view_names(plan)
+        tripped = [
+            name for name in names
+            if self.breaker.record_failure(name, failure.kind)
+        ]
+        if tripped:
+            self._quarantine(tripped)
+
+    def _quarantine(self, names: Sequence[str]) -> None:
+        """Stop planning over (and snapshotting) the named views.
+
+        Three layers move together: the planner excludes them from
+        future plans, the catalog drops their rows (version bump — the
+        next snapshot and every pooled worker invalidate, so corrupt
+        pages are never copied or served again), and the result cache is
+        emptied because cached entries may have been computed from pages
+        that were already bad.
+        """
+        self.planner.quarantine(names)
+        for name in names:
+            self.catalog.remove_view(name)
+        self.invalidate_results()
+
+    def _evaluate_degraded(
+        self, plan: Plan, mode: Mode, emit_matches: bool
+    ) -> QueryOutcome:
+        """Re-answer a failed query from base views over the base
+        document — a fresh in-memory catalog, untouched by whatever
+        damaged the store.  Fault injection is suspended for the rerun:
+        the chaos harness simulates *store* failures, and this path is
+        the recovery route that must stay correct."""
+        self._degraded_queries += 1
+        base_views = [
+            self.planner._base_view(qnode) for qnode in plan.query.nodes
+        ]
+        job = EvalJob.from_patterns(
+            0, plan.query, base_views, plan.algorithm, plan.scheme,
+            mode=mode, emit_matches=emit_matches,
+        )
+        fallback = ViewCatalog(
+            self.catalog.document,
+            partial_distance=self.catalog.partial_distance,
+        )
+        try:
+            with faults.suspended():
+                result = run_job(fallback, job, expect_warm=False)
+        finally:
+            fallback.close()
+        outcome = self._outcome_from(result, plan)
+        outcome.plan_views = [view.to_xpath() for view in base_views]
+        outcome.degraded = True
+        return outcome
+
+    @staticmethod
+    def _error_outcome(plan: Plan, failure: JobFailure) -> QueryOutcome:
+        return QueryOutcome(
+            query=plan.query.to_xpath(),
+            combo=combo_label(plan.algorithm, plan.scheme),
+            match_keys=[],
+            match_count=0,
+            counters=Counters(),
+            io=IOStats(),
+            elapsed_s=0.0,
+            error=f"{failure.kind}: {failure.message}",
+        )
+
+    def resilience_metrics(self) -> dict[str, object]:
+        """Quarantine/retry/degradation counters for operators."""
+        return {
+            "quarantined_views": list(self.breaker.quarantined),
+            "breaker": self.breaker.metrics(),
+            "degraded_queries": self._degraded_queries,
+            "failed_queries": self._failed_queries,
+            "job_retries": self._job_retries,
+            "pool_respawns": self._pool_respawns,
+            "deadline_expiries": self._deadline_expiries,
+        }
 
     @staticmethod
     def _refuted_outcome(plan: Plan, canonical: str) -> QueryOutcome:
@@ -467,9 +782,16 @@ class QueryService:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Release the executor, snapshot dir and owned catalog.
+
+        Idempotent, and safe to call after a failed batch: ``__exit__``
+        runs it even when an evaluation raised, so a ``with`` block can
+        never leak a :class:`ProcessPoolExecutor`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._discard_executor(join=True)
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._snapshot_dir = None

@@ -102,6 +102,27 @@ class JobResult:
     peak_buffer_bytes: int = 0
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """A job that produced a typed failure instead of a result.
+
+    Plain picklable data, like :class:`EvalJob`: workers ship failures
+    back in the same list as results, so one corrupt view never poisons
+    the whole stripe.  ``kind`` is the circuit-breaker taxonomy:
+    ``store-corrupt`` (integrity — quarantines immediately),
+    ``worker-lost`` / ``timeout`` / ``error`` (operational — quarantine
+    at the breaker threshold).
+    """
+
+    index: int
+    kind: str
+    message: str
+    #: view names the failing job was reading (breaker attribution).
+    views: tuple[str, ...] = ()
+    #: page ids implicated by a checksum failure, when known.
+    pages: tuple[int, ...] = ()
+
+
 def run_job(
     catalog: ViewCatalog, job: EvalJob, expect_warm: bool = False
 ) -> JobResult:

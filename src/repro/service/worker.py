@@ -7,6 +7,15 @@ worker task attaches the persisted store with :func:`load_catalog` —
 page bytes are shared through the file and decoded lazily via the
 worker's own buffer pool, so nothing heavyweight ever crosses the
 process boundary in either direction.
+
+Failure semantics: a job that trips a checksum (``StoreCorrupt``) turns
+into a :class:`~repro.service.jobs.JobFailure` in the returned list, so
+one corrupt view never takes down its stripe-mates; a job killed by an
+injected ``worker`` fault exits the process (the parent sees
+``BrokenProcessPool`` and resubmits the unfinished jobs with capped
+retries).  The parent ships its installed :class:`FaultPlan` along with
+the stripe, salted by the attempt number, so chaos runs stay
+deterministic across respawned workers.
 """
 
 from __future__ import annotations
@@ -14,7 +23,10 @@ from __future__ import annotations
 import os
 from typing import Sequence
 
-from repro.service.jobs import EvalJob, JobResult, run_job
+from repro.errors import StoreCorrupt
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+from repro.service.jobs import EvalJob, JobFailure, JobResult, run_job
 from repro.storage.catalog import ViewCatalog
 from repro.storage.persistence import load_catalog, read_store_version
 
@@ -31,12 +43,46 @@ from repro.storage.persistence import load_catalog, read_store_version
 _ATTACHED: dict[str, tuple[int, int, ViewCatalog]] = {}
 
 
+def _job_views(job: EvalJob) -> tuple[str, ...]:
+    return tuple(name or xpath for xpath, name in job.views)
+
+
+def _attach_failure(exc: StoreCorrupt, job: EvalJob) -> JobFailure:
+    return JobFailure(
+        index=job.index,
+        kind="store-corrupt",
+        message=str(exc),
+        views=exc.views or _job_views(job),
+        pages=exc.pages,
+    )
+
+
+def _run_one(
+    catalog: ViewCatalog, job: EvalJob
+) -> JobResult | JobFailure:
+    state = faults.STATE
+    if state is not None:
+        state.worker_job(job.index)  # may kill or stall this process
+    try:
+        return run_job(catalog, job, expect_warm=True)
+    except StoreCorrupt as exc:
+        return JobFailure(
+            index=job.index,
+            kind="store-corrupt",
+            message=str(exc),
+            views=exc.views or _job_views(job),
+            pages=exc.pages,
+        )
+
+
 def run_worker_jobs(
     store_dir: str | os.PathLike,
     jobs: Sequence[EvalJob],
     pool_capacity: int = 64,
     store_version: int | None = None,
-) -> list[JobResult]:
+    fault_plan: FaultPlan | None = None,
+    fault_salt: int = 0,
+) -> list[JobResult | JobFailure]:
     """Attach the store and evaluate ``jobs`` in order.
 
     ``pool_capacity`` must mirror the parent's buffer-pool capacity:
@@ -57,11 +103,16 @@ def run_worker_jobs(
     worker must never materialize, because its pager is attached
     read-write to a file shared with sibling workers.
     """
+    if fault_plan is not None:
+        faults.install(fault_plan, salt=fault_salt)
     path = os.fspath(store_dir)
     if store_version is None:
-        catalog = load_catalog(path, pool_capacity=pool_capacity)
         try:
-            return [run_job(catalog, job, expect_warm=True) for job in jobs]
+            catalog = load_catalog(path, pool_capacity=pool_capacity)
+        except StoreCorrupt as exc:
+            return [_attach_failure(exc, job) for job in jobs]
+        try:
+            return [_run_one(catalog, job) for job in jobs]
         finally:
             catalog.close()
     disk_version, __ = read_store_version(path)
@@ -73,6 +124,11 @@ def run_worker_jobs(
             catalog.close()
             memo = None
     if memo is None:
-        catalog = load_catalog(path, pool_capacity=pool_capacity)
+        try:
+            catalog = load_catalog(path, pool_capacity=pool_capacity)
+        except StoreCorrupt as exc:
+            # The store is unreadable at attach: every job in the stripe
+            # fails typed rather than hanging or crashing the pool.
+            return [_attach_failure(exc, job) for job in jobs]
         _ATTACHED[path] = (store_version, disk_version, catalog)
-    return [run_job(catalog, job, expect_warm=True) for job in jobs]
+    return [_run_one(catalog, job) for job in jobs]

@@ -246,6 +246,21 @@ class ViewCatalog:
         """Names (or xpaths) of the currently stored views, any scheme."""
         return {name for name, __ in self._views}
 
+    def remove_view(self, name: str) -> bool:
+        """Drop every scheme of the view called ``name`` (quarantine
+        path).  Bumps ``version`` so snapshots and attached workers
+        invalidate, and clears buffer-pool residency so decoded pages of
+        the dropped view cannot serve later reads.  Returns True when
+        anything was removed.
+        """
+        doomed = [key for key in self._views if key[0] == name]
+        for key in doomed:
+            del self._views[key]
+        if doomed:
+            self.version += 1
+            self.pager.pool.clear()
+        return bool(doomed)
+
     def install_maintained(
         self,
         document: Document,

@@ -27,7 +27,9 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.errors import PagerError
+from repro.errors import PagerError, StoreCorrupt
+from repro.resilience import faults
+from repro.resilience.guard import page_checksum
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -105,6 +107,11 @@ class PageFile:
                 )
             self._num_pages = size // page_size
         self.stats = IOStats()
+        #: page id -> CRC32 expected on physical read.  Populated when a
+        #: checksummed store is attached (``load_catalog``); empty for
+        #: in-memory materializations, where verification is skipped —
+        #: one failed dict lookup per read, measurably free.
+        self.expected_crc: dict[int, int] = {}
 
     @property
     def num_pages(self) -> int:
@@ -138,15 +145,36 @@ class PageFile:
         self._file.write(data)
         self.stats.write_seconds += time.perf_counter() - begin
         self.stats.pages_written += 1
+        # The recorded checksum no longer matches; the next commit
+        # recomputes the map from the bytes actually on disk.
+        self.expected_crc.pop(page_id, None)
 
     def read_page(self, page_id: int) -> bytes:
-        """Read a page directly from the backing store (bypasses the pool)."""
+        """Read a page directly from the backing store (bypasses the pool).
+
+        When the page has a recorded checksum (checksummed store
+        attachments), the payload is verified here — at the physical
+        read, the single funnel every cursor's bytes pass through — so
+        at-rest corruption surfaces as a typed
+        :class:`~repro.errors.StoreCorrupt` on the page actually
+        touched, never as silently wrong match keys.
+        """
         self._check(page_id)
         begin = time.perf_counter()
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         self.stats.read_seconds += time.perf_counter() - begin
         self.stats.physical_reads += 1
+        state = faults.STATE
+        if state is not None:
+            data = state.page_read(page_id, data)
+        expected = self.expected_crc.get(page_id)
+        if expected is not None and page_checksum(data) != expected:
+            raise StoreCorrupt(
+                f"page {page_id} of {self.path or '<memory>'} failed its"
+                f" checksum (expected {expected})",
+                pages=(page_id,),
+            )
         return data
 
     def read_page_raw(self, page_id: int) -> bytes:

@@ -13,6 +13,15 @@ Store layout::
       document.xml     the data tree
       pages.bin        all views' pages, compacted
       manifest.json    catalog metadata
+
+Crash atomicity: every file is written to a ``*.tmp`` sibling, fsynced,
+and moved into place with ``os.replace``; the manifest goes last, so a
+crash at any injected fault point leaves the previous store fully
+readable.  The residual window *between* the individual replaces (new
+``pages.bin``, old ``manifest.json``) is outside the injected fault
+model — and harmless anyway, because the manifest's ``page_checksums``
+no longer match and verification reports the store corrupt instead of
+serving stale pages as current.
 """
 
 from __future__ import annotations
@@ -22,6 +31,9 @@ import os
 import pathlib
 
 from repro.errors import StorageError
+from repro.resilience import faults
+from repro.resilience.guard import checksum_map, page_checksum, read_manifest
+from repro.resilience.guard import verify_store as _verify_store
 from repro.storage.catalog import Scheme, ViewCatalog, ViewInfo
 from repro.storage.element import ElementView
 from repro.storage.linked import LinkedElementView, PointerStats
@@ -54,7 +66,7 @@ def read_store_version(
     manifest_path = pathlib.Path(directory) / "manifest.json"
     if not manifest_path.exists():
         return 0, 0
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest = read_manifest(directory)
     return (
         int(manifest.get("store_version", 1)),
         int(manifest.get("wal_lsn", 0)),
@@ -69,6 +81,17 @@ def _write_manifest(target: pathlib.Path, manifest: dict) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, target / "manifest.json")
+
+
+def _fsync_file(path: pathlib.Path) -> None:
+    with open(path, "rb+") as handle:
+        os.fsync(handle.fileno())
+
+
+def _crash_point(site: str) -> None:
+    state = faults.STATE
+    if state is not None:
+        state.crash_point(site)
 
 
 def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
@@ -95,28 +118,43 @@ def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
             f" {target}; use commit_store for in-place commits"
         )
     old_version, old_lsn = read_store_version(target)
-    write_xml_file(catalog.document, target / "document.xml")
+    tmp_doc = target / "document.xml.tmp"
+    write_xml_file(catalog.document, tmp_doc)
+    _fsync_file(tmp_doc)
 
-    out_pager = Pager(target / "pages.bin", page_size=catalog.pager.page_size)
+    tmp_pages = target / "pages.bin.tmp"
+    out_pager = Pager(tmp_pages, page_size=catalog.pager.page_size)
     try:
         views = []
+        checksums: dict[int, int] = {}
         for info in catalog.views():
-            views.append(_save_view(info, catalog.pager, out_pager))
+            views.append(
+                _save_view(info, catalog.pager, out_pager, checksums)
+            )
         out_pager.flush()
-        manifest = {
-            "format": _FORMAT_VERSION,
-            "page_size": catalog.pager.page_size,
-            "partial_distance": catalog.partial_distance,
-            "document": catalog.document.name,
-            # A freshly saved snapshot is current by construction: any
-            # update-log records already in the directory are reflected.
-            "store_version": old_version + 1,
-            "wal_lsn": _wal_tip(target, old_lsn),
-            "views": views,
-        }
-        _write_manifest(target, manifest)
     finally:
         out_pager.page_file.close()
+    # Everything below moves fsynced temp files into place; a crash up
+    # to here (the injected store-write fault) leaves only *.tmp debris
+    # next to a fully intact previous store.
+    _crash_point("store-write")
+    os.replace(tmp_doc, target / "document.xml")
+    os.replace(tmp_pages, pages)
+    manifest = {
+        "format": _FORMAT_VERSION,
+        "page_size": catalog.pager.page_size,
+        "partial_distance": catalog.partial_distance,
+        "document": catalog.document.name,
+        # A freshly saved snapshot is current by construction: any
+        # update-log records already in the directory are reflected.
+        "store_version": old_version + 1,
+        "wal_lsn": _wal_tip(target, old_lsn),
+        "page_checksums": {
+            str(page_id): crc for page_id, crc in sorted(checksums.items())
+        },
+        "views": views,
+    }
+    _write_manifest(target, manifest)
 
 
 def _wal_tip(target: pathlib.Path, fallback: int) -> int:
@@ -155,6 +193,15 @@ def commit_store(
 
     tmp_doc = target / "document.xml.tmp"
     write_xml_file(catalog.document, tmp_doc)
+    _fsync_file(tmp_doc)
+
+    views = [_view_record(info) for info in catalog.views()]
+    checksums = _store_checksums(catalog, views)
+    # A crash up to here (the injected store-write fault) loses nothing:
+    # repaired pages were appended copy-on-write, so the old manifest
+    # still points at the old pages and the already-fsynced update log
+    # replays the delta on the next recover_store.
+    _crash_point("store-write")
     os.replace(tmp_doc, target / "document.xml")
 
     manifest = {
@@ -164,19 +211,43 @@ def commit_store(
         "document": catalog.document.name,
         "store_version": old_version + 1,
         "wal_lsn": old_lsn if wal_lsn is None else wal_lsn,
-        "views": [_view_record(info) for info in catalog.views()],
+        "page_checksums": {
+            str(page_id): crc for page_id, crc in sorted(checksums.items())
+        },
+        "views": views,
     }
     _write_manifest(target, manifest)
     catalog.store_version = old_version + 1
+    catalog.pager.page_file.expected_crc = dict(checksums)
     return catalog.store_version
 
 
-def _copy_pages(source: Pager, target: Pager, page_ids) -> list[int]:
+def _store_checksums(catalog: ViewCatalog, views: list[dict]) -> dict[int, int]:
+    """Fresh CRC32s for every page the view records reference, read from
+    the flushed at-rest bytes (commit-time bookkeeping, not measured
+    evaluation I/O — hence the raw read)."""
+    from repro.resilience.guard import manifest_view_pages
+
+    page_file = catalog.pager.page_file
+    checksums: dict[int, int] = {}
+    for page_ids in manifest_view_pages({"views": views}).values():
+        for page_id in page_ids:
+            if page_id not in checksums:
+                checksums[page_id] = page_checksum(
+                    page_file.read_page_raw(page_id)  # repro-lint: disable=RL102 (commit-time checksum pass, not measured evaluation I/O)
+                )
+    return checksums
+
+
+def _copy_pages(
+    source: Pager, target: Pager, page_ids, checksums: dict[int, int]
+) -> list[int]:
     new_ids = []
     for page_id in page_ids:
         data = source.page_file.read_page(page_id)
         new_id = target.page_file.allocate()
         target.page_file.write_page(new_id, data)
+        checksums[new_id] = page_checksum(data)
         new_ids.append(new_id)
     return new_ids
 
@@ -208,22 +279,26 @@ def _view_record(info: ViewInfo) -> dict:
     return record
 
 
-def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
+def _save_view(
+    info: ViewInfo, source: Pager, target: Pager, checksums: dict[int, int]
+) -> dict:
     record = _view_record(info)
     if "tuples" in record:
         manifest = record["tuples"]
         manifest["page_ids"] = _copy_pages(
-            source, target, manifest["page_ids"]
+            source, target, manifest["page_ids"], checksums
         )
         return record
     for manifest in record["lists"].values():
         if "page_ids" in manifest:
             manifest["page_ids"] = _copy_pages(
-                source, target, manifest["page_ids"]
+                source, target, manifest["page_ids"], checksums
             )
         else:
             old_rows = [tuple(row) for row in manifest["directory"]]
-            new_ids = _copy_pages(source, target, [row[2] for row in old_rows])
+            new_ids = _copy_pages(
+                source, target, [row[2] for row in old_rows], checksums
+            )
             manifest["directory"] = [
                 [first, count, new_id]
                 for (first, count, __), new_id in zip(old_rows, new_ids)
@@ -232,18 +307,27 @@ def _save_view(info: ViewInfo, source: Pager, target: Pager) -> dict:
 
 
 def load_catalog(
-    directory: str | os.PathLike, pool_capacity: int = 64
+    directory: str | os.PathLike,
+    pool_capacity: int = 64,
+    verify: bool = False,
 ) -> ViewCatalog:
-    """Reopen a saved catalog; view pages load lazily on access."""
+    """Reopen a saved catalog; view pages load lazily on access.
+
+    The manifest's ``page_checksums`` are attached to the pager, so
+    every later physical read is verified against them regardless of
+    ``verify``.  With ``verify=True`` the whole store (pages and update
+    log) is additionally checked up front, refusing a damaged store
+    with a typed :class:`~repro.errors.StoreCorrupt` before any query
+    can observe it.
+    """
     source = pathlib.Path(directory)
-    manifest_path = source / "manifest.json"
-    if not manifest_path.exists():
-        raise StorageError(f"no catalog manifest under {source}")
-    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest = read_manifest(source)
     if manifest.get("format") != _FORMAT_VERSION:
         raise StorageError(
             f"unsupported catalog format {manifest.get('format')!r}"
         )
+    if verify:
+        _verify_store(source).raise_if_bad()
     document = parse_xml_file(source / "document.xml")
     document.name = manifest.get("document", document.name)
     pager = Pager(
@@ -252,6 +336,7 @@ def load_catalog(
         pool_capacity=pool_capacity,
         create=False,  # reopen, never truncate
     )
+    pager.page_file.expected_crc = checksum_map(manifest)
     catalog = ViewCatalog(
         document, pager=pager,
         partial_distance=manifest.get("partial_distance", 1),

@@ -1,0 +1,270 @@
+"""Chaos suite: deterministic fault plans against the query service.
+
+The contract under test (ISSUE acceptance): under any injected fault
+plan, every query either returns the **correct** answer (possibly
+``degraded=True``, recomputed from the base document) or a **typed**
+failure (``QueryTimeout`` / ``WorkerLost`` / ``StoreCorrupt`` — never a
+hang, never silently wrong match keys).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import random_trees
+from repro.errors import StoreCorrupt, WorkerLost
+from repro.resilience import FaultPlan, RetryPolicy, faults
+from repro.service import EvalJob, QueryService
+from repro.storage.catalog import ViewCatalog
+from repro.storage.persistence import save_catalog
+from repro.tpq.naive import find_embeddings
+from repro.tpq.parser import parse_pattern
+
+DOC = random_trees.generate(size=250, max_depth=9, seed=12)
+
+QUERIES = ["//a//b//c", "//a[//b]//c", "//a//b"]
+
+#: Known failure kinds an outcome's ``error`` field may carry.
+ERROR_KINDS = ("timeout", "worker-lost", "store-corrupt", "error")
+
+#: Fast retries so exhaustion tests stay sub-second.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                         max_delay_s=0.05, seed=0)
+
+
+def truth_keys(query: str) -> list[tuple[int, ...]]:
+    return sorted(
+        tuple(n.start for n in m)
+        for m in find_embeddings(DOC, parse_pattern(query))
+    )
+
+
+TRUTH = {query: truth_keys(query) for query in QUERIES}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ViewCatalog(DOC) as catalog:
+        catalog.add(parse_pattern("//a//b", name="w1"), "LEp")
+        catalog.add(parse_pattern("//c", name="w2"), "LEp")
+        save_catalog(catalog, tmp_path / "store")
+    return tmp_path / "store"
+
+
+def open_service(store, **kwargs):
+    kwargs.setdefault("retry_policy", FAST_RETRY)
+    return QueryService.open(store, **kwargs)
+
+
+def assert_correct_or_typed(batch) -> None:
+    for outcome in batch.outcomes:
+        if outcome.error:
+            assert outcome.error.split(":", 1)[0] in ERROR_KINDS
+            assert outcome.match_keys == []
+        elif not outcome.refuted:
+            assert sorted(outcome.match_keys) == TRUTH[outcome.query], (
+                f"silently wrong answer for {outcome.query}"
+                f" (degraded={outcome.degraded})"
+            )
+
+
+# -- page corruption -----------------------------------------------------------
+
+
+def test_injected_page_corruption_degrades_correctly(store):
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(FaultPlan.parse("seed=7;page-read=corrupt:1.0"))
+        batch = service.evaluate_parallel(QUERIES, workers=2)
+        faults.uninstall()
+        assert_correct_or_typed(batch)
+        # Every page read was damaged, so nothing can have succeeded
+        # through the views: all answers came from the degraded path.
+        assert all(
+            outcome.degraded for outcome in batch.outcomes
+            if not outcome.error and not outcome.refuted
+        )
+        metrics = service.resilience_metrics()
+        assert metrics["degraded_queries"] > 0
+        assert metrics["quarantined_views"]
+        # Quarantine moved into the planner too.
+        assert service.planner.quarantined
+
+
+def test_at_rest_corruption_degrades_without_fault_plan(store):
+    """A real flipped byte (no injection) takes the same typed route."""
+    pages = store / "pages.bin"
+    blob = bytearray(pages.read_bytes())
+    blob[10] ^= 0xFF
+    pages.write_bytes(bytes(blob))
+    with open_service(store) as service:
+        batch = service.evaluate_parallel(QUERIES, workers=2)
+        assert_correct_or_typed(batch)
+        assert all(not outcome.error for outcome in batch.outcomes)
+        assert any(outcome.degraded for outcome in batch.outcomes)
+
+
+def test_sequential_evaluate_raises_typed_on_corruption(store):
+    pages = store / "pages.bin"
+    blob = bytearray(pages.read_bytes())
+    blob[10] ^= 0xFF
+    pages.write_bytes(bytes(blob))
+    with open_service(store) as service:
+        with pytest.raises(StoreCorrupt):
+            service.evaluate("//a//b")
+
+
+# -- worker loss ---------------------------------------------------------------
+
+
+def test_worker_kill_exhausts_retries_then_degrades(store):
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(FaultPlan.parse("seed=3;worker=kill:1.0"))
+        batch = service.evaluate_parallel(QUERIES, workers=2)
+        faults.uninstall()
+        assert_correct_or_typed(batch)
+        assert all(
+            outcome.degraded for outcome in batch.outcomes
+            if not outcome.error and not outcome.refuted
+        )
+        metrics = service.resilience_metrics()
+        assert metrics["pool_respawns"] >= 1
+        assert metrics["job_retries"] >= 1
+
+
+def test_run_jobs_raises_worker_lost_when_exhausted(store):
+    with open_service(store) as service:
+        service.warmup(["//a//b"])
+        plan = service.planner.plan("//a//b")
+        job = EvalJob.from_patterns(
+            0, plan.query, plan.all_views, plan.algorithm, plan.scheme
+        )
+        service.snapshot()
+        faults.install(FaultPlan.parse("seed=3;worker=kill:1.0"))
+        with pytest.raises(WorkerLost):
+            service.run_jobs([job], workers=2)
+
+
+def test_worker_kill_with_low_probability_recovers(store):
+    """Occasional kills are absorbed by retry (salted per attempt)."""
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(FaultPlan.parse("seed=5;worker=kill:0.4"))
+        batch = service.evaluate_parallel(QUERIES, workers=2)
+        faults.uninstall()
+        assert_correct_or_typed(batch)
+
+
+# -- deadlines -----------------------------------------------------------------
+
+
+def test_stalled_workers_hit_deadline_with_typed_outcomes(store):
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(FaultPlan.parse("seed=2;worker=stall:1.0:1.5"))
+        batch = service.evaluate_parallel(
+            QUERIES, workers=2, deadline_s=0.3
+        )
+        faults.uninstall()
+        # Timeouts never degrade (the budget is already spent) and
+        # never hang: they come back as typed error outcomes.
+        errored = [o for o in batch.outcomes if o.error]
+        assert errored
+        assert all(o.error.startswith("timeout:") for o in errored)
+        assert service.resilience_metrics()["deadline_expiries"] >= 1
+
+
+def test_expired_deadline_is_typed_not_a_hang(store):
+    from repro.errors import QueryTimeout
+
+    with open_service(store) as service:
+        service.warmup(["//a//b"])
+        plan = service.planner.plan("//a//b")
+        job = EvalJob.from_patterns(
+            0, plan.query, plan.all_views, plan.algorithm, plan.scheme
+        )
+        with pytest.raises(QueryTimeout):
+            service.run_jobs([job], workers=0, deadline_s=0.0)
+
+
+# -- randomized property sweep -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_random_fault_plans_yield_correct_or_typed(store, seed):
+    plan = FaultPlan.parse(
+        f"seed={seed};page-read=corrupt:0.3;page-read=short:0.1;"
+        "worker=kill:0.15;worker=stall:0.2:0.05"
+    )
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(plan)
+        batch = service.evaluate_parallel(
+            QUERIES, workers=2, deadline_s=20.0
+        )
+        faults.uninstall()
+        assert_correct_or_typed(batch)
+        # Replays are deterministic: the same plan yields the same
+        # per-query degradation pattern on a fresh service.
+        flags = [(o.degraded, bool(o.error)) for o in batch.outcomes]
+    with open_service(store) as service:
+        service.warmup(QUERIES)
+        service.snapshot()
+        faults.install(plan)
+        repeat = service.evaluate_parallel(
+            QUERIES, workers=2, deadline_s=20.0
+        )
+        faults.uninstall()
+        assert_correct_or_typed(repeat)
+        assert [(o.degraded, bool(o.error)) for o in repeat.outcomes] == flags
+
+
+# -- clean-path sanity ---------------------------------------------------------
+
+
+def test_no_faults_means_no_degradation(store):
+    with open_service(store) as service:
+        batch = service.evaluate_parallel(QUERIES, workers=2)
+        assert_correct_or_typed(batch)
+        assert all(
+            not o.degraded and not o.error for o in batch.outcomes
+        )
+        metrics = service.resilience_metrics()
+        assert metrics["degraded_queries"] == 0
+        assert metrics["failed_queries"] == 0
+        assert metrics["quarantined_views"] == []
+
+
+# -- executor lifecycle --------------------------------------------------------
+
+
+def test_exception_inside_with_block_still_closes_executor(store):
+    with pytest.raises(RuntimeError, match="boom"):
+        with open_service(store) as service:
+            service.evaluate_parallel(QUERIES, workers=2)
+            assert service._executor is not None
+            raise RuntimeError("boom")
+    assert service._executor is None
+    assert service._closed
+    service.close()  # idempotent
+
+
+def test_close_is_idempotent_and_reentrant(store):
+    service = open_service(store)
+    service.evaluate_parallel(QUERIES, workers=2)
+    service.close()
+    assert service._executor is None
+    service.close()
+    service.close()

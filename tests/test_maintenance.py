@@ -204,9 +204,29 @@ def test_wal_rejects_corruption(tmp_path):
                     ' "root_start": 1}}\n{"lsn": 3, "op": {}}\n')
     with pytest.raises(MaintenanceError):
         UpdateLog(path).tip()
-    path.write_text("not json\n")
+    # An invalid record followed by a valid one is corruption, not a
+    # torn tail — the log must refuse it.
+    path.write_text('not json\n{"lsn": 1, "op": {"kind": "delete-subtree",'
+                    ' "root_start": 1}}\n')
     with pytest.raises(MaintenanceError):
         UpdateLog(path).tip()
+
+
+def test_wal_tolerates_torn_tail(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    log = UpdateLog(path)
+    log.append([DeleteSubtree(root_start=1), DeleteSubtree(root_start=2)])
+    # Simulate a crash mid-append: a partial record at the end.
+    with open(path, "ab") as handle:
+        handle.write(b'999 {"crc":1,"lsn"')
+    torn = UpdateLog(path)
+    assert torn.tip() == 2
+    assert torn.torn_tail_detected
+    # The next append truncates the debris and extends cleanly.
+    assert torn.append([DeleteSubtree(root_start=3)]) == 3
+    fresh = UpdateLog(path)
+    assert [lsn for lsn, __ in fresh.replay()] == [1, 2, 3]
+    assert not fresh.torn_tail_detected
 
 
 # -- repair classification -----------------------------------------------------

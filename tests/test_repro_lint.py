@@ -293,6 +293,72 @@ def test_rl105_suppression():
     assert lint_text(suppressed, "planner.py") == []
 
 
+# -- RL106: wait discipline ----------------------------------------------------
+
+RL106_SLEEP = """\
+import time
+
+def poll(worker):
+    time.sleep(0.5)
+    return worker.status()
+"""
+
+RL106_RETRY_LOOP = """\
+def fetch(jobs, pool):
+    results = []
+    for job in jobs:
+        try:
+            results.append(pool.run(job))
+        except OSError:
+            continue
+    return results
+"""
+
+RL106_SANCTIONED = """\
+def fetch(job, pool, policy):
+    for attempt in policy.attempts("fetch"):
+        try:
+            return pool.run(job)
+        except OSError:
+            continue
+    return None
+"""
+
+
+def test_rl106_flags_sleep_and_sleep_import():
+    # (RL103 independently flags the wall-clock read; RL106 adds the
+    # wait-discipline violation.)
+    assert "RL106" in codes(lint_text(RL106_SLEEP, "service/poller.py"))
+    imported = "from time import sleep\n\ndef f():\n    sleep(1)\n"
+    assert "RL106" in codes(lint_text(imported, "maintenance/poller.py"))
+
+
+def test_rl106_flags_hand_rolled_retry_loop():
+    found = lint_text(RL106_RETRY_LOOP, "service/runner.py")
+    assert codes(found) == ["RL106"]
+    assert "RetryPolicy" in found[0].message
+
+
+def test_rl106_policy_iteration_sanctions_the_loop():
+    assert lint_text(RL106_SANCTIONED, "service/runner.py") == []
+
+
+def test_rl106_scope_is_service_and_maintenance():
+    # The same code outside service/ and maintenance/ is not flagged
+    # (bench harnesses and dataset builders may wait however they like).
+    assert lint_text(RL106_SLEEP, "bench/driver.py") == []
+    assert lint_text(RL106_RETRY_LOOP, "datasets/fetch.py") == []
+
+
+def test_rl106_suppression():
+    suppressed = (
+        "import time\n"
+        "def f():\n"
+        "    time.sleep(1)  # repro-lint: disable=RL106 (test shim)\n"
+    )
+    assert "RL106" not in codes(lint_text(suppressed, "service/poller.py"))
+
+
 # -- baseline behaviour --------------------------------------------------------
 
 def _write_module(root: Path, rel: str, source: str) -> None:

@@ -1,0 +1,214 @@
+"""Unit tests for the resilience substrate: policy, breaker, faults, guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import random_trees
+from repro.errors import FaultInjected, ReproError, StoreCorrupt
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    faults,
+    page_checksum,
+    verify_store,
+)
+from repro.storage.catalog import ViewCatalog
+from repro.storage.persistence import load_catalog, save_catalog
+from repro.tpq.parser import parse_pattern
+
+
+# -- RetryPolicy ---------------------------------------------------------------
+
+
+def test_retry_delays_are_capped_and_deterministic():
+    policy = RetryPolicy(max_attempts=5, base_delay_s=0.01, max_delay_s=0.2,
+                         seed=7)
+    first = list(policy.delays("k"))
+    second = list(policy.delays("k"))
+    assert first == second  # seeded jitter replays
+    assert len(first) == 5
+    assert first[0] == 0.0
+    assert all(0.01 <= delay <= 0.2 for delay in first[1:])
+    # A different key (or seed) jitters differently.
+    assert list(policy.delays("other")) != first
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ReproError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ReproError):
+        RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+
+
+def test_deadline_none_is_unbounded():
+    deadline = Deadline.after(None)
+    assert deadline.remaining() is None
+    assert not deadline.expired
+    assert deadline.clamp(3.5) == 3.5
+
+
+def test_deadline_expires():
+    deadline = Deadline.after(0.0)
+    assert deadline.expired
+    assert deadline.remaining() == 0.0
+    assert deadline.clamp(3.5) == 0.0
+
+
+# -- CircuitBreaker ------------------------------------------------------------
+
+
+def test_breaker_integrity_trips_immediately():
+    breaker = CircuitBreaker(failure_threshold=3)
+    assert breaker.record_failure("v1", "store-corrupt") is True
+    assert breaker.is_quarantined("v1")
+    # Already quarantined: further failures do not re-trip.
+    assert breaker.record_failure("v1", "store-corrupt") is False
+
+
+def test_breaker_operational_trips_at_threshold():
+    breaker = CircuitBreaker(failure_threshold=3)
+    assert not breaker.record_failure("v1", "worker-lost")
+    assert not breaker.record_failure("v1", "timeout")
+    assert breaker.record_failure("v1", "worker-lost")
+    assert breaker.quarantined == ("v1",)
+
+
+def test_breaker_success_resets_operational_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure("v1", "timeout")
+    breaker.record_success("v1")
+    assert not breaker.record_failure("v1", "timeout")
+    # Quarantine is sticky: successes never lift it.
+    breaker.record_failure("v1", "timeout")
+    assert breaker.is_quarantined("v1")
+    breaker.record_success("v1")
+    assert breaker.is_quarantined("v1")
+    breaker.reset("v1")
+    assert not breaker.is_quarantined("v1")
+
+
+# -- FaultPlan -----------------------------------------------------------------
+
+
+def test_fault_plan_parse_round_trip():
+    plan = FaultPlan.parse(
+        "seed=42; page-read=corrupt:0.25; worker=stall:1.0:0.1"
+    )
+    assert plan.seed == 42
+    assert plan.specs == (
+        FaultSpec("page-read", "corrupt", prob=0.25),
+        FaultSpec("worker", "stall", prob=1.0, arg=0.1),
+    )
+    assert FaultPlan.parse(plan.describe()) == plan
+
+
+@pytest.mark.parametrize("text", [
+    "page-read",                  # no '='
+    "seed=xyz",                   # non-integer seed
+    "page-read=explode",          # unknown kind
+    "nowhere=corrupt",            # unknown site
+    "page-read=corrupt:2.0",      # probability out of range
+])
+def test_fault_plan_rejects_bad_clauses(text):
+    with pytest.raises(ReproError):
+        FaultPlan.parse(text)
+
+
+def test_fault_decisions_replay_from_seed():
+    plan = FaultPlan.parse("seed=9;page-read=corrupt:0.5")
+    payload = bytes(range(64))
+
+    def damage_pattern():
+        faults.install(plan)
+        try:
+            return [
+                faults.STATE.page_read(i, payload) != payload
+                for i in range(50)
+            ]
+        finally:
+            faults.uninstall()
+
+    first = damage_pattern()
+    assert any(first) and not all(first)  # prob 0.5 actually mixes
+    assert damage_pattern() == first      # bit-identical replay
+
+
+def test_faults_suspended_restores():
+    faults.install(FaultPlan.parse("seed=1;page-read=corrupt:1.0"))
+    try:
+        with faults.suspended():
+            assert faults.STATE is None
+        assert faults.STATE is not None
+    finally:
+        faults.uninstall()
+
+
+def test_crash_point_raises_fault_injected():
+    faults.install(FaultPlan.parse("seed=1;store-write=torn:1.0"))
+    try:
+        with pytest.raises(FaultInjected):
+            faults.STATE.crash_point("store-write")
+    finally:
+        faults.uninstall()
+
+
+# -- verify_store --------------------------------------------------------------
+
+
+@pytest.fixture()
+def store(tmp_path):
+    doc = random_trees.generate(size=200, max_depth=8, seed=3)
+    with ViewCatalog(doc) as catalog:
+        catalog.add(parse_pattern("//a//b", name="ab"), "LE")
+        catalog.add(parse_pattern("//c", name="c"), "LE")
+        save_catalog(catalog, tmp_path / "store")
+    return tmp_path / "store"
+
+
+def test_verify_store_clean(store):
+    report = verify_store(store)
+    assert report.ok
+    assert report.pages_checked > 0
+    assert not report.bad_pages and not report.bad_views
+
+
+def test_verify_store_flags_flipped_byte(store):
+    pages = store / "pages.bin"
+    blob = bytearray(pages.read_bytes())
+    blob[10] ^= 0xFF
+    pages.write_bytes(bytes(blob))
+    report = verify_store(store)
+    assert not report.ok
+    assert 0 in report.bad_pages
+    assert report.bad_views  # the page maps back to a named view
+    with pytest.raises(StoreCorrupt):
+        report.raise_if_bad()
+
+
+def test_verify_store_flags_truncation(store):
+    pages = store / "pages.bin"
+    blob = pages.read_bytes()
+    pages.write_bytes(blob[: len(blob) // 2])
+    report = verify_store(store)
+    assert not report.ok
+    # Truncated-away pages report an actual checksum of -1.
+    assert any(actual == -1 for __, actual in report.bad_pages.values())
+
+
+def test_load_catalog_verify_refuses_corrupt_store(store):
+    pages = store / "pages.bin"
+    blob = bytearray(pages.read_bytes())
+    blob[10] ^= 0xFF
+    pages.write_bytes(bytes(blob))
+    with pytest.raises(StoreCorrupt):
+        load_catalog(store, verify=True)
+
+
+def test_page_checksum_is_crc32():
+    assert page_checksum(b"") == 0
+    assert page_checksum(b"abc") == page_checksum(b"abc")
+    assert page_checksum(b"abc") != page_checksum(b"abd")
