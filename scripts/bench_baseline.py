@@ -307,6 +307,114 @@ def measure_maintenance(
     return results
 
 
+def measure_batch(repeats: int = 7) -> dict[str, object]:
+    """Shared-scan batch executor vs independent per-query evaluation
+    (BENCH_6.json).
+
+    Times ``evaluate_batch`` over seeded repeated-structure batches
+    (:func:`repro.workloads.repeated_batch`) with the shared executor on
+    and off, reporting median amortized per-query seconds and the work
+    the shared path actually *executed* against the (byte-identical)
+    merged logical counters both paths report.  The result cache and
+    stream cache are invalidated between samples, so every sample
+    measures within-batch CSE from a cold service — not cross-batch
+    memoization.
+
+    Cases: the headline duplicate-heavy batch (the gate: >= 1.5x median
+    amortized speedup), an all-distinct batch and a singleton batch
+    (both regression guards: the shared path must not lose on batches
+    with nothing to share).
+    """
+    from repro.datasets import random_trees
+    from repro.service import QueryService
+    from repro.storage.catalog import ViewCatalog
+    from repro.workloads import repeated_batch
+
+    doc = random_trees.generate(
+        size=4000, tags=list("abcd"), max_depth=10, seed=11
+    )
+    results: dict[str, object] = {
+        "nodes": len(doc),
+        "repeats": repeats,
+        "cases": {},
+    }
+
+    def bench_case(workload) -> dict[str, object]:
+        queries = workload.queries
+        out: dict[str, object] = {
+            "queries": len(queries),
+            "distinct": len(workload.distinct()),
+            "overlap": workload.overlap,
+            "repeat_ratio": round(workload.repeat_ratio, 3),
+        }
+        with ViewCatalog(doc) as catalog:
+            with QueryService(catalog) as service:
+                for view in workload.views:
+                    service.register(view)
+                service.warmup(queries)
+                medians: dict[str, float] = {}
+                merged: dict[str, dict] = {}
+                for key, shared in (
+                    ("independent", False), ("shared", True),
+                ):
+                    samples = []
+                    batch = None
+                    for _ in range(repeats):
+                        # Cold per sample: no result-cache or cross-batch
+                        # stream replay — within-batch CSE only.
+                        service.invalidate_results()
+                        begin = time.perf_counter()
+                        batch = service.evaluate_batch(
+                            queries, shared=shared
+                        )
+                        samples.append(time.perf_counter() - begin)
+                    medians[key] = statistics.median(samples)
+                    merged[key] = batch.counters.as_dict()
+                    merged[key]["logical_reads"] = batch.io.logical_reads
+                    out[f"{key}_batch_s"] = round(medians[key], 6)
+                    out[f"{key}_per_query_s"] = round(
+                        medians[key] / len(queries), 9
+                    )
+                out["byte_identical_counters"] = (
+                    merged["independent"] == merged["shared"]
+                )
+                out["amortized_speedup"] = round(
+                    medians["independent"] / medians["shared"], 3
+                )
+                # Executed-vs-merged work: one more cold shared batch,
+                # bracketed by the monotone shared-stats counters.
+                service.invalidate_results()
+                before = service.shared_metrics()
+                batch = service.evaluate_batch(queries, shared=True)
+                after = service.shared_metrics()
+                out["jobs_run"] = after["jobs_run"] - before["jobs_run"]
+                for field, merged_value in (
+                    ("elements_scanned", batch.counters.elements_scanned),
+                    ("logical_reads", batch.io.logical_reads),
+                ):
+                    executed = (
+                        after[f"executed_{field}"]
+                        - before[f"executed_{field}"]
+                    )
+                    out[f"merged_{field}"] = merged_value
+                    out[f"executed_{field}"] = executed
+                    out[f"{field}_reduction"] = round(
+                        merged_value / executed, 3
+                    ) if executed else None
+        return out
+
+    cases = results["cases"]
+    cases["overlap60"] = bench_case(repeated_batch(24, overlap=0.6, seed=7))
+    cases["all_distinct"] = bench_case(
+        repeated_batch(8, overlap=0.0, seed=7)
+    )
+    cases["singleton"] = bench_case(repeated_batch(1, overlap=0.0, seed=7))
+    results["median_amortized_speedup"] = (
+        cases["overlap60"]["amortized_speedup"]
+    )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", required=True)
@@ -324,7 +432,23 @@ def main() -> None:
         help="measure incremental view maintenance vs rebuild-from-"
              "scratch over seeded small-delta update sequences",
     )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="measure the shared-scan batch executor vs independent"
+             " per-query evaluation over repeated-structure batches",
+    )
     args = parser.parse_args()
+    if args.batch:
+        record = {
+            "description": "shared-scan batch executor vs independent"
+                           " per-query evaluation: median amortized"
+                           " per-query seconds and executed-vs-merged"
+                           " work over seeded repeated-structure batches",
+            **measure_batch(),
+        }
+        json.dump(record, open(args.out, "w"), indent=1)
+        print(json.dumps(record, indent=1))
+        return
     if args.maintenance:
         record = {
             "description": "incremental view maintenance (repair stage)"

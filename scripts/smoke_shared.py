@@ -1,0 +1,82 @@
+"""CI smoke: the shared-scan batch executor every run.
+
+Builds a tiny catalog, answers a duplicate-heavy batch through the
+shared executor and the independent per-query path — sequentially and
+at ``workers=2`` — and asserts the byte-identity contract: match keys,
+per-query work counters, the integer I/O statistics and the merged
+totals must all be equal, while the shared path dispatches strictly
+fewer jobs than there are queries.  Also exercises the ``shared=False``
+escape hatch the ``REPRO_SHARED`` env knob maps to.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def outcome_key(outcome):
+    return (
+        outcome.query,
+        outcome.match_keys,
+        outcome.counters,
+        (
+            outcome.io.logical_reads, outcome.io.physical_reads,
+            outcome.io.pages_written,
+        ),
+        outcome.cached,
+        outcome.refuted,
+    )
+
+
+def main() -> int:
+    from repro.datasets import random_trees
+    from repro.service import QueryService
+    from repro.storage.catalog import ViewCatalog
+    from repro.workloads import repeated_batch
+
+    doc = random_trees.generate(size=250, max_depth=8, seed=3)
+    workload = repeated_batch(10, overlap=0.6, seed=4)
+    assert len(workload.distinct()) < len(workload.queries)
+
+    def run(shared, workers):
+        with ViewCatalog(doc) as catalog:
+            with QueryService(catalog) as service:
+                for view in workload.views:
+                    service.register(view)
+                if workers:
+                    batch = service.evaluate_parallel(
+                        workload.queries, workers=workers, shared=shared
+                    )
+                else:
+                    batch = service.evaluate_batch(
+                        workload.queries, shared=shared
+                    )
+                jobs = service.shared_metrics()["jobs_run"]
+        return batch, jobs
+
+    for workers in (0, 2):
+        fast, jobs = run(True, workers)
+        slow, none_run = run(False, workers)
+        assert none_run == 0, "independent path must not touch shared stats"
+        assert jobs == len(workload.distinct()) < len(workload.queries)
+        for a, b in zip(fast.outcomes, slow.outcomes):
+            assert outcome_key(a) == outcome_key(b), a.query
+        assert fast.counters == slow.counters
+        assert (
+            fast.io.logical_reads, fast.io.physical_reads,
+            fast.io.pages_written,
+        ) == (
+            slow.io.logical_reads, slow.io.physical_reads,
+            slow.io.pages_written,
+        )
+    print(
+        "shared smoke ok:"
+        f" {len(workload.queries)} queries"
+        f" ({len(workload.distinct())} distinct, {jobs} jobs),"
+        " shared == independent byte-identical at workers=0 and 2"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

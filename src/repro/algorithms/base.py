@@ -18,7 +18,7 @@ those counters, so all algorithms are instrumented identically.
 from __future__ import annotations
 
 import enum
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -170,8 +170,8 @@ class CountingCursor:
 
     __slots__ = (
         "cursor", "counters", "position", "start", "end",
-        "_columns", "_starts", "_ends", "_length", "_touch", "_decoder_id",
-        "_page_ids", "_breaks", "_page", "_page_hi",
+        "_columns", "_starts", "_ends", "_length", "_touch", "_touch_run",
+        "_decoder_id", "_page_ids", "_breaks", "_page", "_page_hi",
     )
 
     def __init__(self, cursor: ListCursor, counters: Counters):
@@ -194,6 +194,7 @@ class CountingCursor:
         self._starts = columns.starts
         self._ends = columns.ends
         self._touch = stored.pager.pool.touch
+        self._touch_run = stored.pager.pool.touch_run
         self._decoder_id = stored._decoder_id
         page_ids, breaks = stored.page_map()
         self._page_ids = page_ids
@@ -282,6 +283,65 @@ class CountingCursor:
         self._touch(self._page_ids[self._page], self._decoder_id)
         self.start = self._starts[position]
         self.end = self._ends[position]
+
+    def advance_past(self, bound: int) -> None:
+        """Skip-ahead kernel: advance until ``start >= bound``.
+
+        Contract: observable state and counters are byte-identical to the
+        sequential skip loop every engine used to inline::
+
+            while self.start < bound:
+                self.counters.comparisons += 1
+                self.advance()
+
+        so each skipped entry still costs one comparison, one scanned
+        element and one logical page read.  On the columnar path the
+        landing position is found by bisection over the packed ``starts``
+        column and the page reads are accounted in per-page runs via
+        :meth:`~repro.storage.pager.BufferPool.touch_run` — O(log n +
+        pages crossed) instead of O(entries skipped) Python-level work.
+        """
+        columns = self._columns
+        if columns is None:
+            while self.start < bound:
+                self.counters.comparisons += 1
+                self.advance()
+            return
+        start = self.start
+        if start is _INF or start >= bound:
+            return
+        position = self.position
+        length = self._length
+        target = bisect_left(self._starts, bound, position, length)
+        # The sequential loop advances once per entry whose start label is
+        # below the bound; running off the end costs one extra (uncounted-
+        # touch) advance into the exhausted state.
+        steps = target - position if target < length else length - position
+        self.counters.comparisons += steps
+        self.counters.elements_scanned += steps
+        last = target if target < length else length - 1
+        breaks = self._breaks
+        page_ids = self._page_ids
+        touch_run = self._touch_run
+        decoder_id = self._decoder_id
+        lo = position + 1
+        page = bisect_right(breaks, lo, 0, len(page_ids)) - 1
+        while lo <= last:
+            hi = breaks[page + 1]
+            upper = hi - 1 if hi - 1 < last else last
+            touch_run(page_ids[page], decoder_id, upper - lo + 1)
+            lo = hi
+            if lo <= last:
+                page += 1
+        self._page = page
+        self._page_hi = breaks[page + 1]
+        self.position = target
+        if target < length:
+            self.start = self._starts[target]
+            self.end = self._ends[target]
+        else:
+            self.start = _INF
+            self.end = _INF
 
     def seek_pointer(self, index: int) -> None:
         """Jump forward via a materialized pointer to entry ``index``.

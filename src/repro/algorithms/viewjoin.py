@@ -328,9 +328,7 @@ class _ViewJoinRun:
             if target is not None:
                 cursor.seek_pointer(target)
                 continue
-            while cursor.start < parent_start:
-                self.counters.comparisons += 1
-                cursor.advance()
+            cursor.advance_past(parent_start)
 
     def _pointer_target(self, parent_tag: str, child_tag: str) -> int | None:
         """Entry index of the parent head's first ``child_tag`` partner, if

@@ -1,4 +1,4 @@
-"""The repro-lint rule catalog (RL101–RL106).
+"""The repro-lint rule catalog (RL101–RL107).
 
 Each rule encodes one invariant this repository's correctness rests on;
 DESIGN.md §10 documents the contract behind every code.  Rules scope by
@@ -29,6 +29,7 @@ from repro.analysis.core import (
 HOT_FUNCTIONS: dict[str, frozenset[str]] = {
     "algorithms/base.py": frozenset({
         "CountingCursor.advance",
+        "CountingCursor.advance_past",
         "CountingCursor.seek_pointer",
     }),
     "algorithms/access.py": frozenset({
@@ -222,9 +223,9 @@ _SET_RETURNING = frozenset({"set", "frozenset", "tag_set"})
 #: Iteration wrappers that preserve (and therefore leak) iteration order.
 _ORDER_PRESERVING_CALLS = frozenset({"list", "tuple", "enumerate", "join"})
 
-#: Directories whose modules may use ``random`` (synthetic data and the
-#: benchmark harness are seeded explicitly).
-_RANDOM_OK_PREFIXES = ("datasets/", "bench/")
+#: Directories whose modules may use ``random`` (synthetic data, the
+#: benchmark harness and workload generators are seeded explicitly).
+_RANDOM_OK_PREFIXES = ("datasets/", "bench/", "workloads/")
 
 #: Directories subject to the set-iteration and wall-clock checks.
 _DETERMINISM_PREFIXES = ("algorithms/", "service/", "storage/")
@@ -763,6 +764,104 @@ class WaitDisciplineRule(Rule):
         )
 
 
+# -- RL107: batch-loop planning discipline -------------------------------------
+
+#: Batch entry points whose per-item loops must not re-plan or touch the
+#: catalog: package-relative path -> qualnames.  The shared-scan batch
+#: contract is *plan once per distinct canonical query*: planning and
+#: materialization are hoisted out of the per-item loop into batch
+#: pre-passes (``QueryService._plan_batch`` / ``_materialize_batch`` /
+#: ``_evaluate_shared``), which are the sanctioned, unregistered sites.
+BATCH_FUNCTIONS: dict[str, frozenset[str]] = {
+    "service/core.py": frozenset({
+        "QueryService.evaluate_batch",
+        "QueryService.evaluate_parallel",
+    }),
+}
+
+#: Call targets that parse, plan or materialize.  One call answers a
+#: whole batch; per-item repeats inside a batch loop redo work the
+#: batch planner already shares across consumers.
+_PLANNING_CALL_ATTRS = frozenset({
+    "plan", "parse_pattern", "_build_plan", "_materialize_plan",
+    "materialize", "warmup", "warmup_jobs",
+})
+
+#: Catalog methods that look up or mutate the view store per call.
+#: Receiver-matched: only flagged when the call chain goes through a
+#: ``catalog`` component (``self.catalog.add``), so unrelated ``get``
+#: calls (result caches, dicts) stay out of scope.
+_CATALOG_CALL_ATTRS = frozenset({"add", "get", "add_all", "remove_view"})
+
+
+class BatchPlanningRule(Rule):
+    code = "RL107"
+    name = "batch-loop-planning"
+    description = (
+        "Registered batch entry points must plan once per distinct"
+        " canonical query: no per-item re-planning or catalog lookups"
+        " inside their per-query loops."
+    )
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        registered = BATCH_FUNCTIONS.get(module.path, frozenset())
+        if not registered:
+            return []
+        findings: list[Finding] = []
+        for qualname, func in iter_functions(module.tree):
+            if qualname not in registered:
+                continue
+            for loop in self._loop_scopes(func):
+                findings.extend(self._check_loop(module, qualname, loop))
+        return findings
+
+    @staticmethod
+    def _loop_scopes(func: ast.AST) -> list[ast.AST]:
+        """Per-item iteration sites: statement loops and comprehensions."""
+        return [
+            node for node in ast.walk(func)
+            if isinstance(node, (ast.For, ast.While, ast.ListComp,
+                                 ast.SetComp, ast.DictComp,
+                                 ast.GeneratorExp))
+        ]
+
+    def _check_loop(
+        self, module: ModuleInfo, qualname: str, loop: ast.AST
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_target_name(node)
+            if target is None:
+                continue
+            if target in _PLANNING_CALL_ATTRS:
+                findings.append(self.finding(
+                    module, node,
+                    f"batch entry point {qualname} calls {target!r} inside"
+                    " its per-item loop — plan/materialize once per"
+                    " distinct canonical query before the loop"
+                    " (_plan_batch / _materialize_batch)",
+                    symbol=qualname,
+                ))
+                continue
+            chain = attr_chain(node.func)
+            if (
+                chain is not None
+                and target in _CATALOG_CALL_ATTRS
+                and "catalog" in chain.split(".")[:-1]
+            ):
+                findings.append(self.finding(
+                    module, node,
+                    f"batch entry point {qualname} performs a per-item"
+                    f" catalog access via {chain!r} — hoist catalog"
+                    " lookups out of the batch loop (materialize once"
+                    " per distinct eval node)",
+                    symbol=qualname,
+                ))
+        return findings
+
+
 #: The registry, in code order.  Stable: reporters, baselines and
 #: suppressions key on these codes.
 RULES: tuple[Rule, ...] = (
@@ -772,4 +871,5 @@ RULES: tuple[Rule, ...] = (
     CacheCoherenceRule(),
     ExceptionDisciplineRule(),
     WaitDisciplineRule(),
+    BatchPlanningRule(),
 )

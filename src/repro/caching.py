@@ -47,18 +47,31 @@ class LRUCache:
 
     ``capacity <= 0`` disables storage entirely (every lookup is a miss);
     that lets callers keep one code path whether or not caching is on.
+
+    An optional ``weight_budget`` adds a second bound: each entry may carry
+    a non-negative weight (bytes, typically) and the cache evicts from the
+    LRU end while the total weight exceeds the budget.  Entries heavier
+    than the whole budget are refused outright — admitting one would purge
+    everything else for a single-use resident.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, weight_budget: int = 0):
         self.capacity = capacity
+        self.weight_budget = weight_budget
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._weights: dict[Hashable, int] = {}
+        self._total_weight = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
+
+    @property
+    def total_weight(self) -> int:
+        return self._total_weight
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or a miss."""
@@ -71,16 +84,25 @@ class LRUCache:
         self.stats.hits += 1
         return value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: Hashable, value: Any, weight: int = 0) -> None:
         """Insert ``key``, evicting the least-recently-used entry if full."""
         if self.capacity <= 0:
+            return
+        budget = self.weight_budget
+        if budget and weight > budget:
             return
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
+            self._total_weight -= self._weights.pop(key, 0)
         entries[key] = value
-        if len(entries) > self.capacity:
-            entries.popitem(last=False)
+        self._weights[key] = weight
+        self._total_weight += weight
+        while len(entries) > self.capacity or (
+            budget and self._total_weight > budget and len(entries) > 1
+        ):
+            doomed, _ = entries.popitem(last=False)
+            self._total_weight -= self._weights.pop(doomed, 0)
             self.stats.evictions += 1
 
     def invalidate(self, predicate=None) -> int:
@@ -97,10 +119,13 @@ class LRUCache:
         if predicate is None:
             dropped = len(entries)
             entries.clear()
+            self._weights.clear()
+            self._total_weight = 0
         else:
             doomed = [key for key in entries if predicate(key)]
             for key in doomed:
                 del entries[key]
+                self._total_weight -= self._weights.pop(key, 0)
             dropped = len(doomed)
         self.stats.evictions += dropped
         self.stats.invalidations += 1

@@ -164,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           " wall-clock")
     bat.add_argument("--result-cache", type=int, default=0, metavar="N",
                      help="enable a keyed result cache of N entries")
+    bat.add_argument("--shared", action="store_true", default=None,
+                     dest="shared",
+                     help="force the shared-scan batch executor (plan CSE"
+                          " + stream replay); default honours REPRO_SHARED")
+    bat.add_argument("--no-shared", action="store_false", dest="shared",
+                     help="force one independent evaluation per query"
+                          " (the differential reference path)")
 
     upd = sub.add_parser(
         "update",
@@ -236,7 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="whole-batch deadline in seconds")
 
     lint = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (RL101-RL106)"
+        "lint", help="run the repro-lint invariant checker (RL101-RL107)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the whole"
@@ -395,11 +402,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             begin = time.perf_counter()
             if args.workers > 1:
                 batch = service.evaluate_parallel(
-                    args.queries, workers=args.workers, emit_matches=False
+                    args.queries, workers=args.workers, emit_matches=False,
+                    shared=args.shared,
                 )
             else:
                 batch = service.evaluate_batch(
-                    args.queries, emit_matches=False
+                    args.queries, emit_matches=False, shared=args.shared,
                 )
             elapsed.append(time.perf_counter() - begin)
         assert batch is not None
@@ -423,6 +431,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"plan cache: {service.plan_cache_stats.as_dict()}")
         if args.result_cache:
             print(f"result cache: {service.result_cache_stats.as_dict()}")
+        metrics = service.shared_metrics()
+        if metrics["batches"]:
+            print(
+                "shared executor:"
+                f" {metrics['jobs_run']} job(s) for"
+                f" {metrics['queries']} query(ies) across"
+                f" {metrics['batches']} batch(es);"
+                f" {metrics['replayed_queries']} replayed,"
+                f" {metrics['stream_hits']} stream hit(s);"
+                f" executed work {metrics['executed_work']}"
+            )
     return 0
 
 

@@ -15,6 +15,11 @@ Public surface::
 keys and merged work/I-O counters (see :mod:`repro.service.core` for the
 determinism contract); :class:`EvalJob`/:func:`run_job` are the lower
 level explicit-plan API the benchmark harness drives.
+
+Both batch entry points default to the shared-scan executor
+(:mod:`repro.service.shared`): duplicate eval nodes within (and across)
+batches run once and replay to every consumer, with ``REPRO_SHARED=0``
+or ``shared=False`` forcing the independent per-query path.
 """
 
 from repro.service.core import BatchResult, QueryOutcome, QueryService
@@ -25,6 +30,13 @@ from repro.service.jobs import (
     merge_results,
     run_job,
 )
+from repro.service.shared import (
+    SharedStats,
+    node_digest,
+    node_key,
+    shared_enabled,
+)
+from repro.service.streams import StreamCache
 from repro.service.worker import run_worker_jobs
 
 __all__ = [
@@ -34,7 +46,12 @@ __all__ = [
     "JobResult",
     "QueryOutcome",
     "QueryService",
+    "SharedStats",
+    "StreamCache",
     "merge_results",
+    "node_digest",
+    "node_key",
     "run_job",
     "run_worker_jobs",
+    "shared_enabled",
 ]

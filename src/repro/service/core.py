@@ -24,7 +24,21 @@ Cache layers
   ``adopt_catalog_views``);
 * an optional keyed **result cache** in the service itself
   (``result_cache_size > 0``), invalidated explicitly or whenever the
-  view set changes.
+  view set changes;
+* the shared executor's **stream cache** (:mod:`repro.service.streams`),
+  memoizing eval-node match streams across batches, keyed by
+  ``(catalog epoch, node hash)`` and cleared with the result cache.
+
+Shared-scan batches
+-------------------
+``evaluate_batch`` / ``evaluate_parallel`` default to the shared-scan
+executor (:mod:`repro.service.shared`): queries are hash-consed into
+distinct eval nodes, each node runs once, and its stream plus recorded
+counters replay to every consumer — byte-identical outcomes to the
+independent per-query path (the determinism contract makes a
+duplicate's would-be accounting equal to the original's), at a fraction
+of the executed work.  ``REPRO_SHARED=0`` or ``shared=False`` forces
+the independent path.
 """
 
 from __future__ import annotations
@@ -58,6 +72,14 @@ from repro.service.jobs import (
     merge_results,
     run_job,
 )
+from repro.service.shared import (
+    SharedNode,
+    SharedStats,
+    node_digest,
+    node_key,
+    shared_enabled,
+)
+from repro.service.streams import StreamCache
 from repro.service.worker import run_worker_jobs
 from repro.storage.catalog import Scheme, ViewCatalog
 from repro.storage.pager import IOStats
@@ -87,6 +109,10 @@ class QueryOutcome:
     #: Non-empty when the query could not be answered at all:
     #: ``"<kind>: <detail>"`` with the breaker's failure taxonomy.
     error: str = ""
+    #: True when this outcome was replayed from a shared eval node's
+    #: stream (batch CSE or stream cache) instead of its own engine run.
+    #: Counters/I-O are still the run's recorded (deterministic) values.
+    shared: bool = False
 
 
 @dataclass
@@ -114,6 +140,9 @@ class QueryService:
         scheme / algorithm: defaults handed to the planner.
         plan_cache_size: LRU size of the planner's plan cache.
         result_cache_size: LRU size of the keyed result cache; 0 disables.
+        stream_cache_size: LRU size (in eval nodes) of the shared
+            executor's sub-plan stream cache; 0 disables cross-batch
+            stream replay (within-batch CSE still applies).
         prune_with_dataguide: refute impossible queries before running.
     """
 
@@ -126,6 +155,7 @@ class QueryService:
         algorithm: Algorithm | str = Algorithm.VIEWJOIN,
         plan_cache_size: int = 128,
         result_cache_size: int = 0,
+        stream_cache_size: int = 32,
         prune_with_dataguide: bool = True,
         retry_policy: RetryPolicy | None = None,
         failure_threshold: int = 3,
@@ -160,6 +190,8 @@ class QueryService:
         self._snapshot_dir: str | None = None
         self._snapshot_version: int | None = None
         self._result_cache = LRUCache(result_cache_size)
+        self._stream_cache = StreamCache(stream_cache_size)
+        self._shared_stats = SharedStats()
         self._executor: ProcessPoolExecutor | None = None
         self._executor_workers = 0
         self._closed = False
@@ -193,8 +225,13 @@ class QueryService:
         return adopted
 
     def invalidate_results(self) -> int:
-        """Drop the result cache (the catalog changed); returns how many
-        entries were evicted."""
+        """Drop the result cache *and* the shared stream cache (the
+        catalog changed); returns how many result entries were evicted.
+
+        The stream cache is also epoch-keyed, so this clear is belt and
+        braces: even a missed call could not serve a stale stream, but
+        eager eviction reclaims the spill pages immediately."""
+        self._stream_cache.clear()
         return self._result_cache.invalidate()
 
     # -- maintenance ----------------------------------------------------------
@@ -246,6 +283,22 @@ class QueryService:
     @property
     def result_cache_stats(self) -> CacheStats:
         return self._result_cache.stats
+
+    @property
+    def stream_cache_stats(self) -> CacheStats:
+        return self._stream_cache.stats
+
+    def shared_metrics(self) -> dict[str, object]:
+        """Work actually executed vs replayed by the shared batch path."""
+        metrics = self._shared_stats.as_dict()
+        spill_io = self._stream_cache.io
+        metrics["stream_cache"] = self._stream_cache.stats.as_dict()
+        metrics["stream_spill_logical_reads"] = spill_io.logical_reads
+        metrics["stream_spill_physical_reads"] = spill_io.physical_reads
+        metrics["stream_spill_pages_written"] = spill_io.pages_written
+        metrics["stream_spilled_streams"] = self._stream_cache.spilled_streams
+        metrics["stream_spilled_bytes"] = self._stream_cache.spilled_bytes
+        return metrics
 
     # -- warm-up --------------------------------------------------------------
 
@@ -300,14 +353,33 @@ class QueryService:
         queries: Sequence[Pattern | str],
         mode: Mode | str = Mode.MEMORY,
         emit_matches: bool = True,
+        shared: bool | None = None,
     ) -> BatchResult:
-        """Evaluate ``queries`` sequentially; merge counters in order."""
+        """Evaluate ``queries`` in-process; merge counters in input order.
+
+        By default (``shared=None`` honours ``REPRO_SHARED``) the batch
+        runs through the shared-scan executor: byte-identical queries
+        are deduped before planning, identical eval nodes run once, and
+        recorded streams/counters replay to every consumer — outcomes
+        stay byte-identical to ``shared=False`` (one independent
+        evaluation per input), which remains available as the
+        differential escape hatch.
+        """
         mode = Mode.parse(mode)
+        if shared is None:
+            shared = shared_enabled()
         begin = time.perf_counter()
-        outcomes = [
-            self._evaluate_one(query, mode, emit_matches)
-            for query in queries
-        ]
+        if shared:
+            outcomes = self._evaluate_shared(
+                queries, mode, emit_matches, workers=0,
+                deadline=Deadline.after(None), degrade=False,
+                resilient=False,
+            )
+        else:
+            outcomes = [
+                self._evaluate_one(query, mode, emit_matches)
+                for query in queries
+            ]
         return self._assemble(outcomes, time.perf_counter() - begin)
 
     def evaluate_parallel(
@@ -318,12 +390,17 @@ class QueryService:
         emit_matches: bool = True,
         deadline_s: float | None = None,
         degrade: bool = True,
+        shared: bool | None = None,
     ) -> BatchResult:
         """Fan ``queries`` out over ``workers`` processes.
 
         Results and merged counters are byte-identical to
         :meth:`evaluate_batch` on the same queries; only wall-clock
         differs.  ``workers <= 1`` degenerates to the sequential path.
+        By default (``shared=None`` honours ``REPRO_SHARED``) the batch
+        is first hash-consed into distinct eval nodes and only those
+        become jobs (:mod:`repro.service.shared`); ``shared=False``
+        dispatches one job per non-cached input.
 
         Resilience: ``deadline_s`` bounds the whole batch (expired jobs
         come back as ``error`` outcomes instead of hanging); lost
@@ -335,13 +412,21 @@ class QueryService:
         (``degraded=True`` on the outcome, correctness preserved).
         """
         mode = Mode.parse(mode)
+        if shared is None:
+            shared = shared_enabled()
         begin = time.perf_counter()
         deadline = Deadline.after(deadline_s)
+        if shared:
+            outcomes = self._evaluate_shared(
+                queries, mode, emit_matches, workers=workers,
+                deadline=deadline, degrade=degrade, resilient=True,
+            )
+            return self._assemble(outcomes, time.perf_counter() - begin)
+        plans = self._plan_batch(queries)
         outcomes: list[QueryOutcome | None] = [None] * len(queries)
         jobs: list[EvalJob] = []
-        plans: dict[int, Plan] = {}
-        for i, query in enumerate(queries):
-            plan = self.planner.plan(query)
+        plan_at: dict[int, Plan] = {}
+        for i, plan in enumerate(plans):
             canonical = plan.query.to_xpath()
             if self.planner.refutes(plan.query):
                 outcomes[i] = self._refuted_outcome(plan, canonical)
@@ -352,14 +437,14 @@ class QueryService:
             if cached is not None:
                 outcomes[i] = replace(cached, cached=True)
                 continue
-            self._materialize_plan(plan)
-            plans[i] = plan
+            plan_at[i] = plan
             jobs.append(
                 EvalJob.from_patterns(
                     i, plan.query, plan.all_views, plan.algorithm,
                     plan.scheme, mode=mode, emit_matches=emit_matches,
                 )
             )
+        self._materialize_batch([plan_at[i] for i in sorted(plan_at)])
         try:
             results, failures = self._run_jobs_resilient(
                 jobs, workers, warm=True, deadline=deadline
@@ -376,7 +461,7 @@ class QueryService:
                 for job in jobs
             ]
         for result in results:
-            plan = plans[result.index]
+            plan = plan_at[result.index]
             outcome = self._outcome_from(result, plan)
             for name in self._plan_view_names(plan):
                 self.breaker.record_success(name)
@@ -385,7 +470,7 @@ class QueryService:
             )
             outcomes[result.index] = outcome
         for failure in failures:
-            plan = plans[failure.index]
+            plan = plan_at[failure.index]
             self._note_failure(plan, failure)
             if degrade and failure.kind != "timeout":
                 outcomes[failure.index] = self._evaluate_degraded(
@@ -604,6 +689,181 @@ class QueryService:
 
     # -- internals ------------------------------------------------------------
 
+    def _plan_batch(self, queries: Sequence[Pattern | str]) -> list[Plan]:
+        """One plan per input, planning only once per distinct query text.
+
+        The planner additionally memoizes by canonical form, so two
+        spellings of the same canonical query still share one plan-cache
+        entry; the text memo here just keeps byte-identical duplicates
+        from paying even the cache lookup.
+        """
+        plans: list[Plan] = []
+        by_text: dict[str, Plan] = {}
+        for query in queries:
+            text = query if isinstance(query, str) else query.to_xpath()
+            plan = by_text.get(text)
+            if plan is None:
+                plan = self.planner.plan(query)
+                by_text[text] = plan
+            plans.append(plan)
+        return plans
+
+    def _materialize_batch(self, plans: Sequence[Plan]) -> None:
+        """Materialize every plan's views once, in first-need order.
+
+        Page layout — and with it physical-read accounting — follows the
+        order views first hit the store, so this mirrors the independent
+        path's per-query materialization order exactly
+        (:meth:`~repro.storage.catalog.ViewCatalog.add` is idempotent,
+        so repeats were no-ops there too).
+        """
+        seen: set[int] = set()
+        for plan in plans:
+            if id(plan) in seen:
+                continue
+            seen.add(id(plan))
+            self._materialize_plan(plan)
+
+    def _evaluate_shared(
+        self,
+        queries: Sequence[Pattern | str],
+        mode: Mode,
+        emit_matches: bool,
+        workers: int,
+        deadline: Deadline,
+        degrade: bool,
+        resilient: bool,
+    ) -> list[QueryOutcome]:
+        """Shared-scan batch execution (plan CSE + stream replay).
+
+        Phase 1 resolves each input in order: refuted queries answer
+        immediately, repeats of an already-seen eval node join its
+        consumer list, result-cache hits replay as before, and the rest
+        found new nodes.  Phase 2 answers each distinct node once — from
+        the epoch-keyed stream cache when possible, otherwise by running
+        its job (sequentially here, or through the resilient dispatcher
+        for ``evaluate_parallel``).  Phase 3 fans results out: every
+        consumer receives the node's match stream and the run's recorded
+        counters (replay accounting — see :mod:`repro.service.shared`),
+        so outcomes and merged totals are byte-identical to the
+        independent path while only the distinct nodes did work.
+        """
+        stats = self._shared_stats
+        stats.batches += 1
+        stats.queries += len(queries)
+        plans = self._plan_batch(queries)
+        outcomes: list[QueryOutcome | None] = [None] * len(plans)
+        nodes: dict[tuple, SharedNode] = {}
+        for i, plan in enumerate(plans):
+            canonical = plan.query.to_xpath()
+            if self.planner.refutes(plan.query):
+                outcomes[i] = self._refuted_outcome(plan, canonical)
+                continue
+            key = node_key(plan, mode, emit_matches)
+            node = nodes.get(key)
+            if node is not None:
+                node.consumers.append(i)
+                continue
+            cached = self._result_cache.get(
+                (canonical, mode.value, emit_matches)
+            )
+            if cached is not None:
+                outcomes[i] = replace(cached, cached=True)
+                continue
+            nodes[key] = SharedNode(
+                ordinal=len(nodes), digest=node_digest(key), plan=plan,
+                consumers=[i],
+            )
+        stats.distinct_nodes += len(nodes)
+        epoch = (self.catalog.maintenance_epoch, self.planner.generation)
+        fresh: list[SharedNode] = []
+        for node in nodes.values():
+            replayed = self._stream_cache.get((epoch, node.digest))
+            if replayed is not None:
+                node.replayed = replayed
+                stats.stream_hits += 1
+            else:
+                fresh.append(node)
+        self._materialize_batch([node.plan for node in fresh])
+        jobs = [
+            EvalJob.from_patterns(
+                node.first, node.plan.query, node.plan.all_views,
+                node.plan.algorithm, node.plan.scheme, mode=mode,
+                emit_matches=emit_matches,
+            )
+            for node in fresh
+        ]
+        stats.jobs_run += len(jobs)
+        if resilient:
+            try:
+                results, failures = self._run_jobs_resilient(
+                    jobs, workers, warm=True, deadline=deadline
+                )
+            except StoreCorrupt as exc:
+                results = []
+                failures = [
+                    JobFailure(
+                        index=job.index, kind="store-corrupt",
+                        message=str(exc), views=exc.views, pages=exc.pages,
+                    )
+                    for job in jobs
+                ]
+        else:
+            # The sequential entry point has no degraded mode: a typed
+            # failure propagates raw, exactly like ``_evaluate_one``.
+            results = [
+                run_job(self.catalog, job, expect_warm=True) for job in jobs
+            ]
+            failures = []
+        for result in results:
+            stats.executed.merge(result.counters)
+            stats.executed_io.merge(result.io)
+        resolved = {result.index: result for result in results}
+        failed = {failure.index: failure for failure in failures}
+        # Sequential batches see evolving result-cache state (a repeat
+        # later in the batch would have hit the entry its first
+        # occurrence just stored); the parallel path checks the cache
+        # for every input up front, so its repeats all report cold.
+        dupes_cached = not resilient and self._result_cache.capacity > 0
+        for node in nodes.values():
+            result = node.replayed
+            if result is None:
+                result = resolved.get(node.first)
+            if result is not None:
+                if node.replayed is None:
+                    self._stream_cache.put((epoch, node.digest), result)
+                outcome = self._outcome_from(result, node.plan)
+                outcome.shared = node.replayed is not None
+                self._result_cache.put(
+                    (outcome.query, mode.value, emit_matches), outcome
+                )
+                if resilient:
+                    names = self._plan_view_names(node.plan)
+                    for __ in node.consumers:
+                        for name in names:
+                            self.breaker.record_success(name)
+                outcomes[node.first] = outcome
+                for i in node.consumers[1:]:
+                    outcomes[i] = replace(
+                        outcome, cached=dupes_cached, shared=True
+                    )
+                stats.replayed_queries += len(node.consumers) - (
+                    0 if node.replayed is not None else 1
+                )
+                continue
+            failure = failed[node.first]
+            for i in node.consumers:
+                self._note_failure(node.plan, failure)
+                if degrade and failure.kind != "timeout":
+                    outcomes[i] = self._evaluate_degraded(
+                        node.plan, mode, emit_matches
+                    )
+                else:
+                    self._failed_queries += 1
+                    outcomes[i] = self._error_outcome(node.plan, failure)
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes
+
     def _evaluate_one(
         self, query: Pattern | str, mode: Mode, emit_matches: bool
     ) -> QueryOutcome:
@@ -792,6 +1052,7 @@ class QueryService:
             return
         self._closed = True
         self._discard_executor(join=True)
+        self._stream_cache.close()
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._snapshot_dir = None

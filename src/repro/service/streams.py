@@ -1,0 +1,148 @@
+"""Memoized sub-plan streams: the shared executor's stream cache.
+
+A :class:`StreamCache` keeps the :class:`~repro.service.jobs.JobResult`
+of recently executed eval nodes so later batches can replay a node's
+match stream (and its recorded, deterministic accounting) without
+touching the view store at all.
+
+Keys are ``((maintenance_epoch, planner_generation), node_digest)`` —
+the epoch pair changes on every catalog/plan mutation (view
+registration, adoption, quarantine, maintenance commit), so a stale
+stream can never match a post-update batch's key.  The owning service
+additionally clears the cache outright in ``invalidate_results``, which
+every mutating path already calls.
+
+Spill buffer
+------------
+Large match streams are not kept as Python lists: above
+``spill_threshold`` keys the stream is packed row-per-key into pager
+pages via :class:`~repro.storage.records.MatchKeyCodec` on the cache's
+**own** pager.  Rehydration reads back through that pager's buffer
+pool, so every replayed key is accounted as a logical (and, on a cold
+pool, physical) read in :attr:`io` — the cache's I/O is observable,
+never hidden, and never mixed into query outcomes (those replay the
+original run's recorded I/O).  The cache is bounded twice: entry count
+(LRU) and total spilled/resident bytes (``byte_budget``).  Page space
+of evicted entries is reclaimed wholesale when the cache is cleared
+(every catalog mutation), not per eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.caching import CacheStats, LRUCache
+from repro.service.jobs import JobResult
+from repro.storage.lists import StoredList
+from repro.storage.pager import IOStats, Pager
+from repro.storage.records import MatchKeyCodec
+
+
+@dataclass
+class _StreamEntry:
+    """One cached node stream: the result shell plus its key storage."""
+
+    result: JobResult
+    stored: StoredList | None
+    weight: int
+
+
+class StreamCache:
+    """Bounded, I/O-accounted cache of eval-node match streams.
+
+    Args:
+        capacity: max cached nodes; ``<= 0`` disables the cache.
+        byte_budget: max total bytes across entries (LRU-evicted past it).
+        spill_threshold: streams with at least this many match keys are
+            packed into pager pages instead of held as Python lists.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        byte_budget: int = 32 << 20,
+        spill_threshold: int = 256,
+    ):
+        self._cache = LRUCache(capacity, weight_budget=byte_budget)
+        self.spill_threshold = spill_threshold
+        self._pager: Pager | None = Pager() if capacity > 0 else None
+        self._retired_io = IOStats()
+        self._spill_serial = 0
+        self.spilled_streams = 0
+        self.spilled_bytes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def io(self) -> IOStats:
+        """Spill-buffer I/O (reads replayed streams cost; writes to pack).
+
+        Cumulative across :meth:`clear` — operators see totals, not the
+        current epoch's slice.
+        """
+        combined = IOStats()
+        combined.merge(self._retired_io)
+        if self._pager is not None:
+            combined.merge(self._pager.total_stats())
+        return combined
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, key) -> JobResult | None:
+        """Replay a cached node stream, rehydrating spilled keys through
+        the spill pager's buffer pool (accounted in :attr:`io`)."""
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if entry.stored is not None:
+            keys = list(entry.stored.scan())
+        else:
+            keys = list(entry.result.match_keys)
+        return replace(entry.result, match_keys=keys)
+
+    def put(self, key, result: JobResult) -> None:
+        if self._cache.capacity <= 0:
+            return
+        keys = result.match_keys
+        stored = None
+        if len(keys) >= self.spill_threshold and self._pager is not None:
+            self._spill_serial += 1
+            stored = StoredList(
+                self._pager,
+                MatchKeyCodec(len(keys[0])),
+                name=f"stream:{self._spill_serial}",
+                columnar=False,
+            )
+            stored.extend(keys)
+            stored.finalize()
+            weight = stored.size_bytes
+            self.spilled_streams += 1
+            self.spilled_bytes += weight
+            result = replace(result, match_keys=[])
+        else:
+            arity = len(keys[0]) if keys else 1
+            weight = len(keys) * arity * 4
+        self._cache.put(key, _StreamEntry(result, stored, weight),
+                        weight=weight)
+
+    def clear(self) -> int:
+        """Drop every stream and reclaim the spill pages; returns how
+        many entries were dropped."""
+        dropped = self._cache.invalidate()
+        if self._pager is not None and self._pager.page_file.num_pages:
+            self._retired_io.merge(self._pager.total_stats())
+            self._pager.close()
+            self._pager = Pager()
+        return dropped
+
+    def close(self) -> None:
+        if self._pager is not None:
+            self._pager.close()
+            self._pager = None

@@ -302,6 +302,33 @@ class BufferPool:
         if len(pages) > self.capacity:
             pages.popitem(last=False)
 
+    def touch_run(self, page_id: int, decoder_id: int, count: int) -> None:
+        """Account ``count`` consecutive record accesses on one page.
+
+        Exactly equivalent to ``count`` :meth:`touch` calls on the same
+        key: after the first call the key is the MRU and every repeat
+        short-circuits, so a run costs ``count`` logical reads and at
+        most one residency transition.  The skip kernels use this to
+        account a bisected jump without looping per entry.
+        """
+        if count <= 0:
+            return
+        self.stats.logical_reads += count
+        key = (page_id, decoder_id)
+        if key == self._mru:
+            return
+        pages = self._pages
+        if key in pages:
+            pages.move_to_end(key)
+            self._mru = key
+            return
+        self.page_file.read_page(page_id)
+        self.stats.physical_reads += 1
+        pages[key] = _TOUCHED
+        self._mru = key
+        if len(pages) > self.capacity:
+            pages.popitem(last=False)
+
     def clear(self) -> None:
         """Drop all cached pages (keeps stats)."""
         self._pages.clear()

@@ -354,6 +354,38 @@ class TupleCodec:
         )
 
 
+class MatchKeyCodec:
+    """Codec for match-key rows: ``arity`` start labels, one per query node.
+
+    Used by the sub-plan stream cache to spill a node's match stream into
+    pager pages — the rows are plain int tuples (no element records), so a
+    packed ``u32`` row per key is the whole story.
+    """
+
+    def __init__(self, arity: int):
+        if arity <= 0:
+            raise StorageError("match-key arity must be positive")
+        self.arity = arity
+        self._struct = struct.Struct(f"<{arity}I")
+        self.width = self._struct.size
+
+    def encode(self, key: tuple[int, ...]) -> bytes:
+        if len(key) != self.arity:
+            raise StorageError(
+                f"expected {self.arity} components, got {len(key)}"
+            )
+        return self._struct.pack(*key)
+
+    def decode(self, raw: bytes, offset: int = 0) -> tuple[int, ...]:
+        return self._struct.unpack_from(raw, offset)
+
+    def decode_page(self, raw: bytes, count: int) -> list[tuple[int, ...]]:
+        width = self.width
+        unpack_from = self._struct.unpack_from
+        return [unpack_from(raw, offset)
+                for offset in range(0, count * width, width)]
+
+
 class CompactLinkedCodec:
     """Variable-width codec for LE_p records.
 

@@ -4,10 +4,21 @@
   XMark benchmark (6 path + 8 twig), each with a default covering view set;
 * :mod:`repro.workloads.nasa` — queries N1-N8, the interleaving study
   queries N_p / N_t with view sets PV1-PV4 / TV1-TV4 (paper Table III),
-  and the Table II view-selection candidates.
+  and the Table II view-selection candidates;
+* :mod:`repro.workloads.batches` — seeded repeated-structure batches
+  (template queries with overlapping sub-patterns at a controllable
+  overlap ratio) for the shared-scan batch executor.
 """
 
+from repro.workloads.batches import BatchWorkload, repeated_batch
 from repro.workloads.spec import QuerySpec, validate_spec
 from repro.workloads import nasa, xmark
 
-__all__ = ["QuerySpec", "validate_spec", "nasa", "xmark"]
+__all__ = [
+    "BatchWorkload",
+    "QuerySpec",
+    "repeated_batch",
+    "validate_spec",
+    "nasa",
+    "xmark",
+]

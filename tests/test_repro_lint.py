@@ -359,6 +359,86 @@ def test_rl106_suppression():
     assert "RL106" not in codes(lint_text(suppressed, "service/poller.py"))
 
 
+# -- RL107: batch-loop planning discipline -------------------------------------
+
+RL107_POSITIVE = """\
+class QueryService:
+    def evaluate_batch(self, queries):
+        outcomes = []
+        for query in queries:
+            plan = self.planner.plan(query)
+            self.catalog.add(plan.view, "LE")
+            outcomes.append(plan)
+        return outcomes
+"""
+
+RL107_HOISTED = """\
+class QueryService:
+    def evaluate_batch(self, queries):
+        plans = self._plan_batch(queries)
+        self._materialize_batch(plans)
+        return [self._outcome_of(plan) for plan in plans]
+"""
+
+
+def test_rl107_flags_per_item_planning_and_catalog_access():
+    found = lint_text(RL107_POSITIVE, "service/core.py")
+    assert codes(found) == ["RL107"]
+    assert len(found) == 2
+    messages = " ".join(f.message for f in found)
+    assert "_plan_batch" in messages
+    assert "self.catalog.add" in messages
+    assert all(f.symbol == "QueryService.evaluate_batch" for f in found)
+
+
+def test_rl107_hoisted_batch_passes():
+    # Planning through the batch pre-passes (outside the per-item loop)
+    # is the sanctioned shape.
+    assert lint_text(RL107_HOISTED, "service/core.py") == []
+
+
+def test_rl107_registry_is_path_and_qualname_scoped():
+    # Same code outside the registered module is unchecked...
+    assert lint_text(RL107_POSITIVE, "service/other.py") == []
+    # ...and so is an unregistered function in the registered module.
+    renamed = RL107_POSITIVE.replace("QueryService", "Other")
+    assert lint_text(renamed, "service/core.py") == []
+
+
+def test_rl107_comprehensions_count_as_loops():
+    snippet = (
+        "class QueryService:\n"
+        "    def evaluate_parallel(self, queries):\n"
+        "        return [self.planner.plan(q) for q in queries]\n"
+    )
+    found = lint_text(snippet, "service/core.py")
+    assert codes(found) == ["RL107"]
+    assert found[0].symbol == "QueryService.evaluate_parallel"
+
+
+def test_rl107_catalog_calls_are_receiver_matched():
+    # `get` on a non-catalog receiver (a result cache) stays in scope.
+    snippet = (
+        "class QueryService:\n"
+        "    def evaluate_batch(self, queries):\n"
+        "        return [self._result_cache.get(q) for q in queries]\n"
+    )
+    assert lint_text(snippet, "service/core.py") == []
+
+
+def test_rl107_suppression():
+    suppressed = RL107_POSITIVE.replace(
+        "plan = self.planner.plan(query)",
+        "plan = self.planner.plan(query)"
+        "  # repro-lint: disable=RL107 (fallback path)",
+    ).replace(
+        'self.catalog.add(plan.view, "LE")',
+        'self.catalog.add(plan.view, "LE")'
+        "  # repro-lint: disable=RL107 (fallback path)",
+    )
+    assert lint_text(suppressed, "service/core.py") == []
+
+
 # -- baseline behaviour --------------------------------------------------------
 
 def _write_module(root: Path, rel: str, source: str) -> None:
@@ -409,6 +489,7 @@ SEEDED = {
     "RL103": ("service/rl103.py", "import random\n"),
     "RL104": ("planner.py", RL104_POSITIVE),
     "RL105": ("rl105.py", "def f():\n    raise ValueError('x')\n"),
+    "RL107": ("service/core.py", RL107_POSITIVE),
 }
 
 
