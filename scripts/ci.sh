@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
-echo "== repro-lint (RL101-RL107 invariants) =="
+echo "== repro-lint (RL101-RL108 invariants) =="
 python -m repro.cli lint --json | python scripts/lint_report.py
 
 echo "== tier-1 tests =="
@@ -34,6 +34,9 @@ python scripts/smoke_maintenance.py
 
 echo "== shared-batch smoke (CSE vs independent byte-equality) =="
 timeout 120 python scripts/smoke_shared.py
+
+echo "== advisor smoke (adoption cycle: identical answers, less work) =="
+timeout 120 python scripts/smoke_advisor.py
 
 echo "== chaos smoke (fixed-seed fault plan, correct-or-typed) =="
 # `timeout` is the outer wall-clock guard: a chaos regression that

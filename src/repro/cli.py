@@ -171,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--no-shared", action="store_false", dest="shared",
                      help="force one independent evaluation per query"
                           " (the differential reference path)")
+    bat.add_argument("--record-log", default=None, metavar="PATH",
+                     dest="record_log",
+                     help="record the batch into a WorkloadLog JSON file"
+                          " for offline `advise --from-log` replay")
 
     upd = sub.add_parser(
         "update",
@@ -205,14 +209,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     adv = sub.add_parser(
-        "advise", help="recommend views to materialize for a query"
+        "advise",
+        help="recommend views for a query, or replay a recorded"
+             " workload log into an adopt/drop plan",
     )
     adv.add_argument("input", help="XML file path")
-    adv.add_argument("query", help="TPQ to optimize for")
+    adv.add_argument("query", nargs="?", default=None,
+                     help="TPQ to optimize for (omit with --from-log)")
     adv.add_argument("--max-size", type=int, default=4,
                      help="largest candidate view (nodes)")
     adv.add_argument("--top", type=int, default=10,
                      help="show this many ranked candidates")
+    adv.add_argument("--from-log", default=None, metavar="PATH",
+                     dest="from_log",
+                     help="replay a recorded WorkloadLog (JSON, from"
+                          " `batch --record-log` or"
+                          " QueryService.advisor_log.save) and print the"
+                          " deterministic adopt/drop plan")
+    adv.add_argument("--budget", type=float, default=float(1 << 20),
+                     help="storage budget in bytes for --from-log plans")
+    adv.add_argument("--adopted", action="append", default=[],
+                     metavar="XPATH", dest="adopted",
+                     help="view currently adopted by the advisor"
+                          " (repeatable; lets the offline replay decide"
+                          " keeps/drops like the live controller)")
 
     ver = sub.add_parser(
         "verify-store",
@@ -243,7 +263,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="whole-batch deadline in seconds")
 
     lint = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (RL101-RL107)"
+        "lint", help="run the repro-lint invariant checker (RL101-RL108)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the whole"
@@ -393,7 +413,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import QueryService
 
     with QueryService.open(
-        args.store, result_cache_size=args.result_cache
+        args.store, result_cache_size=args.result_cache,
+        advisor=args.record_log is not None,
     ) as service:
         service.warmup(args.queries)
         elapsed = []
@@ -441,6 +462,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f" {metrics['replayed_queries']} replayed,"
                 f" {metrics['stream_hits']} stream hit(s);"
                 f" executed work {metrics['executed_work']}"
+            )
+        log = service.advisor_log
+        if args.record_log is not None and log is not None:
+            log.harvest_catalog(service.catalog)
+            log.save(args.record_log)
+            print(
+                f"workload log written to {args.record_log}:"
+                f" {log.recorded} outcome(s), {len(log)} pattern(s),"
+                f" {len(log.view_cardinalities)} calibrated view(s)"
             )
     return 0
 
@@ -498,6 +528,11 @@ def _cmd_update(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.selection.advisor import recommend_views
 
+    if args.from_log is not None:
+        return _cmd_advise_from_log(args)
+    if args.query is None:
+        print("pass a query, or --from-log to replay a workload log")
+        return 1
     document = parse_xml_file(args.input)
     query = parse_pattern(args.query)
     result = recommend_views(document, query, max_view_size=args.max_size)
@@ -514,6 +549,55 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if result.uncovered:
         print("left to base views:", result.uncovered)
     print(f"total estimated saving: {round(result.total_saving)}")
+    return 0
+
+
+def _cmd_advise_from_log(args: argparse.Namespace) -> int:
+    """Offline advisor replay: a recorded log deterministically yields
+    the same adopt/drop plan the live controller would produce."""
+    from repro.selection.estimates import DocumentStatistics
+    from repro.selection.online import (
+        CalibratedStatistics,
+        WorkloadLog,
+        plan_adoption,
+    )
+    from repro.selection.workload_advisor import estimate_view_bytes
+
+    log = WorkloadLog.load(args.from_log)
+    document = parse_xml_file(args.input)
+    stats = DocumentStatistics.collect(document)
+    calibration = CalibratedStatistics.from_log(stats, log)
+    # Offline we lack the live controller's measured footprints, so the
+    # adopted set is costed through the calibrated byte estimate —
+    # near-exact whenever the log carries the view's cardinalities.
+    adopted = {
+        xpath: estimate_view_bytes(calibration, parse_pattern(xpath))
+        for xpath in args.adopted
+    }
+    plan = plan_adoption(
+        log,
+        calibration,
+        budget_bytes=args.budget,
+        adopted=adopted,
+        max_view_size=args.max_size,
+    )
+    rows = [
+        [d.action, d.xpath, round(d.benefit), round(d.bytes), d.reason]
+        for d in plan.decisions[: args.top]
+    ]
+    print(format_table(["action", "view", "benefit", "bytes", "reason"],
+                       rows))
+    print()
+    print(f"demand: {plan.demand_patterns} pattern(s) over"
+          f" {log.recorded} recorded outcome(s),"
+          f" {len(log.view_cardinalities)} calibrated view(s)")
+    print("adopt:", [view.to_xpath() for view in plan.adopt] or "nothing")
+    print("drop:", plan.drop or "nothing")
+    print("keep:", plan.keep or "nothing")
+    print(f"projected storage: {round(plan.projected_bytes)} /"
+          f" {round(plan.budget_bytes)} bytes")
+    for note in plan.notes:
+        print(f"note: {note}")
     return 0
 
 

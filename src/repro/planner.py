@@ -161,6 +161,26 @@ class Planner:
             self._bump_generation()
         return adopted
 
+    def deregister(self, name: str) -> bool:
+        """Remove one registered view by name (else canonical xpath).
+
+        The adoption controller's drop hook: the pattern leaves the
+        candidate set for every future plan and any quarantine entry is
+        cleared (a rematerialized successor starts with a clean record).
+        Bumps the generation so memoized plans that used the view are
+        dropped.  Returns True when a registration was actually removed.
+        """
+        survivors = [
+            view for view in self._registered
+            if (view.name or view.to_xpath()) != name
+        ]
+        if len(survivors) == len(self._registered):
+            return False
+        self._registered = survivors
+        self._quarantined.discard(name)
+        self._bump_generation()
+        return True
+
     def quarantine(self, names: Iterable[str]) -> int:
         """Exclude the named views from every future plan.
 

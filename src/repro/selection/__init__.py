@@ -15,9 +15,25 @@ from repro.selection.estimates import (
     select_views_estimated,
 )
 from repro.selection.greedy import SelectionResult, select_views
+from repro.selection.online import (
+    ADVISOR_PREFIX,
+    AdoptedView,
+    AdoptionDecision,
+    AdoptionPlan,
+    CalibratedStatistics,
+    Measurement,
+    QueryObservation,
+    WorkloadLog,
+    advisor_enabled,
+    advisor_view_name,
+    measure_view_cardinalities,
+    plan_adoption,
+    rebalance_to_budget,
+)
 from repro.selection.workload_advisor import (
     WorkloadAdvice,
     WorkloadCandidate,
+    estimate_view_bytes,
     recommend_for_workload,
 )
 
@@ -37,5 +53,19 @@ __all__ = [
     "select_views",
     "WorkloadAdvice",
     "WorkloadCandidate",
+    "estimate_view_bytes",
     "recommend_for_workload",
+    "ADVISOR_PREFIX",
+    "AdoptedView",
+    "AdoptionDecision",
+    "AdoptionPlan",
+    "CalibratedStatistics",
+    "Measurement",
+    "QueryObservation",
+    "WorkloadLog",
+    "advisor_enabled",
+    "advisor_view_name",
+    "measure_view_cardinalities",
+    "plan_adoption",
+    "rebalance_to_budget",
 ]

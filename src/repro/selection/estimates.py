@@ -98,7 +98,20 @@ def estimate_list_size(
     A node survives into the view's solution lists iff it has matching
     partners along every view edge above and below it; the factors are
     combined under independence.
+
+    When ``stats`` carries measured cardinalities (a
+    :class:`~repro.selection.online.CalibratedStatistics`), the measured
+    exact value is returned instead and the independence estimate only
+    serves patterns that were never materialized — which upgrades every
+    existing selection entry point to calibrated costs without touching
+    its callers.
     """
+    measured = getattr(stats, "measured_list_size", None)
+    if measured is not None:
+        size = measured(view, tag)
+        if size is not None:
+            return size
+        stats = stats.stats
     qnode = view.node(tag)
     estimate = float(stats.count(tag))
     ancestor = qnode.parent

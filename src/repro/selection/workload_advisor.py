@@ -14,7 +14,12 @@ selection work the paper cites as [25]):
 3. a greedy knapsack picks candidates by benefit density
    (benefit / estimated bytes) under the space budget, keeping per-query
    usability tag-disjoint (a query uses a view only if it shares no tag
-   with a view already assigned to that query).
+   with a view already assigned to that query).  With ``specialize``
+   the greedy may instead *displace* assigned views on a query when the
+   cost model says serving the union of their tags from the candidate
+   is cheaper — how the online advisor lets a measured-hot query earn
+   its own exact view instead of staying stuck with the small shared
+   view that arrived first.
 
 Per-query assignments come back with the result, ready to feed
 :class:`repro.planner.Planner`.
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import SelectionError
 from repro.selection.advisor import (
     base_plan_cost,
     candidate_cost,
@@ -68,10 +74,14 @@ class WorkloadAdvice:
         return [candidate.view for candidate in self.chosen]
 
 
-def _estimate_view_bytes(
+def estimate_view_bytes(
     stats: DocumentStatistics, view: Pattern
 ) -> float:
-    """Rough LE-footprint estimate: label + two pointers + child slots."""
+    """Rough LE-footprint estimate: label + two pointers + child slots.
+
+    With calibrated statistics the per-tag list sizes are measured, so
+    this becomes near-exact for any view that was ever materialized.
+    """
     width = element_codec().width
     total = 0.0
     for vnode in view.nodes:
@@ -81,27 +91,56 @@ def _estimate_view_bytes(
 
 
 def recommend_for_workload(
-    document: Document,
+    document: Document | None,
     queries: list[Pattern],
     budget_bytes: float = float("inf"),
     max_view_size: int = 4,
     stats: DocumentStatistics | None = None,
+    weights: dict[str, float] | None = None,
+    known_bytes: dict[str, float] | None = None,
+    exclude: set[str] | None = None,
+    specialize: bool = False,
 ) -> WorkloadAdvice:
     """Pick a shared view set for ``queries`` within ``budget_bytes``.
 
     Args:
-        document: the data tree.
+        document: the data tree; may be ``None`` when ``stats`` is given
+            (the offline/advisor path works from statistics alone).
         queries: workload queries (each named, else keyed by xpath).
         budget_bytes: storage budget for the chosen views.
         max_view_size: largest candidate view size in nodes.
-        stats: precollected document statistics.
+        stats: precollected (optionally calibrated) statistics.
+        weights: per-query demand multipliers keyed like the query
+            (name, else xpath); a query absent from the map weighs 1.
+            This is how the online advisor turns observed frequency into
+            benefit: a view saving 100 units for a query seen 40 times
+            beats one saving 500 for a query seen once.
+        known_bytes: measured storage per candidate xpath, overriding
+            the byte estimate (already-materialized views are costed at
+            their true footprint).
+        exclude: candidate xpaths to drop from the pool (views the
+            caller already has and manages outside this advice).
+        specialize: allow a candidate to displace views already
+            assigned to a query when the cost model says the candidate
+            serves the union of their tags cheaper (views displaced
+            from every query refund their storage).  Off by default:
+            the offline advisor prefers the storage-lean shared set;
+            the online advisor enables it so sustained hot queries can
+            earn their own exact views.
 
     Returns:
         The advice with chosen candidates (benefit-density order) and a
         tag-disjoint per-query view assignment.
     """
     if stats is None:
+        if document is None:
+            raise SelectionError(
+                "recommend_for_workload needs a document or statistics"
+            )
         stats = DocumentStatistics.collect(document)
+    weights = weights or {}
+    known_bytes = known_bytes or {}
+    exclude = exclude or set()
 
     def key_of(query: Pattern) -> str:
         return query.name or query.to_xpath()
@@ -112,9 +151,12 @@ def recommend_for_workload(
         for view in enumerate_connected_subpatterns(
             query, min_size=2, max_size=max_view_size
         ):
-            pool.setdefault(view.to_xpath(), view)
+            xpath = view.to_xpath()
+            if xpath in exclude:
+                continue
+            pool.setdefault(xpath, view)
 
-    # 2. per-query savings for each candidate
+    # 2. per-query savings for each candidate, scaled by demand weight
     candidates: list[WorkloadCandidate] = []
     for view in pool.values():
         savings: dict[str, float] = {}
@@ -124,48 +166,82 @@ def recommend_for_workload(
             saving = base_plan_cost(
                 stats, query, view.tag_set()
             ) - candidate_cost(stats, view, query)
+            saving *= weights.get(key_of(query), 1.0)
             if saving > 0:
                 savings[key_of(query)] = saving
         if savings:
+            xpath = view.to_xpath()
             candidates.append(
                 WorkloadCandidate(
                     view=view,
                     per_query_saving=savings,
-                    estimated_bytes=_estimate_view_bytes(stats, view),
+                    estimated_bytes=known_bytes.get(
+                        xpath, estimate_view_bytes(stats, view)
+                    ),
                 )
             )
-    candidates.sort(key=lambda c: -c.density)
+    candidates.sort(key=lambda c: (-c.density, c.view.to_xpath()))
 
-    # 3. greedy knapsack with tag-disjoint per-query assignment
-    chosen: list[WorkloadCandidate] = []
+    # 3. greedy knapsack with tag-disjoint per-query assignment; with
+    # ``specialize`` an assignment may also *replace* views the
+    # candidate overlaps when the model prices the candidate cheaper
+    # for the union of their tags.
+    chosen_map: dict[str, WorkloadCandidate] = {}
+    use_count: dict[str, int] = {}
     assignments: dict[str, list[Pattern]] = {
         key_of(query): [] for query in queries
     }
-    assigned_tags: dict[str, set[str]] = {
-        key_of(query): set() for query in queries
-    }
+    query_by_key = {key_of(query): query for query in queries}
     used = 0.0
     notes: list[str] = []
     for candidate in candidates:
+        xpath = candidate.view.to_xpath()
+        ctags = candidate.view.tag_set()
         if used + candidate.estimated_bytes > budget_bytes:
-            notes.append(
-                f"skipped {candidate.view.to_xpath()}: over budget"
-            )
+            notes.append(f"skipped {xpath}: over budget")
             continue
-        usable_for = [
-            name
-            for name in candidate.per_query_saving
-            if not assigned_tags[name] & candidate.view.tag_set()
-        ]
-        if not usable_for:
+        # (query, views the candidate would displace there)
+        plans: list[tuple[str, list[Pattern]]] = []
+        for name in candidate.per_query_saving:
+            query = query_by_key[name]
+            displaced = [
+                view for view in assignments[name]
+                if view.tag_set() & ctags
+            ]
+            if displaced:
+                if not specialize:
+                    continue
+                covered: set[str] = set()
+                for view in displaced:
+                    covered |= view.tag_set()
+                old_cost = sum(
+                    candidate_cost(stats, view, query)
+                    for view in displaced
+                ) + base_plan_cost(stats, query, ctags - covered)
+                new_cost = candidate_cost(
+                    stats, candidate.view, query
+                ) + base_plan_cost(stats, query, covered - ctags)
+                if new_cost >= old_cost:
+                    continue
+            plans.append((name, displaced))
+        if not plans:
             continue
-        chosen.append(candidate)
+        chosen_map[xpath] = candidate
+        use_count[xpath] = 0
         used += candidate.estimated_bytes
-        for name in usable_for:
+        for name, displaced in plans:
+            for view in displaced:
+                assignments[name].remove(view)
+                dxpath = view.to_xpath()
+                use_count[dxpath] -= 1
+                if use_count[dxpath] == 0:
+                    # Displaced from every query: refund its storage.
+                    used -= chosen_map.pop(dxpath).estimated_bytes
+                    del use_count[dxpath]
             assignments[name].append(candidate.view)
-            assigned_tags[name] |= candidate.view.tag_set()
+            use_count[xpath] += 1
     return WorkloadAdvice(
-        chosen=chosen,
+        chosen=list(chosen_map.values()),
         assignments=assignments,
         budget_bytes=budget_bytes,
         used_bytes=used,

@@ -20,8 +20,20 @@ Both batch entry points default to the shared-scan executor
 (:mod:`repro.service.shared`): duplicate eval nodes within (and across)
 batches run once and replay to every consumer, with ``REPRO_SHARED=0``
 or ``shared=False`` forcing the independent per-query path.
+
+``QueryService(..., advisor=True)`` additionally records every answered
+query into a :class:`~repro.selection.online.WorkloadLog` and (on a
+configurable cadence, or via explicit ``advisor_cycle()`` calls)
+auto-materializes/drops views under a storage budget using measured
+counters — the online adaptive view advisor
+(:mod:`repro.selection.online`); ``REPRO_ADVISOR=0`` disables it.
 """
 
+from repro.selection.online import (
+    Measurement,
+    WorkloadLog,
+    advisor_enabled,
+)
 from repro.service.core import BatchResult, QueryOutcome, QueryService
 from repro.service.jobs import (
     EvalJob,
@@ -44,10 +56,13 @@ __all__ = [
     "EvalJob",
     "JobFailure",
     "JobResult",
+    "Measurement",
     "QueryOutcome",
     "QueryService",
     "SharedStats",
     "StreamCache",
+    "WorkloadLog",
+    "advisor_enabled",
     "merge_results",
     "node_digest",
     "node_key",

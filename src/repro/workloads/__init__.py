@@ -10,13 +10,18 @@
   overlap ratio) for the shared-scan batch executor.
 """
 
-from repro.workloads.batches import BatchWorkload, repeated_batch
+from repro.workloads.batches import (
+    BatchWorkload,
+    drifting_batches,
+    repeated_batch,
+)
 from repro.workloads.spec import QuerySpec, validate_spec
 from repro.workloads import nasa, xmark
 
 __all__ = [
     "BatchWorkload",
     "QuerySpec",
+    "drifting_batches",
     "repeated_batch",
     "validate_spec",
     "nasa",

@@ -95,3 +95,47 @@ def repeated_batch(
     views = [f"//{tag}" for tag in tags[:4]]
     views.append("//{0}//{1}".format(*tags[:2]))
     return BatchWorkload(queries, views, overlap, seed, tags)
+
+
+def drifting_batches(
+    phases: int = 3,
+    per_phase: int = 40,
+    overlap: float = 0.6,
+    seed: int = 0,
+    tags: str = "abcd",
+) -> list[BatchWorkload]:
+    """Phased batches whose hot template set shifts between phases.
+
+    The online-advisor scenario: each phase is a :func:`repeated_batch`
+    drawn from a *rotated slice* of the template pool, so the queries
+    that dominate phase ``k`` largely stop arriving in phase ``k+1`` —
+    views adopted for one phase must earn their storage again or be
+    dropped.  Deterministic for fixed arguments (the phase index both
+    rotates the pool and reseeds the per-phase PRNG).
+    """
+    if phases <= 0:
+        raise DatasetError(f"need at least one phase, got {phases}")
+    if len(tags) < 4:
+        raise DatasetError(f"need at least 4 tags, got {tags!r}")
+    half = max(1, len(_TEMPLATES) // 2)
+    batches: list[BatchWorkload] = []
+    for phase in range(phases):
+        # Rotate by half the pool each phase: adjacent phases share a
+        # little structure (realistic drift), distant phases almost none.
+        start = (phase * half) % len(_TEMPLATES)
+        rotated = _TEMPLATES[start:] + _TEMPLATES[:start]
+        slice_ = rotated[:half]
+        rng = random.Random(seed * 1_000_003 + phase)
+        pool = [template.format(*tags[:4]) for template in slice_]
+        rng.shuffle(pool)
+        queries = [pool[0]]
+        fresh = 1
+        for _ in range(per_phase - 1):
+            if rng.random() < overlap or fresh == len(pool):
+                queries.append(rng.choice(queries))
+            else:
+                queries.append(pool[fresh])
+                fresh += 1
+        views = [f"//{tag}" for tag in tags[:4]]
+        batches.append(BatchWorkload(queries, views, overlap, seed, tags))
+    return batches
