@@ -10,8 +10,13 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
-echo "== repro-lint (RL101-RL108 invariants) =="
-python -m repro.cli lint --json | python scripts/lint_report.py
+echo "== repro-lint (whole-program: RL1xx per-file + RL2xx call-graph) =="
+# Cold run (cache removed) then warm run, with wall-time budgets
+# enforced (<10s cold, <2s warm) and JSON + SARIF artifacts written.
+# lint_stats exits non-zero on any non-baselined finding.
+python scripts/lint_stats.py --sarif .repro-lint.sarif \
+    --json .repro-lint-report.json
+python scripts/lint_report.py .repro-lint-report.json
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -65,7 +65,7 @@ class DagBuffer:
         self.matches: list[Match] = []
         self.match_count = 0
         self.output_seconds = 0.0
-        self.partition_root: ElementEntry | None = None
+        self._partition_end: int | None = None
         self.peak_entries = 0
         self._size = 0
         self._lists: dict[str, list] = {}
@@ -75,13 +75,25 @@ class DagBuffer:
 
     # -- building ------------------------------------------------------------
 
+    @property
+    def partition_root(self) -> int | None:
+        """End label of the open partition's root (None when closed).
+
+        Only the end label is retained: the engines need the root solely
+        to bound the partition, and buffering the record itself would
+        allocate once per partition on the hot admission path.
+        """
+        return self._partition_end
+
     def set_partition_root(self, entry) -> None:
-        self.partition_root = element_of(entry)
+        """Open a partition rooted at ``entry`` — anything carrying an
+        ``end`` label works (a record object or a raw-column cursor)."""
+        self._partition_end = entry.end
 
     @property
     def partition_end(self) -> int:
-        assert self.partition_root is not None
-        return self.partition_root.end
+        assert self._partition_end is not None
+        return self._partition_end
 
     def add(self, tag: str, entry) -> None:
         """Admit a candidate solution node for query node ``tag``.
@@ -246,7 +258,7 @@ class DagBuffer:
         self._starts = {}
         self._prefix_max_end = {}
         self._size = 0
-        self.partition_root = None
+        self._partition_end = None
 
     def _spill_and_reload(
         self, candidates: Mapping[str, Sequence[ElementEntry]]

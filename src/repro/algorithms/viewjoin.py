@@ -132,10 +132,10 @@ class _ViewJoinRun:
                 tag, start = result
                 if tag == root_tag:
                     if self.dag.partition_root is None:
-                        self.dag.set_partition_root(root_cursor.current)
+                        self.dag.set_partition_root(root_cursor)
                     elif start > self.dag.partition_end:
                         self.dag.flush(self._extend)
-                        self.dag.set_partition_root(root_cursor.current)
+                        self.dag.set_partition_root(root_cursor)
                 self._add_nodes(tag)
             self.dag.flush(self._extend)
             return EvalResult(

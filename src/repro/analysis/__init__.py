@@ -10,28 +10,45 @@ The engine grew three load-bearing conventions that nothing enforced:
 * every catalog/planner mutator must bump the plan-cache generation.
 
 :mod:`repro.analysis` turns those conventions (plus hot-path purity and
-exception discipline) into CI-enforced rules over :mod:`ast`.  See
-``DESIGN.md`` §10 for the rule catalog.
+exception discipline) into CI-enforced rules over :mod:`ast` — per-file
+RL1xx rules, and whole-program RL2xx rules that close the same
+invariants over a project call graph (:mod:`repro.analysis.callgraph`)
+with transitive effect inference (:mod:`repro.analysis.effects`).  See
+``DESIGN.md`` §10 for the rule catalog and ``docs/LINTING.md`` for the
+rule-writing guide.
 
 Public surface:
 
 * :func:`repro.analysis.runner.lint_package` — lint a package tree;
 * :func:`repro.analysis.runner.lint_text` — lint one source snippet
   (fixture tests and editor integrations);
-* :data:`repro.analysis.rules.RULES` — the rule registry;
-* reporters in :mod:`repro.analysis.reporters`.
+* :func:`repro.analysis.runner.build_program` — call graph + effects
+  without running rules;
+* :data:`repro.analysis.rules.RULES` /
+  :data:`repro.analysis.rules_interprocedural.PROGRAM_RULES` — the rule
+  registries;
+* reporters in :mod:`repro.analysis.reporters` (text, JSON, SARIF).
 """
 
 from __future__ import annotations
 
-from repro.analysis.core import Finding, ModuleInfo, Rule
-from repro.analysis.runner import LintReport, lint_package, lint_text
+from repro.analysis.core import Finding, ModuleInfo, ProgramRule, Rule
+from repro.analysis.runner import (
+    LintReport,
+    ProgramModel,
+    build_program,
+    lint_package,
+    lint_text,
+)
 
 __all__ = [
     "Finding",
     "LintReport",
     "ModuleInfo",
+    "ProgramModel",
+    "ProgramRule",
     "Rule",
+    "build_program",
     "lint_package",
     "lint_text",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.analysis.core import Finding
+from repro.analysis.core import DIAGNOSTIC_CODES, Finding
 from repro.errors import LintError
 
 BASELINE_VERSION = 1
@@ -51,9 +51,15 @@ def load_baseline(path: Path) -> set[tuple[str, str, str]]:
 
 
 def write_baseline(path: Path, findings: list[Finding]) -> None:
-    """Write the given findings as the new baseline (sorted, stable)."""
+    """Write the given findings as the new baseline (sorted, stable).
+
+    Engine diagnostics (RL001 parse errors, RL002 stale suppressions)
+    are never baselined: a grandfathered parse error would hide every
+    finding the file produces once it parses again.
+    """
     entries = sorted(
-        {f.fingerprint() for f in findings}
+        {f.fingerprint() for f in findings
+         if f.code not in DIAGNOSTIC_CODES}
     )
     payload = {
         "version": BASELINE_VERSION,

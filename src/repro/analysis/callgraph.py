@@ -1,0 +1,743 @@
+"""Project-wide call graph with class-aware method resolution.
+
+The graph is built in two phases so that the expensive part is cacheable
+per module (see :mod:`repro.analysis.effects`):
+
+1. **Summarize** — :func:`summarize_module` walks one parsed file and
+   extracts a JSON-serializable :class:`ModuleSummary`: every function
+   with its direct effect set and outgoing :class:`CallRef`\\ s, the
+   class table (bases + methods), and the ``repro``-internal imports.
+   Receiver types are inferred flow-insensitively from annotations
+   (parameters, ``AnnAssign``, ``dict[...]``/``Mapping[...]`` element
+   types), constructor assignments (``x = Foo(...)``), and
+   ``self.attr`` types collected across the class's methods — enough to
+   resolve the hot-loop idioms (``self.dag.add``, ``self.cursors[tag]``)
+   precisely.
+2. **Link** — :func:`build_graph` resolves every ``CallRef`` against the
+   project-wide index: local defs, ``from repro.x import y`` chains
+   (re-exports followed), class hierarchies for ``self.m()``/``super()``,
+   and a class-hierarchy-analysis fallback for attribute calls whose
+   receiver type stayed unknown.  CHA edges are marked ``fuzzy`` and are
+   *not* created for generic container/file method names (``get``,
+   ``items``, ``read``...) unless the receiver class was inferred — that
+   is what keeps the transitive effect sets from drowning in dict-method
+   noise.
+
+Node ids are ``"<package-relative-path>::<qualname>"``
+(``algorithms/viewjoin.py::_ViewJoinRun._get_next``), stable across
+checkouts like :class:`~repro.analysis.core.Finding` paths.
+
+Known, deliberate imprecision: ``@property`` bodies are graph nodes but
+attribute *loads* do not create edges into them, and calls through
+callback parameters resolve only when the callback was passed as a
+visible function reference at some call site (a ``ref`` edge is added at
+the passing site).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import ModuleInfo, attr_chain
+from repro.analysis.effects import direct_effects_of
+
+#: Attribute-call names so generic (dict/list/set/str/file protocol) that
+#: an untyped receiver would fan out to unrelated project classes.  For
+#: these, an edge is created only when the receiver class was inferred.
+GENERIC_METHOD_NAMES = frozenset({
+    "get", "items", "keys", "values", "append", "extend", "insert",
+    "add", "update", "setdefault", "pop", "popitem", "clear", "remove",
+    "discard", "sort", "reverse", "copy", "count", "index", "join",
+    "split", "strip", "startswith", "endswith", "encode", "decode",
+    "format", "read", "write", "close", "open", "flush", "seek", "tell",
+    "readline", "writelines", "save", "load",
+})
+
+#: Annotation heads naming mappings: the element type is the *last*
+#: subscript argument (``dict[str, CountingCursor]`` -> CountingCursor).
+_MAPPING_HEADS = frozenset({
+    "dict", "Dict", "Mapping", "MutableMapping", "OrderedDict",
+    "defaultdict",
+})
+
+#: Annotation heads naming sequences: the element type is the *first*
+#: subscript argument.
+_SEQUENCE_HEADS = frozenset({
+    "list", "List", "Sequence", "MutableSequence", "Iterable",
+    "Iterator", "tuple", "Tuple", "set", "Set", "frozenset", "FrozenSet",
+})
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A locally-named class, optionally as a container element type."""
+
+    name: str
+    container: bool = False
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One unresolved outgoing call recorded during summarize.
+
+    ``kind`` is one of ``name`` (bare-name call), ``attr`` (method call
+    on an expression receiver), ``self`` (method on the enclosing
+    class), ``super`` (method on a base class), ``class`` (explicit
+    ``ClassName.m`` / imported-module ``mod.f``), or ``ref`` (a function
+    reference passed as a call argument).
+    """
+
+    kind: str
+    name: str
+    receiver: str = ""
+    recv_class: str = ""
+
+    def to_json(self) -> list:
+        return [self.kind, self.name, self.receiver, self.recv_class]
+
+    @classmethod
+    def from_json(cls, row: list) -> "CallRef":
+        return cls(*row)
+
+
+@dataclass
+class FunctionSummary:
+    qualname: str
+    lineno: int
+    cls: str
+    effects: tuple[str, ...]
+    calls: tuple[CallRef, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "cls": self.cls,
+            "effects": list(self.effects),
+            "calls": [c.to_json() for c in self.calls],
+        }
+
+    @classmethod
+    def from_json(cls, row: dict) -> "FunctionSummary":
+        return cls(
+            qualname=row["qualname"],
+            lineno=row["lineno"],
+            cls=row["cls"],
+            effects=tuple(row["effects"]),
+            calls=tuple(CallRef.from_json(c) for c in row["calls"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the link phase needs from one file (cache unit)."""
+
+    path: str
+    sha: str
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "sha": self.sha,
+            "functions": {
+                q: f.to_json() for q, f in sorted(self.functions.items())
+            },
+            "classes": {c: list(b) for c, b in sorted(self.classes.items())},
+            "imports": dict(sorted(self.imports.items())),
+        }
+
+    @classmethod
+    def from_json(cls, row: dict) -> "ModuleSummary":
+        return cls(
+            path=row["path"],
+            sha=row["sha"],
+            functions={
+                q: FunctionSummary.from_json(f)
+                for q, f in row["functions"].items()
+            },
+            classes={c: tuple(b) for c, b in row["classes"].items()},
+            imports=dict(row["imports"]),
+        )
+
+
+# -- summarize phase -----------------------------------------------------------
+
+
+def _annotation_type(node: ast.AST | None) -> TypeRef | None:
+    """Class named by an annotation, unwrapping Optional/unions/containers."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_type(node.left)
+        return left if left is not None else _annotation_type(node.right)
+    if isinstance(node, ast.Subscript):
+        head = attr_chain(node.value)
+        head = head.rsplit(".", 1)[-1] if head else None
+        args: list[ast.AST]
+        if isinstance(node.slice, ast.Tuple):
+            args = list(node.slice.elts)
+        else:
+            args = [node.slice]
+        if head in _MAPPING_HEADS and args:
+            inner = _annotation_type(args[-1])
+            if inner is not None and not inner.container:
+                return TypeRef(inner.name, container=True)
+            return None
+        if head in _SEQUENCE_HEADS and args:
+            inner = _annotation_type(args[0])
+            if inner is not None and not inner.container:
+                return TypeRef(inner.name, container=True)
+            return None
+        if head == "Optional" and args:
+            return _annotation_type(args[0])
+        return None
+    text = attr_chain(node)
+    if text is None:
+        return None
+    name = text.rsplit(".", 1)[-1]
+    if name in ("None", "Any", "object", "str", "int", "float", "bool",
+                "bytes", "bytearray", "Callable"):
+        return None
+    return TypeRef(name)
+
+
+class _ClassAttrTypes:
+    """Per-class ``self.attr`` type table, collected over every method."""
+
+    def __init__(self) -> None:
+        self.types: dict[str, TypeRef] = {}
+
+    def record(self, attr: str, ref: TypeRef | None) -> None:
+        if ref is not None and attr not in self.types:
+            self.types[attr] = ref
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    )
+
+
+class _FunctionScanner:
+    """Extract call refs and local types from one function body.
+
+    Nested ``def``/``class`` bodies are skipped — their calls belong to
+    their own summaries.  Statements are visited in source order, which
+    is enough for the straight-line alias idioms the codebase uses.
+    """
+
+    def __init__(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls_name: str,
+        attr_types: dict[str, TypeRef],
+        known_names: frozenset[str],
+    ) -> None:
+        self.func = func
+        self.cls_name = cls_name
+        self.attr_types = attr_types
+        self.known_names = known_names
+        self.local_types: dict[str, TypeRef] = {}
+        self.attr_aliases: dict[str, str] = {}
+        self.calls: list[CallRef] = []
+        for arg in list(func.args.posonlyargs) + list(func.args.args) + \
+                list(func.args.kwonlyargs):
+            ref = _annotation_type(arg.annotation)
+            if ref is not None:
+                self.local_types[arg.arg] = ref
+
+    # -- type evaluation -------------------------------------------------------
+
+    def _expr_type(self, node: ast.AST) -> TypeRef | None:
+        if isinstance(node, ast.Name):
+            return self.local_types.get(node.id)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in self.known_names:
+                return TypeRef(node.func.id)
+            return None
+        if _is_self_attr(node):
+            return self.attr_types.get(node.attr)
+        if isinstance(node, ast.Subscript):
+            base = self._expr_type(node.value)
+            if base is not None and base.container:
+                return TypeRef(base.name)
+            return None
+        return None
+
+    def _receiver_class(self, node: ast.AST) -> str:
+        ref = self._expr_type(node)
+        if ref is None:
+            return ""
+        if ref.container:
+            return "<container>"  # dict/list method call: never a project edge
+        return ref.name
+
+    # -- traversal -------------------------------------------------------------
+
+    def scan(self) -> None:
+        for stmt in self.func.body:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scope: its own summary
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            ref = self._expr_type(node.value)
+            if ref is not None:
+                self.local_types[target] = ref
+            if isinstance(node.value, ast.Attribute):
+                self.attr_aliases[target] = node.value.attr
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            ref = _annotation_type(node.annotation)
+            if ref is None and node.value is not None:
+                ref = self._expr_type(node.value)
+            if ref is not None:
+                self.local_types[node.target.id] = ref
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            aliased = self.attr_aliases.get(name)
+            if aliased is not None:
+                self.calls.append(CallRef("attr", aliased))
+            else:
+                self.calls.append(CallRef("name", name))
+        elif isinstance(func, ast.Attribute):
+            self._record_attr_call(func)
+        # function references handed over as arguments
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in self.known_names:
+                self.calls.append(CallRef("ref", arg.id))
+            elif _is_self_attr(arg):
+                self.calls.append(CallRef("ref", arg.attr, receiver="self"))
+
+    def _record_attr_call(self, func: ast.Attribute) -> None:
+        name = func.attr
+        value = func.value
+        if isinstance(value, ast.Call) and \
+                isinstance(value.func, ast.Name) and \
+                value.func.id == "super":
+            self.calls.append(CallRef("super", name))
+            return
+        chain = attr_chain(value)
+        if chain is None:
+            self.calls.append(
+                CallRef("attr", name, recv_class=self._receiver_class(value))
+            )
+            return
+        parts = chain.split(".")
+        if parts[0] in ("self", "cls"):
+            if len(parts) == 1:
+                self.calls.append(CallRef("self", name))
+            elif len(parts) == 2:
+                recv = self.attr_types.get(parts[1])
+                recv_class = "" if recv is None else (
+                    "<container>" if recv.container else recv.name
+                )
+                self.calls.append(
+                    CallRef("attr", name, receiver=chain,
+                            recv_class=recv_class)
+                )
+            else:
+                self.calls.append(CallRef("attr", name, receiver=chain))
+            return
+        if len(parts) == 1 and parts[0] in self.known_names:
+            # ClassName.m(...) or imported-module mod.f(...)
+            self.calls.append(CallRef("class", name, receiver=parts[0]))
+            return
+        self.calls.append(
+            CallRef("attr", name, receiver=chain,
+                    recv_class=self._receiver_class(value))
+        )
+
+
+def _collect_attr_types(
+    cls_node: ast.ClassDef, known_names: frozenset[str]
+) -> dict[str, TypeRef]:
+    """``self.attr`` types across all methods of a class (``__init__``
+    first, so constructor assignments win)."""
+    table = _ClassAttrTypes()
+    methods = sorted(
+        (item for item in cls_node.body
+         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))),
+        key=lambda item: (item.name != "__init__", item.lineno),
+    )
+    for method in methods:
+        scanner = _FunctionScanner(method, cls_node.name, {}, known_names)
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.AnnAssign) and \
+                    _is_self_attr(stmt.target):
+                table.record(stmt.target.attr,
+                             _annotation_type(stmt.annotation))
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and _is_self_attr(stmt.targets[0]):
+                table.record(stmt.targets[0].attr,
+                             scanner._expr_type(stmt.value))
+    return table.types
+
+
+def _module_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to dotted ``repro``-internal targets.
+
+    ``from repro.a.b import X as Y`` binds ``Y -> "repro.a.b:X"``;
+    ``import repro.a.b as m`` binds ``m -> "repro.a.b"``.  External
+    imports are ignored — the graph is project-internal by design.
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level or not (node.module or "").startswith("repro"):
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}:{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if not alias.name.startswith("repro"):
+                    continue
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.asname or "." not in alias.name:
+                    imports[local] = alias.name
+    return imports
+
+
+def summarize_module(module: ModuleInfo, sha: str = "") -> ModuleSummary:
+    """Phase 1: one file's functions, calls, classes, imports, effects."""
+    tree = module.tree
+    imports = _module_imports(tree)
+    classes: dict[str, tuple[str, ...]] = {}
+    class_nodes: dict[str, ast.ClassDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases = tuple(
+                base_name for base in node.bases
+                if (base_name := _base_name(base)) is not None
+            )
+            classes[node.name] = bases
+            class_nodes[node.name] = node
+    functions = dict(module.functions())
+    known_names = frozenset(classes) | frozenset(
+        q for q in functions if "." not in q
+    ) | frozenset(imports)
+
+    attr_tables = {
+        name: _collect_attr_types(cls_node, known_names)
+        for name, cls_node in class_nodes.items()
+    }
+
+    summary = ModuleSummary(path=module.path, sha=sha, classes=classes,
+                            imports=imports)
+    for qualname, func in sorted(functions.items()):
+        cls_name = _enclosing_class(qualname, classes)
+        scanner = _FunctionScanner(
+            func, cls_name, attr_tables.get(cls_name, {}), known_names
+        )
+        scanner.scan()
+        summary.functions[qualname] = FunctionSummary(
+            qualname=qualname,
+            lineno=func.lineno,
+            cls=cls_name,
+            effects=direct_effects_of(func, module.path, qualname),
+            calls=tuple(scanner.calls),
+        )
+    return summary
+
+
+def _base_name(node: ast.AST) -> str | None:
+    text = attr_chain(node)
+    if text is None:
+        return None
+    return text.rsplit(".", 1)[-1]
+
+
+def _enclosing_class(qualname: str, classes: dict[str, tuple[str, ...]]) -> str:
+    if "." not in qualname:
+        return ""
+    head = qualname.rsplit(".", 1)[0]
+    leaf = head.rsplit(".", 1)[-1]
+    return leaf if leaf in classes else ""
+
+
+# -- link phase ----------------------------------------------------------------
+
+
+def node_id(path: str, qualname: str) -> str:
+    return f"{path}::{qualname}"
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    id: str
+    path: str
+    qualname: str
+    lineno: int
+    cls: str
+
+
+class CallGraph:
+    """The linked whole-program graph.
+
+    ``edges`` maps node id -> sorted tuple of callee ids; ``fuzzy``
+    marks edges created by the CHA fallback (receiver type unknown).
+    """
+
+    def __init__(
+        self,
+        nodes: dict[str, GraphNode],
+        edges: dict[str, tuple[str, ...]],
+        fuzzy: frozenset[tuple[str, str]],
+        summaries: dict[str, ModuleSummary],
+    ) -> None:
+        self.nodes = nodes
+        self.edges = edges
+        self.fuzzy = fuzzy
+        self.summaries = summaries
+        self._reverse: dict[str, tuple[str, ...]] | None = None
+
+    def successors(self, node: str) -> tuple[str, ...]:
+        return self.edges.get(node, ())
+
+    def predecessors(self, node: str) -> tuple[str, ...]:
+        if self._reverse is None:
+            reverse: dict[str, list[str]] = {}
+            for src in sorted(self.edges):
+                for dst in self.edges[src]:
+                    reverse.setdefault(dst, []).append(src)
+            self._reverse = {
+                dst: tuple(sorted(set(srcs)))
+                for dst, srcs in reverse.items()
+            }
+        return self._reverse.get(node, ())
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def find(self, needle: str) -> list[str]:
+        """Node ids whose qualname contains ``needle`` (sorted)."""
+        return sorted(
+            nid for nid, info in self.nodes.items()
+            if needle in info.qualname or needle in nid
+        )
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "nodes": len(self.nodes),
+            "edges": self.edge_count(),
+            "fuzzy_edges": len(self.fuzzy),
+            "modules": len(self.summaries),
+        }
+
+
+class _Linker:
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        # dotted module name -> path ("repro.service.core" -> "service/core.py")
+        self.by_dotted: dict[str, str] = {}
+        for path in summaries:
+            dotted = "repro." + path[: -len(".py")].replace("/", ".")
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            self.by_dotted[dotted] = path
+        # class name -> [(path, bases)]
+        self.class_defs: dict[str, list[str]] = {}
+        # method name -> [node ids] (CHA index)
+        self.methods: dict[str, list[str]] = {}
+        for path, summary in sorted(summaries.items()):
+            for cls in summary.classes:
+                self.class_defs.setdefault(cls, []).append(path)
+            for qualname, func in summary.functions.items():
+                if func.cls:
+                    self.methods.setdefault(
+                        qualname.rsplit(".", 1)[-1], []
+                    ).append(node_id(path, qualname))
+
+    # -- symbol resolution -----------------------------------------------------
+
+    def resolve_symbol(
+        self, path: str, name: str, depth: int = 0
+    ) -> tuple[str, str, str] | None:
+        """Resolve ``name`` in module ``path`` to (path, kind, symbol).
+
+        kind is ``func`` or ``class``.  Re-export chains
+        (``from repro.x import y`` in an ``__init__``) are followed.
+        """
+        if depth > 8:
+            return None
+        summary = self.summaries.get(path)
+        if summary is None:
+            return None
+        if name in summary.classes:
+            return (path, "class", name)
+        if name in summary.functions and "." not in name:
+            return (path, "func", name)
+        target = summary.imports.get(name)
+        if target is None:
+            return None
+        if ":" in target:
+            dotted, symbol = target.split(":", 1)
+            target_path = self.by_dotted.get(dotted)
+            if target_path is None:
+                # `from repro.a import b` where b is the module a/b.py
+                sub = self.by_dotted.get(f"{dotted}.{symbol}")
+                return (sub, "module", "") if sub else None
+            return self.resolve_symbol(target_path, symbol, depth + 1)
+        target_path = self.by_dotted.get(target)
+        return (target_path, "module", "") if target_path else None
+
+    def method_in_hierarchy(
+        self, path: str, cls: str, method: str, skip_own: bool = False,
+        depth: int = 0,
+    ) -> str | None:
+        """Find ``method`` on ``cls`` (defined in ``path``) or its bases."""
+        if depth > 8:
+            return None
+        summary = self.summaries.get(path)
+        if summary is None or cls not in summary.classes:
+            return None
+        if not skip_own:
+            qualname = f"{cls}.{method}"
+            if qualname in summary.functions:
+                return node_id(path, qualname)
+        for base in summary.classes[cls]:
+            resolved = self.resolve_symbol(path, base)
+            if resolved is None:
+                continue
+            base_path, kind, base_name = resolved
+            if kind != "class":
+                continue
+            found = self.method_in_hierarchy(
+                base_path, base_name, method, depth=depth + 1
+            )
+            if found is not None:
+                return found
+        return None
+
+    def resolve_class_anywhere(self, path: str, name: str) -> tuple[str, str] | None:
+        """(path, class) for a class name visible from ``path``."""
+        resolved = self.resolve_symbol(path, name)
+        if resolved is not None and resolved[1] == "class":
+            return (resolved[0], resolved[2])
+        return None
+
+    def constructor_target(self, path: str, cls_path: str, cls: str) -> str | None:
+        return self.method_in_hierarchy(cls_path, cls, "__init__")
+
+    # -- call resolution -------------------------------------------------------
+
+    def resolve_call(
+        self, path: str, func: FunctionSummary, ref: CallRef
+    ) -> tuple[list[str], bool]:
+        """Target node ids for one call ref, plus a fuzzy flag."""
+        summary = self.summaries[path]
+        if ref.kind in ("name", "ref") and not ref.receiver:
+            # nested local function first, then module scope / imports
+            nested = f"{func.qualname}.{ref.name}"
+            if nested in summary.functions:
+                return ([node_id(path, nested)], False)
+            if func.cls and f"{func.cls}.{ref.name}" == func.qualname:
+                pass  # recursion handled below by plain lookup
+            resolved = self.resolve_symbol(path, ref.name)
+            if resolved is None:
+                return ([], False)
+            target_path, kind, symbol = resolved
+            if kind == "func":
+                return ([node_id(target_path, symbol)], False)
+            if kind == "class":
+                init = self.constructor_target(path, target_path, symbol)
+                return ([init] if init else [], False)
+            return ([], False)
+        if ref.kind == "ref" and ref.receiver == "self":
+            target = self.method_in_hierarchy(path, func.cls, ref.name)
+            return ([target] if target else [], False)
+        if ref.kind == "self":
+            target = self.method_in_hierarchy(path, func.cls, ref.name)
+            return ([target] if target else [], False)
+        if ref.kind == "super":
+            target = self.method_in_hierarchy(
+                path, func.cls, ref.name, skip_own=True
+            )
+            return ([target] if target else [], False)
+        if ref.kind == "class":
+            resolved = self.resolve_symbol(path, ref.receiver)
+            if resolved is None:
+                return ([], False)
+            target_path, kind, symbol = resolved
+            if kind == "class":
+                target = self.method_in_hierarchy(
+                    target_path, symbol, ref.name
+                )
+                return ([target] if target else [], False)
+            if kind == "module":
+                target_summary = self.summaries.get(target_path)
+                if target_summary and ref.name in target_summary.functions:
+                    return ([node_id(target_path, ref.name)], False)
+                # module attribute that is a class: constructor
+                inner = self.resolve_symbol(target_path, ref.name)
+                if inner is not None and inner[1] == "class":
+                    init = self.constructor_target(path, inner[0], inner[2])
+                    return ([init] if init else [], False)
+            return ([], False)
+        if ref.kind == "attr":
+            if ref.recv_class == "<container>":
+                return ([], False)
+            if ref.recv_class:
+                located = self.resolve_class_anywhere(path, ref.recv_class)
+                if located is not None:
+                    target = self.method_in_hierarchy(
+                        located[0], located[1], ref.name
+                    )
+                    return ([target] if target else [], False)
+                return ([], False)
+            if ref.name in GENERIC_METHOD_NAMES:
+                return ([], False)
+            return (list(self.methods.get(ref.name, ())), True)
+        return ([], False)
+
+
+def build_graph(summaries: dict[str, ModuleSummary]) -> CallGraph:
+    """Phase 2: link per-module summaries into the project graph."""
+    linker = _Linker(summaries)
+    nodes: dict[str, GraphNode] = {}
+    for path, summary in sorted(summaries.items()):
+        for qualname, func in sorted(summary.functions.items()):
+            nid = node_id(path, qualname)
+            nodes[nid] = GraphNode(
+                id=nid, path=path, qualname=qualname,
+                lineno=func.lineno, cls=func.cls,
+            )
+    edges: dict[str, tuple[str, ...]] = {}
+    fuzzy: set[tuple[str, str]] = set()
+    for path, summary in sorted(summaries.items()):
+        for qualname, func in sorted(summary.functions.items()):
+            src = node_id(path, qualname)
+            targets: set[str] = set()
+            for ref in func.calls:
+                resolved, is_fuzzy = linker.resolve_call(path, func, ref)
+                for dst in resolved:
+                    if dst in nodes and dst != src:
+                        targets.add(dst)
+                        if is_fuzzy:
+                            fuzzy.add((src, dst))
+            if targets:
+                edges[src] = tuple(sorted(targets))
+    return CallGraph(nodes, edges, frozenset(fuzzy), summaries)

@@ -21,7 +21,9 @@ carries the repository's standing registrations.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 _SUPPRESS_RE = re.compile(
@@ -81,10 +83,12 @@ class ModuleInfo:
         self.source = source
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
+        self._functions: list | None = None
         self.suppressions: dict[int, set[str] | None] = {}
+        self.used_suppression_lines: set[int] = set()
         self.hot_marker_lines: set[int] = set()
-        for number, line in enumerate(self.lines, start=1):
-            match = _SUPPRESS_RE.search(line)
+        for number, comment in self._comments():
+            match = _SUPPRESS_RE.search(comment)
             if match:
                 spec = match.group(1)
                 if spec.strip().lower() == "all":
@@ -93,14 +97,48 @@ class ModuleInfo:
                     self.suppressions[number] = {
                         code.strip().upper() for code in spec.split(",")
                     }
-            if _HOT_RE.search(line):
+            if _HOT_RE.search(comment):
                 self.hot_marker_lines.add(number)
+
+    def _comments(self) -> list[tuple[int, str]]:
+        """(line, text) for every real comment token.
+
+        Tokenizing (rather than regex-scanning raw lines) keeps
+        ``repro-lint:`` directives quoted inside strings and docstrings
+        — documentation, not markers — from registering.
+        """
+        try:
+            return [
+                (token.start[0], token.string)
+                for token in tokenize.generate_tokens(
+                    io.StringIO(self.source).readline
+                )
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):
+            # ast.parse accepted the file, so this should be unreachable;
+            # fall back to treating every line as potential comment text.
+            return list(enumerate(self.lines, start=1))
 
     def is_suppressed(self, finding: Finding) -> bool:
         codes = self.suppressions.get(finding.line, ())
-        if codes is None:
+        if codes is None or finding.code in codes:
+            self.used_suppression_lines.add(finding.line)
             return True
-        return finding.code in codes
+        return False
+
+    def unused_suppression_lines(self) -> list[int]:
+        """Suppression comments that silenced nothing this run (stale)."""
+        return sorted(set(self.suppressions) - self.used_suppression_lines)
+
+    def functions(
+        self,
+    ) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Memoized :func:`iter_functions` over this module's tree —
+        every rule iterates the same definitions, so walk once."""
+        if self._functions is None:
+            self._functions = iter_functions(self.tree)
+        return self._functions
 
     def has_hot_marker(self, node: ast.AST) -> bool:
         """True when ``def`` carries ``# repro-lint: hot`` on its first
@@ -110,6 +148,17 @@ class ModuleInfo:
             lines.add(decorator.lineno)
             lines.add(node.body[0].lineno - 1 if node.body else node.lineno)
         return bool(lines & self.hot_marker_lines)
+
+
+#: Engine diagnostics (not invariant violations): RL001 marks files the
+#: analyzer could not read as code (syntax error, empty file); RL002
+#: marks suppression comments that silenced nothing.  Diagnostics are
+#: never written into baselines — a baselined parse error would hide
+#: every finding the file would produce once it parses again.
+DIAGNOSTIC_CODES = frozenset({"RL001", "RL002"})
+
+PARSE_ERROR_CODE = "RL001"
+UNUSED_SUPPRESSION_CODE = "RL002"
 
 
 class Rule:
@@ -134,6 +183,24 @@ class Rule:
             message=message,
             symbol=symbol,
         )
+
+
+class ProgramRule(Rule):
+    """Interprocedural rule: sees the whole program, not one module.
+
+    ``check_program`` receives a :class:`repro.analysis.runner.ProgramModel`
+    (modules, call graph, effect analysis) and returns findings anchored
+    in whatever module each violation lives in; per-line suppressions
+    still apply at the anchored line.  ``check`` is a no-op so
+    ``ProgramRule`` instances can share the module-rule registry
+    plumbing (reporters, docs) without running per-file.
+    """
+
+    def check(self, module: ModuleInfo) -> list[Finding]:
+        return []
+
+    def check_program(self, program) -> list[Finding]:
+        raise NotImplementedError
 
 
 # -- shared AST helpers --------------------------------------------------------

@@ -1,0 +1,503 @@
+"""Effect inference: per-function direct effects and transitive closures.
+
+An *effect* is a one-word answer to "what does calling this function
+drag in?" — the properties the RL2xx interprocedural rules reason about:
+
+====================  ========================================================
+``allocates-records``   builds ``ElementEntry``/``LinkedEntry`` record objects
+                        (``element_of``, ``columns.entry``)
+``reference-decode``    calls a pool-served reference-path helper
+                        (``TagSource.read``/``scan``) from ``algorithms/``
+``raw-page-read``       reads page bytes around the counted pool path
+                        (``read_page_raw``)
+``performs-pager-io``   touches pager pages at all (counted or raw)
+``mirrors-accounting``  mirrors a read into the buffer pool
+                        (``touch``/``touch_run``/``touch_index``)
+``mutates-view-state``  assigns/mutates registered-view state
+                        (``_views``/``_registered``/catalog ``document``)
+``bumps-generation``    invalidates dependents (``_bump_generation``,
+                        ``install_maintained``, ``version``/``epoch`` store)
+``nondet-set-iter``     iterates an unordered set into ordered state
+``nondet-source``       reads wall clock, ``random``, or ``id()``
+``reads-environment``   consults ``os.environ``/``os.getenv``
+``unbounded-wait``      blocks without a timeout (``.result()``,
+                        ``.join()``, ``.acquire()``, ``.wait()`` bare)
+``mutates-global``      rebinds a module global (``global X; X = ...``)
+====================  ========================================================
+
+Direct effects are extracted syntactically per function body (nested
+``def``\\ s excluded — they are their own graph nodes).  Transitive
+effects are the union over the call graph, computed by Tarjan SCC
+condensation in reverse topological order, so recursion converges and
+each strongly-connected component is summarized exactly once.
+
+Caching: :class:`AnalysisCache` persists (1) module summaries keyed by
+source hash — editing one file re-summarizes only that file — and
+(2) per-SCC closures keyed by a *recursive digest* of member direct
+effects plus successor digests — editing one file recomputes closures
+only for its SCCs and their transitive callers.  Bumping
+:data:`ANALYZER_VERSION` invalidates everything.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.core import (
+    attr_chain,
+    call_target_name,
+    local_attr_aliases,
+)
+from repro.analysis.rules import (
+    RECORD_CONSTRUCTORS,
+    RECORD_FACTORY_ATTRS,
+    REFERENCE_HELPERS,
+    _RAW_ACCESS_ATTRS,
+    _SetTypeInference,
+    _TIME_ALLOWED,
+)
+
+#: Bump when effect extraction or closure semantics change; invalidates
+#: every cached summary and closure.
+ANALYZER_VERSION = "rl2xx-1"
+
+ALLOCATES = "allocates-records"
+REFERENCE_DECODE = "reference-decode"
+RAW_PAGE_READ = "raw-page-read"
+PAGER_IO = "performs-pager-io"
+MIRRORS_ACCOUNTING = "mirrors-accounting"
+MUTATES_VIEW_STATE = "mutates-view-state"
+BUMPS_GENERATION = "bumps-generation"
+NONDET_SET_ITER = "nondet-set-iter"
+NONDET_SOURCE = "nondet-source"
+READS_ENVIRONMENT = "reads-environment"
+UNBOUNDED_WAIT = "unbounded-wait"
+MUTATES_GLOBAL = "mutates-global"
+
+ALL_EFFECTS = (
+    ALLOCATES, REFERENCE_DECODE, RAW_PAGE_READ, PAGER_IO,
+    MIRRORS_ACCOUNTING, MUTATES_VIEW_STATE, BUMPS_GENERATION,
+    NONDET_SET_ITER, NONDET_SOURCE, READS_ENVIRONMENT, UNBOUNDED_WAIT,
+    MUTATES_GLOBAL,
+)
+
+#: Effects that make a function a nondeterminism source for RL202.
+NONDET_EFFECTS = frozenset({
+    NONDET_SET_ITER, NONDET_SOURCE, READS_ENVIRONMENT,
+})
+
+#: Pager entry points (counted and raw).
+_PAGER_CALL_ATTRS = frozenset({"read_page", "read_page_raw", "write_page"})
+
+#: Calls that bump a generation/epoch, invalidating dependent caches.
+_GENERATION_CALLS = frozenset({"_bump_generation", "install_maintained"})
+
+#: Attribute stores that count as a generation bump.
+_GENERATION_STORE_ATTRS = frozenset({"version", "epoch", "generation"})
+
+#: Registered-view state attributes (see RL104's contracts).
+_VIEW_STATE_ATTRS = frozenset({"_views", "_registered", "document"})
+
+#: Blocking calls that are unbounded when no timeout is passed.
+_WAIT_CALL_ATTRS = frozenset({"wait", "join", "acquire", "result"})
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard",
+})
+
+_ORDER_PRESERVING_CALLS = frozenset({"list", "tuple", "enumerate", "join"})
+
+
+def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef):
+    """The function's own statements/expressions, nested scopes excluded."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_attr_store(node: ast.AST, attrs: frozenset[str]) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr in attrs:
+        return True
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr in attrs
+    )
+
+
+def direct_effects_of(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+    qualname: str,
+) -> tuple[str, ...]:
+    """Syntactic effects of one function body (sorted, deduplicated)."""
+    effects: set[str] = set()
+    aliases = local_attr_aliases(func)
+    in_algorithms = path.startswith("algorithms/")
+    inference = _SetTypeInference()
+    inference.visit(func)
+
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Global):
+            effects.add(MUTATES_GLOBAL)
+        elif isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is not None:
+                if chain.startswith("os.environ") or chain == "os.getenv":
+                    effects.add(READS_ENVIRONMENT)
+                elif chain.startswith("random."):
+                    effects.add(NONDET_SOURCE)
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr not in _TIME_ALLOWED
+            ):
+                effects.add(NONDET_SOURCE)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if _is_attr_store(target, _VIEW_STATE_ATTRS):
+                    effects.add(MUTATES_VIEW_STATE)
+                if isinstance(target, ast.Attribute) and \
+                        target.attr in _GENERATION_STORE_ATTRS:
+                    effects.add(BUMPS_GENERATION)
+        if not isinstance(node, ast.Call):
+            continue
+
+        target_name = call_target_name(node)
+        if target_name is None:
+            continue
+        resolved = target_name
+        is_attr_call = isinstance(node.func, ast.Attribute)
+        if isinstance(node.func, ast.Name):
+            resolved = aliases.get(target_name, target_name)
+            is_attr_call = resolved != target_name
+
+        if resolved in RECORD_CONSTRUCTORS:
+            effects.add(ALLOCATES)
+        elif is_attr_call and resolved in RECORD_FACTORY_ATTRS:
+            effects.add(ALLOCATES)
+        if in_algorithms and is_attr_call and resolved in REFERENCE_HELPERS:
+            effects.add(REFERENCE_DECODE)
+        if resolved in _RAW_ACCESS_ATTRS:
+            effects.add(RAW_PAGE_READ)
+        if resolved in _PAGER_CALL_ATTRS:
+            effects.add(PAGER_IO)
+        if "touch" in resolved:
+            effects.add(MIRRORS_ACCOUNTING)
+        if resolved in _GENERATION_CALLS:
+            effects.add(BUMPS_GENERATION)
+        if resolved == "id" and isinstance(node.func, ast.Name) and \
+                target_name == "id":
+            effects.add(NONDET_SOURCE)
+        if (
+            is_attr_call
+            and resolved in _WAIT_CALL_ATTRS
+            and not node.args
+            and not any(kw.arg == "timeout" for kw in node.keywords)
+        ):
+            effects.add(UNBOUNDED_WAIT)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and _is_attr_store(node.func.value, _VIEW_STATE_ATTRS)
+        ):
+            effects.add(MUTATES_VIEW_STATE)
+
+    # unordered-set iteration into ordered downstream state (RL103 shape)
+    for node in _own_nodes(func):
+        sites: list[ast.AST] = []
+        if isinstance(node, ast.For):
+            sites.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            sites.extend(g.iter for g in node.generators)
+        elif isinstance(node, ast.Call):
+            name = call_target_name(node)
+            if name in _ORDER_PRESERVING_CALLS and node.args:
+                sites.append(node.args[0])
+        if any(inference.is_set_expr(site) for site in sites):
+            effects.add(NONDET_SET_ITER)
+
+    return tuple(sorted(effects))
+
+
+# -- transitive closure --------------------------------------------------------
+
+
+def _tarjan_sccs(
+    nodes: list[str], edges: dict[str, tuple[str, ...]]
+) -> list[tuple[str, ...]]:
+    """Strongly connected components, emitted successors-first (reverse
+    topological order of the condensation).  Iterative — lint targets
+    include deep call chains."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[tuple[str, ...]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work[-1]
+            if edge_i == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = edges.get(node, ())
+            for i in range(edge_i, len(successors)):
+                succ = successors[i]
+                if succ not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+class AnalysisCache:
+    """Two-level persistent cache for incremental reruns.
+
+    Level 1: per-module summaries keyed by source hash (skips the AST
+    scan for unchanged files).  Level 2: per-SCC transitive closures
+    keyed by a recursive digest (skips closure recomputation for every
+    component whose reachable subgraph is unchanged).  Hit/miss counters
+    are runtime-only and feed the lint stats line.
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, dict] = {}
+        self.closures: dict[str, dict[str, list[str]]] = {}
+        self.summary_hits = 0
+        self.summary_misses = 0
+        self.closure_hits = 0
+        self.closure_misses = 0
+        self.loaded_version = ANALYZER_VERSION
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "AnalysisCache":
+        cache = cls()
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict):
+            return cache
+        cache.loaded_version = str(raw.get("version", ""))
+        if cache.loaded_version != ANALYZER_VERSION:
+            # analyzer changed: everything previously cached is invalid
+            cache.loaded_version = ANALYZER_VERSION
+            return cache
+        modules = raw.get("modules", {})
+        closures = raw.get("closures", {})
+        if isinstance(modules, dict):
+            cache.modules = modules
+        if isinstance(closures, dict):
+            cache.closures = closures
+        return cache
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": ANALYZER_VERSION,
+            "modules": self.modules,
+            "closures": self.closures,
+        }
+        try:
+            path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs uncached
+
+    # -- level 1: module summaries --------------------------------------------
+
+    def get_summary_json(self, path: str, sha: str) -> dict | None:
+        row = self.modules.get(path)
+        if row is not None and row.get("sha") == sha:
+            self.summary_hits += 1
+            return row.get("summary")
+        self.summary_misses += 1
+        return None
+
+    def put_summary_json(self, path: str, sha: str, summary: dict) -> None:
+        self.modules[path] = {"sha": sha, "summary": summary}
+
+    # -- level 2: SCC closures -------------------------------------------------
+
+    def get_closure(self, digest: str) -> dict[str, list[str]] | None:
+        row = self.closures.get(digest)
+        if row is not None:
+            self.closure_hits += 1
+            return row
+        self.closure_misses += 1
+        return None
+
+    def put_closure(self, digest: str, effects: dict[str, list[str]]) -> None:
+        self.closures[digest] = effects
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "summary_hits": self.summary_hits,
+            "summary_misses": self.summary_misses,
+            "closure_hits": self.closure_hits,
+            "closure_misses": self.closure_misses,
+        }
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+class EffectAnalysis:
+    """Transitive effect sets over a built call graph.
+
+    ``graph`` is a :class:`repro.analysis.callgraph.CallGraph` (duck
+    typed — anything with ``nodes``/``edges``/``summaries`` works).
+    Pass an :class:`AnalysisCache` to reuse closures across runs.
+    """
+
+    def __init__(self, graph, cache: AnalysisCache | None = None) -> None:
+        self.graph = graph
+        self._direct: dict[str, frozenset[str]] = {}
+        for path, summary in graph.summaries.items():
+            for qualname, func in summary.functions.items():
+                self._direct[f"{path}::{qualname}"] = frozenset(func.effects)
+        self._closure: dict[str, frozenset[str]] = {}
+        self._compute(cache)
+
+    def _compute(self, cache: AnalysisCache | None) -> None:
+        edges = self.graph.edges
+        node_ids = sorted(self.graph.nodes)
+        sccs = _tarjan_sccs(node_ids, edges)
+        scc_of: dict[str, int] = {}
+        for i, scc in enumerate(sccs):
+            for member in scc:
+                scc_of[member] = i
+        digests: dict[int, str] = {}
+        for i, scc in enumerate(sccs):  # successors-first
+            succ_digests: set[str] = set()
+            for member in scc:
+                for succ in edges.get(member, ()):
+                    j = scc_of.get(succ)
+                    if j is not None and j != i:
+                        succ_digests.add(digests[j])
+            hasher = hashlib.sha256(ANALYZER_VERSION.encode())
+            for member in scc:
+                hasher.update(member.encode())
+                hasher.update(",".join(sorted(self._direct[member])).encode())
+            for digest in sorted(succ_digests):
+                hasher.update(digest.encode())
+            digest = hasher.hexdigest()[:24]
+            digests[i] = digest
+
+            cached = cache.get_closure(digest) if cache is not None else None
+            if cached is not None and set(cached) == set(scc):
+                for member, effect_list in cached.items():
+                    self._closure[member] = frozenset(effect_list)
+                continue
+            self._close_scc(scc, set(scc), edges)
+            if cache is not None:
+                cache.put_closure(digest, {
+                    member: sorted(self._closure[member]) for member in scc
+                })
+
+    def _close_scc(
+        self,
+        scc: tuple[str, ...],
+        members: set[str],
+        edges: dict[str, tuple[str, ...]],
+    ) -> None:
+        # seed: direct effects + already-final closures of external callees
+        for member in scc:
+            acc = set(self._direct[member])
+            for succ in edges.get(member, ()):
+                if succ not in members:
+                    acc |= self._closure.get(succ, frozenset())
+            self._closure[member] = frozenset(acc)
+        if len(scc) == 1 and scc[0] not in edges.get(scc[0], ()):
+            return
+        # intra-SCC fixpoint (components are tiny: recursion is rare here)
+        changed = True
+        while changed:
+            changed = False
+            for member in scc:
+                acc = set(self._closure[member])
+                before = len(acc)
+                for succ in edges.get(member, ()):
+                    if succ in members:
+                        acc |= self._closure[succ]
+                if len(acc) != before:
+                    self._closure[member] = frozenset(acc)
+                    changed = True
+
+    # -- queries ---------------------------------------------------------------
+
+    def direct(self, node: str) -> frozenset[str]:
+        return self._direct.get(node, frozenset())
+
+    def transitive(self, node: str) -> frozenset[str]:
+        return self._closure.get(node, frozenset())
+
+    def inherited(self, node: str) -> frozenset[str]:
+        """Effects arriving only through callees."""
+        return self.transitive(node) - self.direct(node)
+
+    def witness(self, node: str, effect: str) -> list[str]:
+        """Shortest deterministic call chain from ``node`` to a function
+        with ``effect`` as a *direct* effect (BFS, sorted successors).
+        Returns ``[node, ..., source]``; empty when unreachable."""
+        from repro.analysis.dataflow import first_reaching_path
+
+        return first_reaching_path(
+            self.graph, node,
+            lambda n: effect in self.direct(n),
+            allowed=lambda n: effect in self.transitive(n),
+        ) or []
+
+    def describe(self, node: str) -> dict[str, object]:
+        """CLI payload for ``viewjoin lint --effects <qualname>``."""
+        direct = sorted(self.direct(node))
+        inherited = sorted(self.inherited(node))
+        return {
+            "node": node,
+            "direct": direct,
+            "inherited": {
+                effect: self.witness(node, effect) for effect in inherited
+            },
+        }

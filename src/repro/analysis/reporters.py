@@ -1,7 +1,8 @@
-"""Text and JSON renderings of a lint run.
+"""Text, JSON and SARIF renderings of a lint run.
 
 The text reporter is for humans at a terminal; the JSON reporter feeds
-``scripts/lint_report.py`` (per-rule CI summaries) and any other tooling.
+``scripts/lint_report.py`` (per-rule CI summaries) and any other tooling;
+the SARIF 2.1.0 reporter feeds CI annotation UIs and editors.
 """
 
 from __future__ import annotations
@@ -9,20 +10,48 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING
 
+from repro.analysis.core import (
+    PARSE_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    Finding,
+)
 from repro.analysis.rules import RULES
+from repro.analysis.rules_interprocedural import PROGRAM_RULES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.runner import LintReport
 
-_RULE_NAMES = {rule.code: rule.name for rule in RULES}
+#: Every reportable rule, module-scoped and program-scoped, plus the
+#: engine diagnostics — reporters treat them uniformly.
+ALL_RULES = tuple(RULES) + tuple(PROGRAM_RULES)
+
+_RULE_NAMES = {rule.code: rule.name for rule in ALL_RULES}
+_RULE_NAMES[PARSE_ERROR_CODE] = "parse-error"
+_RULE_NAMES[UNUSED_SUPPRESSION_CODE] = "unused-suppression"
+
+_RULE_DESCRIPTIONS = {rule.code: rule.description for rule in ALL_RULES}
+_RULE_DESCRIPTIONS[PARSE_ERROR_CODE] = (
+    "The file is empty or does not parse; nothing in it was analyzed."
+)
+_RULE_DESCRIPTIONS[UNUSED_SUPPRESSION_CODE] = (
+    "A # repro-lint: disable=... comment matched no finding this run;"
+    " stale suppressions can mask future regressions on the same line."
+)
+
+
+def _tag(finding: Finding) -> str:
+    name = _RULE_NAMES.get(finding.code, "")
+    return f"{finding.code}({name})" if name else finding.code
 
 
 def render_text(report: "LintReport") -> str:
     lines: list[str] = []
     for finding in report.new_findings:
-        name = _RULE_NAMES.get(finding.code, "")
-        tag = f"{finding.code}({name})" if name else finding.code
-        lines.append(f"{finding.location()}: {tag}: {finding.message}")
+        lines.append(f"{finding.location()}: {_tag(finding)}:"
+                     f" {finding.message}")
+    for finding in report.warnings:
+        lines.append(f"{finding.location()}: warning: {_tag(finding)}:"
+                     f" {finding.message}")
     if report.stale_baseline:
         lines.append("")
         lines.append("stale baseline entries (fixed or moved — remove them):")
@@ -33,13 +62,14 @@ def render_text(report: "LintReport") -> str:
         f"repro-lint: {len(report.new_findings)} finding(s)"
         f" in {report.files_checked} file(s)"
         f" ({len(report.baselined)} baselined,"
-        f" {report.suppressed_count} suppressed)"
+        f" {report.suppressed_count} suppressed,"
+        f" {len(report.warnings)} warning(s))"
     )
     return "\n".join(lines)
 
 
 def render_json(report: "LintReport") -> str:
-    per_rule: dict[str, int] = {rule.code: 0 for rule in RULES}
+    per_rule: dict[str, int] = {rule.code: 0 for rule in ALL_RULES}
     for finding in report.new_findings:
         per_rule[finding.code] = per_rule.get(finding.code, 0) + 1
     payload = {
@@ -48,6 +78,7 @@ def render_json(report: "LintReport") -> str:
             "new": len(report.new_findings),
             "baselined": len(report.baselined),
             "suppressed": report.suppressed_count,
+            "warnings": len(report.warnings),
             "per_rule": per_rule,
         },
         "rules": [
@@ -56,13 +87,103 @@ def render_json(report: "LintReport") -> str:
                 "name": rule.name,
                 "description": rule.description,
             }
-            for rule in RULES
+            for rule in ALL_RULES
         ],
         "findings": [f.as_dict() for f in report.new_findings],
         "baselined": [f.as_dict() for f in report.baselined],
+        "warnings": [f.as_dict() for f in report.warnings],
         "stale_baseline": [
             {"code": code, "path": path, "message": message}
             for code, path, message in sorted(report.stale_baseline)
         ],
+        "stats": report.stats.as_dict(),
+    }
+    return json.dumps(payload, indent=2)
+
+
+# -- SARIF ---------------------------------------------------------------------
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding: Finding, level: str) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f"src/repro/{finding.path}",
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+            **(
+                {"logicalLocations": [{
+                    "fullyQualifiedName": finding.symbol,
+                    "kind": "function",
+                }]}
+                if finding.symbol else {}
+            ),
+        }],
+        "fingerprints": {
+            "reproLint/v1": "|".join(finding.fingerprint()),
+        },
+    }
+
+
+def render_sarif(report: "LintReport") -> str:
+    """SARIF 2.1.0: new findings as errors, baselined findings as notes
+    (suppressed in-source per the SARIF model), warnings as warnings."""
+    rules = [
+        {
+            "id": code,
+            "name": _RULE_NAMES.get(code, code),
+            "shortDescription": {"text": _RULE_NAMES.get(code, code)},
+            "fullDescription": {"text": _RULE_DESCRIPTIONS.get(code, "")},
+        }
+        for code in sorted(
+            {rule.code for rule in ALL_RULES}
+            | {PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE}
+        )
+    ]
+    results = (
+        [_sarif_result(f, "error") for f in report.new_findings]
+        + [_sarif_result(f, "warning") for f in report.warnings]
+        + [
+            {**_sarif_result(f, "note"),
+             "suppressions": [{"kind": "external",
+                               "justification": "baselined"}]}
+            for f in report.baselined
+        ]
+    )
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/viewjoin/repro",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {
+                    "text": "repository root",
+                }},
+            },
+            "results": results,
+            "properties": {"stats": report.stats.as_dict()},
+        }],
     }
     return json.dumps(payload, indent=2)

@@ -1,9 +1,12 @@
-"""The repro-lint rule catalog (RL101–RL107).
+"""The per-file repro-lint rule catalog (RL101–RL108).
 
 Each rule encodes one invariant this repository's correctness rests on;
-DESIGN.md §10 documents the contract behind every code.  Rules scope by
-package-relative path, so fixture tests (and scratch files) exercise
-them by choosing an appropriate path.
+DESIGN.md §10 carries the authoritative rule table (per-file RL1xx,
+whole-program RL2xx in :mod:`repro.analysis.rules_interprocedural`, and
+the RL0xx engine diagnostics).  Rules scope by package-relative path, so
+fixture tests (and scratch files) exercise them by choosing an
+appropriate path.  ``docs/LINTING.md`` is the guide for writing a new
+rule in either tier.
 """
 
 from __future__ import annotations
@@ -16,7 +19,6 @@ from repro.analysis.core import (
     Rule,
     attr_chain,
     call_target_name,
-    iter_functions,
     local_attr_aliases,
 )
 
@@ -82,7 +84,7 @@ class HotPathPurityRule(Rule):
     def check(self, module: ModuleInfo) -> list[Finding]:
         registered = HOT_FUNCTIONS.get(module.path, frozenset())
         findings: list[Finding] = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             if qualname not in registered and not module.has_hot_marker(func):
                 continue
             findings.extend(self._check_hot(module, qualname, func))
@@ -164,7 +166,7 @@ class IoAccountingMirrorRule(Rule):
         if not module.path.startswith("storage/"):
             return []
         findings: list[Finding] = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             findings.extend(self._check_function(module, qualname, func))
         return findings
 
@@ -349,7 +351,7 @@ class DeterminismRule(Rule):
 
     def _check_set_iteration(self, module: ModuleInfo) -> list[Finding]:
         findings: list[Finding] = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             inference = _SetTypeInference()
             inference.visit(func)
             for node in ast.walk(func):
@@ -445,7 +447,7 @@ class CacheCoherenceRule(Rule):
         not own, so the contract binds every function in the module, not
         the methods of one class."""
         findings = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             mutation = self._find_any_receiver_mutation(func, attrs)
             if mutation is None:
                 continue
@@ -728,7 +730,7 @@ class WaitDisciplineRule(Rule):
 
     def _check_retry_loops(self, module: ModuleInfo) -> list[Finding]:
         findings = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             sanctioned = any(
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -808,7 +810,7 @@ class BatchPlanningRule(Rule):
         if not registered:
             return []
         findings: list[Finding] = []
-        for qualname, func in iter_functions(module.tree):
+        for qualname, func in module.functions():
             if qualname not in registered:
                 continue
             for loop in self._loop_scopes(func):

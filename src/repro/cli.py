@@ -263,11 +263,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="whole-batch deadline in seconds")
 
     lint = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (RL101-RL108)"
+        "lint", help="run the repro-lint invariant checker"
+                     " (RL101-RL108 per-file, RL201-RL205 whole-program)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the whole"
-                           " repro package)")
+                           " repro package; the call graph then covers"
+                           " only the subset)")
     lint.add_argument("--root", default=None,
                       help="package root for rule scoping (default: the"
                            " installed repro package)")
@@ -276,8 +278,24 @@ def _build_parser() -> argparse.ArgumentParser:
                            ".json at the repo root)")
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the machine-readable JSON report")
+    lint.add_argument("--sarif", default=None, metavar="FILE",
+                      help="also write a SARIF 2.1.0 report to FILE"
+                           " ('-' for stdout)")
     lint.add_argument("--write-baseline", action="store_true",
                       help="rewrite the baseline from current findings")
+    lint.add_argument("--graph", action="store_true",
+                      help="print call-graph statistics instead of"
+                           " findings")
+    lint.add_argument("--effects", default=None, metavar="QUALNAME",
+                      help="print direct + inherited effects (with call-"
+                           "chain witnesses) for functions matching"
+                           " QUALNAME instead of findings")
+    lint.add_argument("--changed", action="store_true",
+                      help="analyze the whole package but report only"
+                           " findings in files changed vs git HEAD")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="skip the per-module analysis cache"
+                           " (.repro-lint-cache.json)")
     return parser
 
 
@@ -708,22 +726,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.baseline import write_baseline
-    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.dataflow import pretty_chain
+    from repro.analysis.reporters import (
+        render_json,
+        render_sarif,
+        render_text,
+    )
     from repro.analysis.runner import (
+        changed_paths,
         default_baseline_path,
+        default_cache_path,
         lint_package,
     )
 
     root = Path(args.root) if args.root else None
     baseline = Path(args.baseline) if args.baseline else None
     paths = [Path(p) for p in args.paths] if args.paths else None
-    report = lint_package(root=root, paths=paths, baseline_path=baseline)
+    cache = None
+    if not args.no_cache and root is None and paths is None:
+        # cache only the canonical whole-package run: fixture trees and
+        # subsets would poison the keyed-by-path module entries
+        cache = default_cache_path()
+    report_paths = changed_paths(root) if args.changed else None
+    report = lint_package(
+        root=root, paths=paths, baseline_path=baseline,
+        cache_path=cache, report_paths=report_paths,
+    )
+    program = report.program
+
+    if args.graph:
+        stats = program.graph.stats()
+        for key in sorted(stats):
+            print(f"{key}: {stats[key]}")
+        return 0
+
+    if args.effects:
+        nodes = program.graph.find(args.effects)
+        if not nodes:
+            print(f"no function matches {args.effects!r}")
+            return 1
+        for node in nodes:
+            info = program.effects.describe(node)
+            print(node)
+            print(f"  direct: {', '.join(info['direct']) or '(none)'}")
+            inherited = info["inherited"]
+            if not inherited:
+                print("  inherited: (none)")
+            for effect, chain in sorted(inherited.items()):
+                print(f"  inherited {effect!r} via"
+                      f" {pretty_chain(chain) if chain else '(unknown)'}")
+        return 0
+
     if args.write_baseline:
         target = baseline or default_baseline_path()
         write_baseline(target, report.all_findings())
         print(f"baseline written to {target}"
               f" ({len(report.all_findings())} finding(s))")
         return 0
+    if args.sarif:
+        sarif = render_sarif(report)
+        if args.sarif == "-":
+            print(sarif)
+        else:
+            Path(args.sarif).write_text(sarif + "\n", encoding="utf-8")
     if args.as_json:
         print(render_json(report))
     else:

@@ -29,7 +29,7 @@ from repro.storage.pager import Pager
 _DECODER_IDS = iter(range(1, 1 << 30))
 
 
-def columnar_enabled() -> bool:
+def columnar_enabled() -> bool:  # repro-lint: disable=RL202 (process-stable config gate; fast/slow paths pinned byte-identical by the differential suites)
     """Global knob for the columnar fast path.
 
     ``REPRO_COLUMNAR=0`` (checked at list construction time) bypasses
@@ -110,7 +110,7 @@ class StoredList:
         self._build_columns()
         return self
 
-    def _build_columns(self) -> None:
+    def _build_columns(self) -> None:  # repro-lint: disable=RL203 (one-time column build; reads accounted at access time via touch)
         """Decode every page once into packed columns (uncounted reads).
 
         Runs at finalize/attach time — before any measured evaluation — so
@@ -151,7 +151,7 @@ class StoredList:
 
     # -- maintenance -----------------------------------------------------------
 
-    def shifted(self, ops: Sequence[tuple[int, int]]) -> "StoredList":
+    def shifted(self, ops: Sequence[tuple[int, int]]) -> "StoredList":  # repro-lint: disable=RL203 (maintenance bulk rewrite, not measured evaluation I/O)
         """Copy-on-write clone with every record's region labels run
         through the piecewise shifts ``ops`` (incremental-maintenance
         SHIFT repair).
@@ -382,7 +382,7 @@ class SlottedList:
         self._build_columns()
         return self
 
-    def _build_columns(self) -> None:
+    def _build_columns(self) -> None:  # repro-lint: disable=RL203 (one-time column build; reads accounted at access time via touch)
         """Decode every page once into packed columns (uncounted reads).
 
         Variable-width records cannot be bulk-reinterpreted, so this decodes
@@ -419,7 +419,7 @@ class SlottedList:
 
     # -- maintenance -----------------------------------------------------------
 
-    def shifted(self, ops: Sequence[tuple[int, int]]) -> "SlottedList":
+    def shifted(self, ops: Sequence[tuple[int, int]]) -> "SlottedList":  # repro-lint: disable=RL203 (maintenance bulk rewrite, not measured evaluation I/O)
         """Copy-on-write clone with all region labels shifted.
 
         Labels occupy fixed-width fields inside the variable-width

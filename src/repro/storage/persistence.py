@@ -222,7 +222,7 @@ def commit_store(
     return catalog.store_version
 
 
-def _store_checksums(catalog: ViewCatalog, views: list[dict]) -> dict[int, int]:
+def _store_checksums(catalog: ViewCatalog, views: list[dict]) -> dict[int, int]:  # repro-lint: disable=RL203 (commit-time checksum pass, not measured evaluation I/O)
     """Fresh CRC32s for every page the view records reference, read from
     the flushed at-rest bytes (commit-time bookkeeping, not measured
     evaluation I/O — hence the raw read)."""

@@ -87,9 +87,12 @@ class Reader:
 
 def test_rl102_flags_unmirrored_raw_reads_in_storage():
     found = lint_text(RL102_POSITIVE, "storage/foo.py")
-    assert codes(found) == ["RL102"]
-    # Same code outside storage/ is out of scope.
-    assert lint_text(RL102_POSITIVE, "algorithms/foo.py") == []
+    # The interprocedural mirror-closure rule (RL203, anchored at the
+    # def line) co-fires with the per-file rule (RL102, at the call).
+    assert codes(found) == ["RL102", "RL203"]
+    # RL102 is storage/-scoped; RL203 closes the same contract
+    # everywhere raw reads happen.
+    assert codes(lint_text(RL102_POSITIVE, "algorithms/foo.py")) == ["RL203"]
 
 
 def test_rl102_touch_in_scope_satisfies_the_mirror():
@@ -103,7 +106,7 @@ def test_rl102_alias_resolution():
         "        read_raw = self.page_file.read_page_raw\n"
         "        return read_raw(page_id)\n"
     )
-    assert codes(lint_text(snippet, "storage/foo.py")) == ["RL102"]
+    assert codes(lint_text(snippet, "storage/foo.py")) == ["RL102", "RL203"]
 
 
 # -- RL103: determinism --------------------------------------------------------
@@ -187,8 +190,10 @@ class ViewCatalog:
 
 def test_rl104_flags_mutation_without_generation_bump():
     found = lint_text(RL104_POSITIVE, "planner.py")
-    assert codes(found) == ["RL104"]
-    assert "register" in found[0].symbol
+    # RL204 (transitive invalidation coverage, anchored at the def)
+    # co-fires with the per-file RL104 (anchored at the mutation).
+    assert codes(found) == ["RL104", "RL204"]
+    assert all("register" in f.symbol for f in found)
     assert lint_text(RL104_BUMPED, "planner.py") == []
     # Contracts are path-scoped: the same class elsewhere is unchecked.
     assert lint_text(RL104_POSITIVE, "algorithms/foo.py") == []
@@ -196,7 +201,7 @@ def test_rl104_flags_mutation_without_generation_bump():
 
 def test_rl104_catalog_contract_requires_version_store():
     found = lint_text(RL104_CATALOG, "storage/catalog.py")
-    assert codes(found) == ["RL104"]
+    assert codes(found) == ["RL104", "RL204"]
     fixed = RL104_CATALOG.replace(
         "self._views[key] = info",
         "self._views[key] = info\n        self.version += 1",
@@ -230,8 +235,8 @@ def test_rl104_maintenance_mutators_need_install_or_version_bump():
     # maintenance code must go through install_maintained (or bump the
     # catalog version itself), whatever the receiver variable is called.
     found = lint_text(RL104_MAINTENANCE_POSITIVE, "maintenance/engine.py")
-    assert codes(found) == ["RL104"]
-    assert "install" in found[0].symbol
+    assert codes(found) == ["RL104", "RL204"]
+    assert all("install" in f.symbol for f in found)
     assert lint_text(
         RL104_MAINTENANCE_SATISFIED, "maintenance/engine.py"
     ) == []
@@ -244,7 +249,15 @@ def test_rl104_maintenance_mutators_need_install_or_version_bump():
         "catalog.document = document"
         "  # repro-lint: disable=RL104 (caller installs)",
     )
-    assert lint_text(suppressed, "maintenance/engine.py") == []
+    # Suppressions are strictly line-scoped: silencing RL104 at the
+    # mutation line leaves the def-anchored RL204 finding standing.
+    assert codes(lint_text(suppressed, "maintenance/engine.py")) == ["RL204"]
+    both = suppressed.replace(
+        "def install(catalog, document, views):",
+        "def install(catalog, document, views):"
+        "  # repro-lint: disable=RL204 (caller installs)",
+    )
+    assert lint_text(both, "maintenance/engine.py") == []
 
 
 # -- RL105: exception discipline -----------------------------------------------
@@ -557,6 +570,13 @@ SEEDED = {
     "RL108": ("service/rl108.py", RL108_CALL),
 }
 
+#: Interprocedural RL2xx rules that close the same contract as a
+#: per-file rule co-fire on its minimal seed fixture.
+SEEDED_COMPANIONS = {
+    "RL102": {"RL203"},
+    "RL104": {"RL204"},
+}
+
 
 @pytest.mark.parametrize("code", sorted(SEEDED))
 def test_cli_exits_nonzero_on_each_seeded_violation(tmp_path, capsys, code):
@@ -570,7 +590,8 @@ def test_cli_exits_nonzero_on_each_seeded_violation(tmp_path, capsys, code):
     payload = json.loads(capsys.readouterr().out)
     assert exit_code == 1
     assert payload["counts"]["per_rule"][code] >= 1
-    assert {f["code"] for f in payload["findings"]} == {code}
+    expected = {code} | SEEDED_COMPANIONS.get(code, set())
+    assert {f["code"] for f in payload["findings"]} == expected
 
 
 def test_cli_clean_tree_exits_zero(tmp_path, capsys):
