@@ -1,0 +1,219 @@
+"""Serving-latency benchmark: preemption vs head-of-line blocking.
+
+The serving stack executes all engine work on a single lane (the service
+is not thread-safe), so without preemption a heavy query parks every
+light query behind it for its full runtime.  With bounded quanta the
+lane round-robins: a light query waits at most ~one quantum before its
+own quantum runs.
+
+This script measures exactly that, over real HTTP: one client
+continuously re-issues a **heavy** query (NDJSON streaming) while a
+second client pages a **light** query to completion in a loop, recording
+each light query's end-to-end latency (full chain, first byte to
+``done``).  Two server configurations are compared:
+
+* ``baseline``  — preemption disabled (no budget): the non-preemptible
+  head-of-line world;
+* ``preempt``   — a small wall-time quantum bounds every slice.
+
+Writes ``BENCH_9.json`` with p50/p95/p99 light-query latency per
+configuration.  The acceptance shape: the preemptible p99 stays bounded
+near (light runtime + a few quanta), far below the baseline's p99 ≈
+heavy runtime.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py --out BENCH_9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+
+HEAVY_QUERY = "//a[//b]//c"
+LIGHT_QUERY = "//a//b//c//d"
+VIEWS = ("//a//c", "//b", "//a//b//c//d")
+
+
+def _post(port, body, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", "/query", json.dumps(body))
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def _get(port, path, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def _light_once(port) -> float:
+    """One light query, paged to completion; returns seconds."""
+    begin = time.perf_counter()
+    status, raw = _post(port, {"query": LIGHT_QUERY})
+    assert status == 200, raw[:200]
+    data = json.loads(raw)
+    while not data["done"]:
+        status, raw = _get(port, "/next?token=" + data["token"])
+        assert status == 200, raw[:200]
+        data = json.loads(raw)
+    return time.perf_counter() - begin
+
+
+def _heavy_forever(port, stop: threading.Event, runs: list[int]):
+    """Stream the heavy query back to back until told to stop."""
+    while not stop.is_set():
+        try:
+            status, raw = _post(port, {"query": HEAVY_QUERY, "stream": True})
+        except OSError:
+            return  # server is gone; the window is over
+        if status != 200:
+            continue
+        runs.append(raw.count(b"\n"))
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+        return ordered[index]
+
+    return {
+        "p50_ms": round(at(0.50) * 1000, 2),
+        "p95_ms": round(at(0.95) * 1000, 2),
+        "p99_ms": round(at(0.99) * 1000, 2),
+        "max_ms": round(ordered[-1] * 1000, 2),
+    }
+
+
+def run_config(service, config, window_s: float) -> dict:
+    from repro.server import BackgroundServer
+
+    samples: list[float] = []
+    heavy_runs: list[int] = []
+    with BackgroundServer(service, config) as bg:
+        _light_once(bg.port)  # warm the plan/materialization path
+        stop = threading.Event()
+        heavy = threading.Thread(
+            target=_heavy_forever, args=(bg.port, stop, heavy_runs),
+            daemon=True,
+        )
+        heavy.start()
+        time.sleep(0.3)  # make sure the heavy stream is occupying the lane
+        deadline = time.perf_counter() + window_s
+        while time.perf_counter() < deadline:
+            samples.append(_light_once(bg.port))
+        stop.set()
+        heavy.join(timeout=120)
+    return {
+        "samples": len(samples),
+        "heavy_streams_completed": len(heavy_runs),
+        **_percentiles(samples),
+        "mean_ms": round(statistics.fmean(samples) * 1000, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_9.json")
+    parser.add_argument("--size", type=int, default=120000)
+    parser.add_argument("--window", type=float, default=8.0,
+                        help="measurement window per configuration (s)")
+    parser.add_argument("--quantum-ms", type=float, default=10.0)
+    args = parser.parse_args()
+
+    from repro.datasets import random_trees
+    from repro.server import ServerConfig
+    from repro.service import QueryService
+    from repro.storage.catalog import ViewCatalog
+
+    # Shallow trees give many medium partitions, so the heavy query's
+    # indivisible unit (one partition flush) stays well under the
+    # one-shot runtime and preemption can slice finely.
+    doc = random_trees.generate(size=args.size, max_depth=6, seed=7)
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog) as service:
+            for view in VIEWS:
+                service.register(view)
+            heavy_one = service.evaluate(HEAVY_QUERY)
+            light_one = service.evaluate(LIGHT_QUERY)
+
+            begin = time.perf_counter()
+            service.evaluate(HEAVY_QUERY)
+            heavy_s = time.perf_counter() - begin
+            begin = time.perf_counter()
+            service.evaluate(LIGHT_QUERY)
+            light_s = time.perf_counter() - begin
+
+            # Wall-time-only quanta: a match/page bound below the result
+            # size would carry the pending output in every continuation
+            # token (248 KiB tokens and 3x slowdown for the heavy query
+            # here — see DESIGN.md §15's token-size tradeoff), which is
+            # the interactive-pagination configuration, not the
+            # latency-isolation one this benchmark measures.
+            base = dict(port=0, max_inflight=8, quantum_matches=0)
+            configs = {
+                "baseline": ServerConfig(
+                    **base, quantum_ms=0.0, quantum_steps=0,
+                ),
+                "preempt": ServerConfig(
+                    **base, quantum_ms=args.quantum_ms, quantum_steps=0,
+                ),
+            }
+            results = {}
+            for name, config in configs.items():
+                print(f"-- {name}: window {args.window:.0f}s …",
+                      flush=True)
+                results[name] = run_config(service, config, args.window)
+                print(f"   {results[name]}", flush=True)
+
+    record = {
+        "description": (
+            "light-query latency over HTTP while a heavy query streams"
+            " concurrently on the single engine lane: preemptible quanta"
+            " vs non-preemptible head-of-line baseline"
+        ),
+        "nodes": args.size,
+        "heavy_query": HEAVY_QUERY,
+        "heavy_matches": heavy_one.match_count,
+        "heavy_one_shot_ms": round(heavy_s * 1000, 2),
+        "light_query": LIGHT_QUERY,
+        "light_matches": light_one.match_count,
+        "light_one_shot_ms": round(light_s * 1000, 2),
+        "quantum_ms": args.quantum_ms,
+        "page_size": 0,
+        "window_s": args.window,
+        "results": results,
+        "p99_improvement": round(
+            results["baseline"]["p99_ms"] / results["preempt"]["p99_ms"], 2
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=1)
+        handle.write("\n")
+    print(json.dumps(record, indent=1))
+    bounded = (
+        results["preempt"]["p99_ms"]
+        < results["baseline"]["p99_ms"]
+    )
+    print("p99 bounded by preemption:", "YES" if bounded else "NO")
+    return 0 if bounded else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,9 @@ timeout 120 python scripts/smoke_shared.py
 echo "== advisor smoke (adoption cycle: identical answers, less work) =="
 timeout 120 python scripts/smoke_advisor.py
 
+echo "== serve smoke (1 ms quanta over HTTP == one-shot answer) =="
+timeout 120 python scripts/smoke_serve.py
+
 echo "== chaos smoke (fixed-seed fault plan, correct-or-typed) =="
 # `timeout` is the outer wall-clock guard: a chaos regression that
 # hangs (instead of returning typed outcomes) must fail CI, not wedge it.

@@ -343,6 +343,46 @@ class CountingCursor:
             self.start = _INF
             self.end = _INF
 
+    def restore(self, position: int) -> None:
+        """Reposition to ``position`` without attributing any work.
+
+        Suspend/resume support (:mod:`repro.algorithms.preempt`): a
+        resumed run rebuilds its cursors at their saved positions, and
+        the scan/skip work that originally got them there is already in
+        the snapshot's counters — re-counting it here would break the
+        resumed-equals-uninterrupted counter contract.  Page residency
+        is still mirrored (the reposition touches the landing page), so
+        only I/O accounting — never work counters — differs from an
+        uninterrupted run.
+        """
+        columns = self._columns
+        if columns is None:
+            cursor = self.cursor
+            cursor.seek(position)
+            self.position = cursor.position
+            head = cursor.current
+            if head is None:
+                self.start = _INF
+                self.end = _INF
+            else:
+                self.start = head.start
+                self.end = head.end
+            return
+        if position >= self._length:
+            self.position = self._length
+            self._page = 0
+            self._page_hi = 0
+            self.start = _INF
+            self.end = _INF
+            return
+        self.position = position
+        page = bisect_right(self._breaks, position, 0, len(self._page_ids)) - 1
+        self._page = page
+        self._page_hi = self._breaks[page + 1]
+        self._touch(self._page_ids[page], self._decoder_id)
+        self.start = self._starts[position]
+        self.end = self._ends[position]
+
     def seek_pointer(self, index: int) -> None:
         """Jump forward via a materialized pointer to entry ``index``.
 

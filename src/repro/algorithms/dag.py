@@ -199,6 +199,62 @@ class DagBuffer:
     def peak_bytes(self) -> int:
         return self.peak_entries * self._entry_bytes
 
+    # -- suspend / resume --------------------------------------------------------
+
+    def save_state(self) -> tuple[int | None, dict[str, list]]:
+        """Snapshot the open partition: ``(partition_end, per-tag lists)``.
+
+        The derived search structures (start columns, prefix-max ends)
+        are recomputed on restore rather than serialized — they are a
+        pure function of the entry lists.
+        """
+        return self._partition_end, {
+            tag: list(entries) for tag, entries in self._lists.items()
+        }
+
+    def restore_state(
+        self,
+        partition_end: int | None,
+        lists: Mapping[str, list],
+        match_count: int,
+        peak_entries: int,
+        output_seconds: float,
+    ) -> None:
+        """Rebuild a suspended partition, accounting-free.
+
+        Entries re-enter the buffer without passing through :meth:`add`:
+        their admissions were counted when they first arrived, and the
+        snapshot's counters already carry that work.  Cumulative output
+        totals (``match_count``, peak sizes, output time) are restored
+        so the resumed run's final result equals the uninterrupted one.
+        """
+        self._reset()
+        self._partition_end = partition_end
+        for tag, entries in lists.items():
+            if not entries:
+                continue
+            bucket = list(entries)
+            starts = [entry.start for entry in bucket]
+            if any(
+                starts[i] >= starts[i + 1] for i in range(len(starts) - 1)
+            ):
+                raise EvaluationError(
+                    f"restored candidates for {tag!r} are not in document"
+                    " order"
+                )
+            prefix: list[int] = []
+            for entry in bucket:
+                prefix.append(
+                    entry.end if not prefix else max(prefix[-1], entry.end)
+                )
+            self._lists[tag] = bucket
+            self._starts[tag] = starts
+            self._prefix_max_end[tag] = prefix
+            self._size += len(bucket)
+        self.match_count = match_count
+        self.peak_entries = max(peak_entries, self._size)
+        self.output_seconds = output_seconds
+
     # -- flushing ---------------------------------------------------------------
 
     def flush(

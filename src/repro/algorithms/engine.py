@@ -15,8 +15,9 @@ from repro.algorithms.access import build_sources
 from repro.algorithms.base import EvalResult, Mode
 from repro.algorithms.interjoin import interjoin
 from repro.algorithms.pathstack import pathstack
+from repro.algorithms.preempt import PlanState, QuantumBudget
 from repro.algorithms.twigstack import twigstack
-from repro.algorithms.viewjoin import viewjoin
+from repro.algorithms.viewjoin import viewjoin, viewjoin_quantum
 from repro.errors import EvaluationError
 from repro.storage.catalog import Scheme, ViewCatalog
 from repro.storage.pager import IOStats, Pager
@@ -140,6 +141,75 @@ def evaluate(
             io.merge(spill_pager.total_stats())
         result.io = io
         return result
+    finally:
+        if spill_pager is not None:
+            spill_pager.close()
+
+
+def evaluate_quantum(
+    query: Pattern,
+    catalog: ViewCatalog,
+    views: Sequence[Pattern],
+    algorithm: Algorithm | str,
+    scheme: Scheme | str,
+    mode: Mode | str = Mode.MEMORY,
+    emit_matches: bool = True,
+    budget: QuantumBudget | None = None,
+    state: PlanState | None = None,
+    use_index: bool = False,
+) -> tuple[EvalResult, PlanState | None]:
+    """Run one quantum of a preemptible evaluation (ViewJoin only).
+
+    Mirrors :func:`evaluate`'s materialization and I/O accounting, but
+    bounds the run to ``budget`` and starts from ``state`` when resuming.
+    Returns ``(result, next_state)``; ``next_state`` is None when done.
+    The result's ``io`` covers **this quantum only** (cursor
+    reconstruction on resume touches pages, so per-quantum I/O is the
+    meaningful unit; callers accumulate across quanta) while ``counters``
+    and ``match_count`` are cumulative and — on the final quantum —
+    byte-identical to an uninterrupted :func:`evaluate` run.
+
+    Raises:
+        EvaluationError: for a non-ViewJoin algorithm or a combination
+            outside paper Table I — preemption is a ViewJoin capability
+            (the other engines exist as baselines).
+    """
+    algorithm = Algorithm.parse(algorithm)
+    scheme = Scheme.parse(scheme)
+    mode = Mode.parse(mode)
+    if algorithm is not Algorithm.VIEWJOIN:
+        raise EvaluationError(
+            f"preemptible evaluation requires ViewJoin, not"
+            f" {algorithm.value}"
+        )
+    if scheme not in _VALID_COMBOS[algorithm]:
+        raise EvaluationError(
+            f"{algorithm.value}+{scheme.value} is not a supported combination"
+            " (paper Table I)"
+        )
+    view_patterns = list(views)
+    materialized = [
+        catalog.add(pattern, scheme).view for pattern in view_patterns
+    ]
+    catalog.pager.reset_stats()
+    spill_pager: Pager | None = None
+    try:
+        if mode is Mode.DISK:
+            spill_pager = Pager(file_backed=True)
+        sources = build_sources(
+            query, materialized, view_patterns, use_index=use_index
+        )
+        result, next_state = viewjoin_quantum(
+            query, sources, view_patterns, mode=mode,
+            emit_matches=emit_matches, spill_pager=spill_pager,
+            budget=budget, state=state,
+        )
+        io = IOStats()
+        io.merge(catalog.pager.total_stats())
+        if spill_pager is not None:
+            io.merge(spill_pager.total_stats())
+        result.io = io
+        return result, next_state
     finally:
         if spill_pager is not None:
             spill_pager.close()

@@ -29,6 +29,7 @@ this repository is differentially tested against the naive oracle.
 
 from __future__ import annotations
 
+import time
 from operator import itemgetter
 from typing import Mapping
 
@@ -38,10 +39,13 @@ from repro.algorithms.base import (
     Counters,
     CountingCursor,
     EvalResult,
+    Match,
     Mode,
 )
 from repro.algorithms.dag import DagBuffer
+from repro.algorithms.preempt import PlanState, QuantumBudget
 from repro.algorithms.segmentation import Segment, SegmentedQuery, segment_query
+from repro.errors import ContinuationMalformed
 from repro.storage.pager import Pager
 from repro.tpq.pattern import Axis, Pattern
 
@@ -77,6 +81,37 @@ def viewjoin(
     return run.execute()
 
 
+def viewjoin_quantum(
+    query: Pattern,
+    sources: Mapping[str, TagSource],
+    view_patterns: list[Pattern],
+    mode: Mode = Mode.MEMORY,
+    emit_matches: bool = True,
+    spill_pager: Pager | None = None,
+    budget: QuantumBudget | None = None,
+    state: PlanState | None = None,
+) -> tuple[EvalResult, PlanState | None]:
+    """Run one quantum of a preemptible ViewJoin evaluation.
+
+    With ``state=None`` the run starts fresh; otherwise it resumes the
+    given snapshot (which must come from the same query/views/scheme/
+    mode — the service's continuation tokens enforce that identity).
+    ``budget=None`` (or an unbounded budget) runs to completion.
+
+    Returns ``(result, next_state)``.  ``next_state`` is None when the
+    evaluation finished; the result's ``matches`` then hold only this
+    quantum's output page, while ``match_count`` / ``counters`` are
+    cumulative over all quanta (equal, on the final quantum, to an
+    uninterrupted run's — the differential contract of
+    ``tests/test_preemption.py``).
+    """
+    run = _ViewJoinRun(
+        query, sources, view_patterns, Mode.parse(mode), emit_matches,
+        spill_pager, budget=budget, state=state, preemptible=True,
+    )
+    return run.run_quantum()
+
+
 class _ViewJoinRun:
     def __init__(
         self,
@@ -87,6 +122,9 @@ class _ViewJoinRun:
         emit_matches: bool,
         spill_pager: Pager | None,
         sink=None,
+        budget: QuantumBudget | None = None,
+        state: PlanState | None = None,
+        preemptible: bool = False,
     ):
         self.query = query
         self.sources = sources
@@ -117,38 +155,208 @@ class _ViewJoinRun:
         # (parent_tag, child_tag) -> child-pointer slot usable for skip
         # jumps, or None; resolved once instead of per refresh.
         self._skip_slots: dict[tuple[str, str], int | None] = {}
+        # Preemption state (repro.algorithms.preempt).  Plain runs keep
+        # budget=None and never touch the suspension checks' slow side.
+        self.budget = budget
+        self._preemptible = bool(preemptible or budget is not None
+                                 or state is not None)
+        self._pending: list[Match] = []
+        self._done = False
+        self.steps = 0
+        self._quantum_steps = 0
+        self._quantum_matches = 0
+        self._quantum_begin = 0.0
+        if state is not None:
+            self._restore(state)
 
     # -- driver (Algorithm 1) ---------------------------------------------------
 
     def execute(self) -> EvalResult:
+        result, state = self.run_quantum()
+        assert state is None, "unbudgeted runs cannot suspend"
+        return result
+
+    def run_quantum(self) -> tuple[EvalResult, PlanState | None]:
+        """Run until done or the quantum budget expires.
+
+        The non-preemptible path (``viewjoin``) goes through here too
+        with ``budget=None`` so there is exactly one driver loop — the
+        differential preemption tests compare resumed runs against this
+        very code, not a near-copy.
+        """
         try:
-            root_tag = self.seg.root_tag
-            root_segment = self.seg.root_segment
-            root_cursor = self.cursors[root_tag]
-            while True:
-                result = self._get_next(root_segment)
-                if result is None:
-                    break
-                tag, start = result
-                if tag == root_tag:
-                    if self.dag.partition_root is None:
-                        self.dag.set_partition_root(root_cursor)
-                    elif start > self.dag.partition_end:
-                        self.dag.flush(self._extend)
-                        self.dag.set_partition_root(root_cursor)
-                self._add_nodes(tag)
-            self.dag.flush(self._extend)
-            return EvalResult(
-                matches=self.dag.matches,
-                match_count=self.dag.match_count,
-                counters=self.counters,
-                peak_buffer_entries=self.dag.peak_entries,
-                peak_buffer_bytes=self.dag.peak_bytes,
-                output_seconds=self.dag.output_seconds,
-            )
+            emitted: list[Match] | None = None
+            if self._preemptible:
+                self._quantum_steps = 0
+                self._quantum_matches = 0
+                budget = self.budget
+                if budget is not None and budget.max_seconds is not None:
+                    self._quantum_begin = time.perf_counter()
+                emitted = []
+                self._drain_pending(emitted)
+            if not self._done and not self._pending:
+                self._drive(emitted)
+            if self._preemptible and (self._pending or not self._done):
+                return self._result(emitted), self.save_state()
+            return self._result(emitted), None
         finally:
             if self._own_spill and self.spill_pager is not None:
                 self.spill_pager.close()
+
+    def _drive(self, emitted: list[Match] | None) -> None:
+        root_tag = self.seg.root_tag
+        root_segment = self.seg.root_segment
+        root_cursor = self.cursors[root_tag]
+        while True:
+            if self._quantum_expired():
+                return
+            result = self._get_next(root_segment)
+            if result is None:
+                break
+            self.steps += 1
+            self._quantum_steps += 1
+            tag, start = result
+            if tag == root_tag:
+                if self.dag.partition_root is None:
+                    self.dag.set_partition_root(root_cursor)
+                elif start > self.dag.partition_end:
+                    self._flush(emitted)
+                    self.dag.set_partition_root(root_cursor)
+            self._add_nodes(tag)
+        self._done = True
+        self._flush(emitted)
+
+    def _result(self, emitted: list[Match] | None) -> EvalResult:
+        dag = self.dag
+        return EvalResult(
+            matches=dag.matches if emitted is None else emitted,
+            match_count=dag.match_count,
+            counters=self.counters,
+            peak_buffer_entries=dag.peak_entries,
+            peak_buffer_bytes=dag.peak_bytes,
+            output_seconds=dag.output_seconds,
+        )
+
+    # -- preemption (quantum boundary, suspend, resume) --------------------------
+
+    def _quantum_expired(self) -> bool:
+        """True when the driver loop must suspend *before* its next step.
+
+        The check sits at the loop top, a consistent point: cursors rest
+        on their heads, the open partition is fully described by the DAG
+        buffer, and any surplus output page is in ``pending``.  Time is
+        measured as a ``perf_counter`` duration since the quantum began,
+        and only after at least one step — a quantum always progresses,
+        whatever the budget.
+        """
+        budget = self.budget
+        if budget is None:
+            return False
+        if self._pending:
+            return True  # a full output page is waiting: yield it
+        steps = self._quantum_steps
+        if budget.max_steps is not None and steps >= budget.max_steps:
+            return True
+        if (
+            budget.max_matches is not None
+            and self._quantum_matches >= budget.max_matches
+        ):
+            return True
+        if (
+            budget.max_seconds is not None
+            and steps > 0
+            and time.perf_counter() - self._quantum_begin
+                >= budget.max_seconds
+        ):
+            return True
+        return False
+
+    def _flush(self, emitted: list[Match] | None) -> None:
+        """Flush the open partition; in preemptible mode drain the fresh
+        matches into this quantum's page, carrying any surplus beyond the
+        output budget as ``pending`` (yielded by later quanta)."""
+        self.dag.flush(self._extend)
+        if emitted is None:
+            return
+        fresh = self.dag.matches
+        if not fresh:
+            return
+        self.dag.matches = []
+        budget = self.budget
+        if budget is not None and budget.max_matches is not None:
+            room = budget.max_matches - self._quantum_matches
+            room = room if room > 0 else 0
+        else:
+            room = len(fresh)
+        emitted.extend(fresh[:room])
+        self._quantum_matches += min(room, len(fresh))
+        if room < len(fresh):
+            self._pending.extend(fresh[room:])
+
+    def _drain_pending(self, emitted: list[Match]) -> None:
+        """Emit carried-over sorted matches, up to the output budget."""
+        if not self._pending:
+            return
+        budget = self.budget
+        if budget is not None and budget.max_matches is not None:
+            room = budget.max_matches - self._quantum_matches
+            room = room if room > 0 else 0
+            take = self._pending[:room]
+            self._pending = self._pending[room:]
+        else:
+            take = self._pending
+            self._pending = []
+        emitted.extend(take)
+        self._quantum_matches += len(take)
+
+    def save_state(self) -> PlanState:
+        partition_end, buffered = self.dag.save_state()
+        return PlanState(
+            positions={
+                tag: cursor.position for tag, cursor in self.cursors.items()
+            },
+            sol=dict(self.sol),
+            partition_end=partition_end,
+            buffered=buffered,
+            pending=list(self._pending),
+            counters=Counters(**self.counters.as_dict()),
+            steps=self.steps,
+            done=self._done,
+            match_count=self.dag.match_count,
+            peak_entries=self.dag.peak_entries,
+            output_seconds=self.dag.output_seconds,
+        )
+
+    def _restore(self, state: PlanState) -> None:
+        """Load a snapshot, accounting-free (see ``CountingCursor.restore``).
+
+        The counters object is mutated in place — the DAG buffer and
+        every cursor already hold a reference to it.
+        """
+        if set(state.positions) != set(self.cursors):
+            raise ContinuationMalformed(
+                "snapshot cursor tags do not match the planned view set"
+            )
+        for key, value in state.counters.as_dict().items():
+            setattr(self.counters, key, value)
+        self.dag.restore_state(
+            state.partition_end, state.buffered,
+            match_count=state.match_count,
+            peak_entries=state.peak_entries,
+            output_seconds=state.output_seconds,
+        )
+        for tag, cursor in self.cursors.items():
+            position = state.positions[tag]
+            if position > len(cursor):
+                raise ContinuationMalformed(
+                    f"snapshot position {position} for {tag!r} is past the"
+                    f" end of its list ({len(cursor)} entries)"
+                )
+            cursor.restore(position)
+        self.sol = dict(state.sol)
+        self._pending = list(state.pending)
+        self.steps = state.steps
+        self._done = state.done
 
     # -- get_next (Function 3) -----------------------------------------------------
 

@@ -17,6 +17,8 @@ Subcommands:
 * ``advise`` — recommend views worth materializing for a query;
 * ``verify-store`` — checksum-verify a store's pages and update log;
 * ``chaos`` — run a batch under a deterministic fault-injection plan;
+* ``serve`` — HTTP front end with preemptible quanta, continuation
+  tokens, per-tenant quotas and graceful drain;
 * ``lint`` — run the repro-lint invariant checker over the package.
 """
 
@@ -57,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
         "advise": _cmd_advise,
         "verify-store": _cmd_verify_store,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)
@@ -261,6 +264,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the batch")
     chaos.add_argument("--deadline", type=float, default=30.0,
                        help="whole-batch deadline in seconds")
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP with preemptible quanta"
+             " (POST /query, GET /next, NDJSON streaming)",
+    )
+    srv.add_argument("store", nargs="?", default=None,
+                     help="store directory (from `materialize`); or use"
+                          " --input for an in-memory document")
+    srv.add_argument("--input", default=None,
+                     help="XML file to serve from memory (instead of a"
+                          " store)")
+    srv.add_argument("--view", action="append", default=None, dest="views",
+                     help="view to register when serving --input"
+                          " (repeatable)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8399,
+                     help="listen port (0 picks a free one)")
+    srv.add_argument("--quantum-ms", type=float, default=50.0,
+                     help="wall-time quantum per request (0 disables)")
+    srv.add_argument("--quantum-steps", type=int, default=0,
+                     help="driver-step quantum per request (0 disables)")
+    srv.add_argument("--page-size", type=int, default=1024,
+                     dest="page_size",
+                     help="max matches per quantum/page (0 disables)")
+    srv.add_argument("--max-inflight", type=int, default=8,
+                     help="concurrent-request ceiling (halves per"
+                          " quarantined view)")
+    srv.add_argument("--tenant-rate", type=float, default=0.0,
+                     help="per-tenant requests/second (0 disables quotas)")
+    srv.add_argument("--tenant-burst", type=int, default=20,
+                     help="per-tenant burst capacity")
+    srv.add_argument("--drain-grace", type=float, default=5.0,
+                     help="seconds to let in-flight quanta finish on"
+                          " shutdown")
 
     lint = sub.add_parser(
         "lint", help="run the repro-lint invariant checker"
@@ -719,6 +757,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f" failed: {metrics['failed_queries']},"
           f" retries: {metrics['job_retries']},"
           f" pool respawns: {metrics['pool_respawns']}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.server import ServerConfig, ViewJoinServer
+    from repro.service import QueryService
+
+    if (args.store is None) == (args.input is None):
+        print("serve: pass exactly one of STORE or --input",
+              file=sys.stderr)
+        return 2
+    if args.store is not None:
+        service = QueryService.open(args.store)
+    else:
+        document = parse_xml_file(args.input)
+        catalog = ViewCatalog(document)
+        service = QueryService(catalog)
+        for view in args.views or ():
+            service.register(view)
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        quantum_ms=args.quantum_ms, quantum_steps=args.quantum_steps,
+        quantum_matches=args.page_size, max_inflight=args.max_inflight,
+        tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+        drain_grace_s=args.drain_grace,
+    )
+    server = ViewJoinServer(service, config)
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        budget = config.budget()
+        print(f"viewjoin serve on http://{args.host}:{server.port}"
+              f" (quantum: {budget.as_dict() if budget else 'unbounded'})")
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("draining…")
+        await server.drain()
+        serving.cancel()
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        service.close()
     return 0
 
 

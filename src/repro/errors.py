@@ -106,6 +106,37 @@ class WorkerLost(ServiceError):
     """
 
 
+class ContinuationError(ServiceError):
+    """Base class for continuation-token failures of preemptible queries.
+
+    A suspended evaluation travels as an opaque token
+    (:mod:`repro.service.continuation`); resuming it can fail in exactly
+    two typed ways — the token bytes are damaged, or the token is intact
+    but the world it described no longer exists.
+    """
+
+
+class ContinuationMalformed(ContinuationError):
+    """Raised when a continuation token cannot be decoded.
+
+    Covers truncated/bit-flipped/garbage tokens (bad base64, bad magic,
+    checksum mismatch, undecodable payload) and structurally invalid
+    payloads.  Never indicates a server-side state change — retrying with
+    the original, uncorrupted token is safe.
+    """
+
+
+class ContinuationExpired(ContinuationError):
+    """Raised when an intact continuation token is no longer resumable.
+
+    The suspended position referenced state that has since been
+    invalidated: a maintenance commit (``apply_updates``) shifted region
+    labels, a quarantine or advisor cycle dropped a planned view, the
+    worker pool was respawned, or the service shut down.  The client must
+    restart the query from ``POST /query``.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by a deterministic fault-injection point simulating a crash.
 

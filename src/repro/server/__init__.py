@@ -1,0 +1,30 @@
+"""Asyncio HTTP front end for preemptible query serving.
+
+Public surface::
+
+    from repro.server import ServerConfig, ViewJoinServer
+
+    server = ViewJoinServer(service, ServerConfig(port=8399, quantum_ms=5))
+    await server.start(); await server.serve_forever()
+
+or, from the command line, ``viewjoin serve --store PATH``.  See
+:mod:`repro.server.app` for the wire protocol (``POST /query``,
+``GET /next``, NDJSON streaming, quotas, load shedding, drain).
+"""
+
+from repro.server.app import (
+    BackgroundServer,
+    ServerConfig,
+    ViewJoinServer,
+    outcome_payload,
+)
+from repro.server.quota import TenantQuotas, TokenBucket
+
+__all__ = [
+    "BackgroundServer",
+    "ServerConfig",
+    "TenantQuotas",
+    "TokenBucket",
+    "ViewJoinServer",
+    "outcome_payload",
+]

@@ -1,0 +1,108 @@
+"""Per-tenant admission control for the serving front end.
+
+A classic token bucket per tenant: ``rate`` tokens/second refill up to
+``burst``; each admitted request spends one token.  When the bucket is
+dry the caller learns *how long* until the next token — the server turns
+that into a ``429`` with an honest ``Retry-After`` header instead of a
+blind "try later".
+
+The bucket lives in :mod:`repro.server`, outside the engine's
+determinism boundary, so it reads the real monotonic clock; tests inject
+a fake clock instead.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable
+
+from repro.errors import ServiceError
+
+
+class TokenBucket:
+    """One tenant's budget: ``rate`` requests/second, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ServiceError("token bucket rate must be positive")
+        if burst < 1:
+            raise ServiceError("token bucket burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def try_acquire(self) -> float:
+        """Spend one token if available.
+
+        Returns ``0.0`` on admission, else the seconds until a token
+        will exist (the ``Retry-After`` hint).
+        """
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class TenantQuotas:
+    """Lazy map of tenant name → :class:`TokenBucket`.
+
+    ``rate <= 0`` disables quotas entirely (every check admits), which is
+    the default for local runs; production configs set a rate and every
+    distinct ``X-Tenant`` header gets its own isolated bucket.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 20,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.throttled = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, tenant: str) -> float:
+        """Admit ``tenant`` (0.0) or return whole-second retry-after."""
+        if not self.enabled:
+            self.admitted += 1
+            return 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        wait = bucket.try_acquire()
+        if wait == 0.0:
+            self.admitted += 1
+            return 0.0
+        self.throttled += 1
+        return max(1.0, math.ceil(wait))
+
+    def metrics(self) -> dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "rate": self.rate,
+            "burst": self.burst,
+            "tenants": len(self._buckets),
+            "admitted": self.admitted,
+            "throttled": self.throttled,
+        }

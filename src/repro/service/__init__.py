@@ -21,6 +21,17 @@ Both batch entry points default to the shared-scan executor
 batches run once and replay to every consumer, with ``REPRO_SHARED=0``
 or ``shared=False`` forcing the independent per-query path.
 
+Preemptible serving sits next to the batch API: ``evaluate_quantum``
+answers the first quantum of a query under a
+:class:`~repro.algorithms.preempt.QuantumBudget` and — when suspended —
+returns a :class:`QuantumOutcome` carrying an opaque continuation token;
+``resume_quantum`` picks the run back up, one quantum per call, until
+``done``.  Concatenated pages are byte-identical to the one-shot
+answer, and stale tokens (maintenance commit, pool respawn, shutdown)
+die as typed :class:`~repro.errors.ContinuationExpired`.  The asyncio
+HTTP front end in :mod:`repro.server` is a thin shell over these two
+calls.
+
 ``QueryService(..., advisor=True)`` additionally records every answered
 query into a :class:`~repro.selection.online.WorkloadLog` and (on a
 configurable cadence, or via explicit ``advisor_cycle()`` calls)
@@ -34,7 +45,13 @@ from repro.selection.online import (
     WorkloadLog,
     advisor_enabled,
 )
-from repro.service.core import BatchResult, QueryOutcome, QueryService
+from repro.service.continuation import decode_token, encode_token
+from repro.service.core import (
+    BatchResult,
+    QuantumOutcome,
+    QueryOutcome,
+    QueryService,
+)
 from repro.service.jobs import (
     EvalJob,
     JobFailure,
@@ -57,12 +74,15 @@ __all__ = [
     "JobFailure",
     "JobResult",
     "Measurement",
+    "QuantumOutcome",
     "QueryOutcome",
     "QueryService",
     "SharedStats",
     "StreamCache",
     "WorkloadLog",
     "advisor_enabled",
+    "decode_token",
+    "encode_token",
     "merge_results",
     "node_digest",
     "node_key",

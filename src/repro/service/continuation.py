@@ -1,0 +1,94 @@
+"""Continuation tokens for preemptible queries.
+
+A suspended evaluation leaves the service as an opaque, self-contained
+token the client hands back to resume.  Wire format (before base64)::
+
+    MAGIC "VJCT" | version u8 | crc32(body) u32-le | body
+
+where ``body`` is the zlib-compressed canonical JSON payload.  The
+payload stamps everything needed to (a) rebuild the identical plan —
+canonical query text, the planned view list, algorithm/scheme/mode,
+emit flag and quantum budget — and (b) reject the token once the world
+it describes is gone: the catalog's ``store_version`` and
+``maintenance_epoch`` (the same invalidation contract the plan/result
+caches follow across ``apply_updates``), plus a service-local session id
+whose registry entry dies with pool respawns and shutdown.
+
+Decoding failures are **typed, never crashes**: every way a token can be
+damaged — truncated, bit-flipped, re-encoded garbage, a tampered payload
+with a dutifully recomputed checksum — surfaces as
+:class:`~repro.errors.ContinuationMalformed`; staleness is the service's
+call (:class:`~repro.errors.ContinuationExpired`), not the codec's.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import struct
+import zlib
+
+from repro.errors import ContinuationMalformed
+
+TOKEN_MAGIC = b"VJCT"
+TOKEN_VERSION = 1
+
+_HEADER = struct.Struct("<4sBI")
+
+
+def encode_token(payload: dict) -> str:
+    """Serialize a continuation payload to an opaque URL-safe string."""
+    raw = json.dumps(
+        payload, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body = zlib.compress(raw, 6)
+    header = _HEADER.pack(
+        TOKEN_MAGIC, TOKEN_VERSION, zlib.crc32(body) & 0xFFFFFFFF
+    )
+    return base64.urlsafe_b64encode(header + body).decode("ascii")
+
+
+def decode_token(token: str) -> dict:
+    """Inverse of :func:`encode_token`.
+
+    Raises:
+        ContinuationMalformed: for anything that is not an intact token
+            produced by :func:`encode_token` — bad base64, short blob,
+            wrong magic, unknown version, checksum mismatch, or an
+            undecodable/non-object payload.
+    """
+    if not isinstance(token, str) or not token:
+        raise ContinuationMalformed("empty continuation token")
+    try:
+        blob = base64.urlsafe_b64decode(token.encode("ascii"))
+    except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+        raise ContinuationMalformed(
+            f"continuation token is not valid base64: {exc}"
+        ) from None
+    if len(blob) < _HEADER.size:
+        raise ContinuationMalformed("continuation token is truncated")
+    magic, version, crc = _HEADER.unpack_from(blob)
+    if magic != TOKEN_MAGIC:
+        raise ContinuationMalformed("continuation token has a bad header")
+    if version != TOKEN_VERSION:
+        raise ContinuationMalformed(
+            f"unsupported continuation token version {version}"
+            f" (this build speaks version {TOKEN_VERSION})"
+        )
+    body = blob[_HEADER.size:]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ContinuationMalformed(
+            "continuation token failed its integrity checksum"
+        )
+    try:
+        payload = json.loads(zlib.decompress(body).decode("utf-8"))
+    except (zlib.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ContinuationMalformed(
+            f"continuation token payload is undecodable: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ContinuationMalformed(
+            "continuation token payload must be an object"
+        )
+    return payload

@@ -53,11 +53,20 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.algorithms.base import Counters, Mode
-from repro.algorithms.engine import Algorithm, combo_label
+from repro.algorithms.engine import (
+    Algorithm,
+    combo_label,
+    evaluate_quantum as engine_evaluate_quantum,
+)
+from repro.algorithms.preempt import PlanState, QuantumBudget
 from repro.caching import CacheStats, LRUCache
 from repro.errors import (
+    ContinuationExpired,
+    ContinuationMalformed,
     QueryTimeout,
+    ReproError,
     ServiceError,
+    StorageError,
     StoreCorrupt,
     WorkerLost,
 )
@@ -85,6 +94,7 @@ from repro.service.jobs import (
     merge_results,
     run_job,
 )
+from repro.service.continuation import decode_token, encode_token
 from repro.service.shared import (
     SharedNode,
     SharedStats,
@@ -161,6 +171,43 @@ class BatchResult:
     @property
     def match_counts(self) -> list[int]:
         return [outcome.match_count for outcome in self.outcomes]
+
+
+@dataclass
+class QuantumOutcome:
+    """One quantum of a preemptible evaluation.
+
+    ``page`` holds only this quantum's match keys; concatenating the
+    pages of one continuation chain yields exactly the uninterrupted
+    run's matches, in the same order, each exactly once.  ``counters``
+    and ``match_count`` are cumulative over the chain (the final
+    quantum's equal a one-shot run's); ``io`` accumulates the logical/
+    physical read and page-write counts across quanta, while its
+    wall-clock second fields cover this quantum only.
+
+    ``done=False`` comes with an opaque continuation ``token`` for
+    :meth:`QueryService.resume_quantum`; ``done=True`` never does.
+    """
+
+    query: str
+    combo: str
+    page: list[tuple[int, ...]]
+    match_count: int
+    counters: Counters
+    io: IOStats
+    elapsed_s: float
+    done: bool
+    token: str | None = None
+    quanta: int = 1
+    #: True when this quantum hit its budget and suspended.
+    preempted: bool = False
+    #: False when the plan's engine cannot suspend (non-ViewJoin plans
+    #: answer in a single unbounded quantum).
+    preemptible: bool = True
+    degraded: bool = False
+    refuted: bool = False
+    error: str = ""
+    plan_views: list[str] = field(default_factory=list)
 
 
 class QueryService:
@@ -254,6 +301,17 @@ class QueryService:
         self.breaker = CircuitBreaker(failure_threshold=failure_threshold)
         self._degraded_queries = 0
         self._failed_queries = 0
+        # Live continuations of suspended (preemptible) queries.  The
+        # session id is a monotone counter — no randomness (RL103) and
+        # unguessable ids are not a goal: the token, not the sid, is the
+        # capability, and sids die with the state they index.
+        self._continuations: dict[str, dict[str, int]] = {}
+        self._continuation_seq = 0
+        self._continuations_issued = 0
+        self._continuations_completed = 0
+        self._continuations_expired = 0
+        self._continuations_purged = 0
+        self._quanta_served = 0
         self._job_retries = 0
         self._pool_respawns = 0
         self._deadline_expiries = 0
@@ -342,6 +400,11 @@ class QueryService:
                 self._store_version = self.catalog.version
             self.planner.sync_catalog()
             self.invalidate_results()
+            # Suspended queries hold pre-commit cursor positions and
+            # region labels; their tokens are now stale.  The epoch
+            # stamp already rejects them — purging the registry frees
+            # the bookkeeping eagerly (same contract as the caches).
+            self._expire_continuations()
         return report
 
     @property
@@ -520,6 +583,7 @@ class QueryService:
             dropped = True
         if dropped:
             self.invalidate_results()
+            self._expire_continuations()
 
     def advisor_metrics(self) -> dict[str, object]:
         """Recorder/controller telemetry for operators and benches."""
@@ -921,6 +985,10 @@ class QueryService:
         workers instead of blocking on them (they exit on their own once
         their current task — bounded by the injected-stall ceiling —
         completes or their pipe closes)."""
+        # A pool respawn is an executor-era boundary: tokens issued
+        # before it resume as typed ContinuationExpired, never a hang or
+        # a KeyError against recycled worker state.
+        self._expire_continuations()
         if self._executor is None:
             return
         executor = self._executor
@@ -1140,6 +1208,354 @@ class QueryService:
             plan_views=[view.to_xpath() for view in plan.all_views],
         )
 
+    # -- preemptible serving ---------------------------------------------------
+
+    def evaluate_quantum(
+        self,
+        query: Pattern | str,
+        mode: Mode | str = Mode.MEMORY,
+        emit_matches: bool = True,
+        budget: QuantumBudget | None = None,
+    ) -> QuantumOutcome:
+        """Answer the first quantum of ``query``; suspend at ``budget``.
+
+        The serving entry point (``repro.server`` sits on top of this):
+        plans and materializes like :meth:`evaluate`, but bounds the run
+        to one quantum and — when the budget expires first — returns a
+        continuation token instead of blocking until completion.  With
+        ``budget=None`` the quantum is unbounded and the outcome is
+        always ``done``.
+
+        Quanta run in-process, bypassing the worker pool and the result
+        cache (a paginated answer is a stream, not a cacheable value);
+        refuted queries and non-ViewJoin plans answer in a single done
+        outcome.  Store corruption mid-quantum degrades exactly like
+        :meth:`evaluate_parallel`: breaker fed, query re-answered from
+        base views, ``degraded=True``.
+        """
+        mode = Mode.parse(mode)
+        plan = self.planner.plan(query)
+        canonical = plan.query.to_xpath()
+        if self.planner.refutes(plan.query):
+            return self._quantum_from_outcome(
+                self._refuted_outcome(plan, canonical)
+            )
+        if Algorithm.parse(plan.algorithm) is not Algorithm.VIEWJOIN:
+            outcome = self._evaluate_one(query, mode, emit_matches)
+            self._advisor_observe((outcome,))
+            return self._quantum_from_outcome(outcome, preemptible=False)
+        self._materialize_plan(plan)
+        begin = time.perf_counter()
+        try:
+            result, state = engine_evaluate_quantum(
+                plan.query, self.catalog, plan.all_views, plan.algorithm,
+                plan.scheme, mode=mode, emit_matches=emit_matches,
+                budget=budget,
+            )
+        except StoreCorrupt as exc:
+            return self._degraded_quantum(plan, mode, emit_matches, exc, begin)
+        self._quanta_served += 1
+        outcome = QuantumOutcome(
+            query=canonical,
+            combo=combo_label(plan.algorithm, plan.scheme),
+            page=[tuple(e.start for e in m) for m in result.matches],
+            match_count=result.match_count,
+            counters=result.counters,
+            io=result.io,
+            elapsed_s=time.perf_counter() - begin,
+            done=state is None,
+            plan_views=[view.to_xpath() for view in plan.all_views],
+        )
+        if state is None:
+            for name in self._plan_view_names(plan):
+                self.breaker.record_success(name)
+            return outcome
+        sid = self._new_continuation()
+        outcome.preempted = True
+        outcome.token = encode_token(self._continuation_payload(
+            plan, mode, emit_matches, budget, sid, state, quanta=1,
+            io=result.io,
+        ))
+        return outcome
+
+    def resume_quantum(self, token: str) -> QuantumOutcome:
+        """Resume a suspended query for one more quantum.
+
+        Raises:
+            ContinuationMalformed: the token bytes or payload are damaged
+                (truncated, bit-flipped, tampered) — typed, never a crash.
+            ContinuationExpired: the token is intact but stale — it
+                predates a maintenance commit (``maintenance_epoch`` /
+                ``store_version`` stamp mismatch), its session died with
+                a pool respawn, quarantine, advisor drop or shutdown, or
+                it was issued by another service instance.
+        """
+        payload = decode_token(token)
+        parts = self._continuation_parts(payload)
+        sid = parts["sid"]
+        if sid not in self._continuations:
+            self._continuations_expired += 1
+            raise ContinuationExpired(
+                f"continuation {sid!r} is not live on this service"
+                " (expired by a pool respawn, maintenance commit,"
+                " quarantine, or shutdown — or issued by another service"
+                " instance)"
+            )
+        if (
+            parts["maintenance_epoch"] != self.catalog.maintenance_epoch
+            or parts["store_version"] != self.catalog.store_version
+        ):
+            self._continuations.pop(sid, None)
+            self._continuations_expired += 1
+            raise ContinuationExpired(
+                "continuation predates a maintenance commit: the region"
+                " labels its cursors rest on have shifted (re-issue the"
+                " query)"
+            )
+        views = parts["views"]
+        for view in views:
+            try:
+                self.catalog.get(view, parts["scheme"])
+            except StorageError:
+                self._continuations.pop(sid, None)
+                self._continuations_expired += 1
+                raise ContinuationExpired(
+                    f"planned view {view.to_xpath()!r} is no longer"
+                    " materialized (quarantined or dropped)"
+                ) from None
+        begin = time.perf_counter()
+        try:
+            result, state = engine_evaluate_quantum(
+                parts["query"], self.catalog, views, Algorithm.VIEWJOIN,
+                parts["scheme"], mode=parts["mode"],
+                emit_matches=parts["emit"], budget=parts["budget"],
+                state=parts["state"],
+            )
+        except StoreCorrupt as exc:
+            self._continuations.pop(sid, None)
+            plan = self.planner.plan(parts["query"])
+            return self._degraded_quantum(
+                plan, parts["mode"], parts["emit"], exc, begin,
+                quanta=parts["quanta"] + 1,
+            )
+        self._quanta_served += 1
+        quanta = parts["quanta"] + 1
+        prior = parts["io"]
+        io = IOStats(
+            logical_reads=result.io.logical_reads + prior[0],
+            physical_reads=result.io.physical_reads + prior[1],
+            pages_written=result.io.pages_written + prior[2],
+            read_seconds=result.io.read_seconds,
+            write_seconds=result.io.write_seconds,
+        )
+        outcome = QuantumOutcome(
+            query=parts["query"].to_xpath(),
+            combo=combo_label(Algorithm.VIEWJOIN, parts["scheme"]),
+            page=[tuple(e.start for e in m) for m in result.matches],
+            match_count=result.match_count,
+            counters=result.counters,
+            io=io,
+            elapsed_s=time.perf_counter() - begin,
+            done=state is None,
+            quanta=quanta,
+            plan_views=[view.to_xpath() for view in views],
+        )
+        if state is None:
+            self._continuations.pop(sid, None)
+            self._continuations_completed += 1
+            return outcome
+        record = self._continuations[sid]
+        record["quanta"] = quanta
+        next_payload = dict(payload)
+        next_payload["quanta"] = quanta
+        next_payload["io"] = [
+            io.logical_reads, io.physical_reads, io.pages_written,
+        ]
+        next_payload["state"] = state.to_payload()
+        outcome.preempted = True
+        outcome.token = encode_token(next_payload)
+        return outcome
+
+    def continuation_metrics(self) -> dict[str, int]:
+        """Suspend/resume bookkeeping for operators and ``/metrics``."""
+        return {
+            "active": len(self._continuations),
+            "issued": self._continuations_issued,
+            "completed": self._continuations_completed,
+            "expired": self._continuations_expired,
+            "purged": self._continuations_purged,
+            "quanta_served": self._quanta_served,
+        }
+
+    def _new_continuation(self) -> str:
+        self._continuation_seq += 1
+        sid = f"c{self._continuation_seq}"
+        self._continuations[sid] = {"quanta": 1}
+        self._continuations_issued += 1
+        return sid
+
+    def _expire_continuations(self) -> int:
+        """Invalidate every live continuation; stale tokens resume as
+        typed :class:`ContinuationExpired` instead of touching recycled
+        state.  Returns how many were dropped."""
+        dropped = len(self._continuations)
+        if dropped:
+            self._continuations.clear()
+            self._continuations_purged += dropped
+        return dropped
+
+    def _continuation_payload(
+        self,
+        plan: Plan,
+        mode: Mode,
+        emit_matches: bool,
+        budget: QuantumBudget | None,
+        sid: str,
+        state: PlanState,
+        quanta: int,
+        io: IOStats,
+    ) -> dict:
+        return {
+            "sid": sid,
+            "store_version": self.catalog.store_version,
+            "maintenance_epoch": self.catalog.maintenance_epoch,
+            "query": plan.query.to_xpath(),
+            "views": [
+                [view.to_xpath(), view.name] for view in plan.all_views
+            ],
+            "algorithm": Algorithm.parse(plan.algorithm).value,
+            "scheme": Scheme.parse(plan.scheme).value,
+            "mode": mode.value,
+            "emit": emit_matches,
+            "budget": budget.as_dict() if budget is not None else None,
+            "quanta": quanta,
+            "io": [io.logical_reads, io.physical_reads, io.pages_written],
+            "state": state.to_payload(),
+        }
+
+    def _continuation_parts(self, payload: dict) -> dict:
+        """Validate a decoded token payload, field by field.
+
+        A payload that passed the codec's checksum can still be hostile
+        (re-encoded with a fresh checksum); every structural assumption
+        is checked here so a bad token dies typed at the boundary, not
+        as an ``AttributeError`` inside a cursor.
+        """
+        def bad(message: str) -> None:
+            raise ContinuationMalformed(
+                f"continuation payload is invalid: {message}"
+            )
+
+        sid = payload.get("sid")
+        if not isinstance(sid, str) or not sid:
+            bad("missing session id")
+        for key in ("store_version", "maintenance_epoch", "quanta"):
+            if not isinstance(payload.get(key), int):
+                bad(f"{key} must be an int")
+        if payload["quanta"] < 1:
+            bad("quanta must be positive")
+        if payload.get("algorithm") != Algorithm.VIEWJOIN.value:
+            bad("only ViewJoin plans are resumable")
+        if not isinstance(payload.get("emit"), bool):
+            bad("emit must be a bool")
+        if not isinstance(payload.get("query"), str):
+            bad("query must be a string")
+        if not isinstance(payload.get("scheme"), str):
+            bad("scheme must be a string")
+        if not isinstance(payload.get("mode"), str):
+            bad("mode must be a string")
+        views_payload = payload.get("views")
+        if not isinstance(views_payload, list) or not views_payload:
+            bad("views must be a non-empty list")
+        for item in views_payload:
+            if (
+                not isinstance(item, (list, tuple)) or len(item) != 2
+                or not isinstance(item[0], str)
+                or not (item[1] is None or isinstance(item[1], str))
+            ):
+                bad("views must be [xpath, name] pairs")
+        prior_io = payload.get("io")
+        if (
+            not isinstance(prior_io, list) or len(prior_io) != 3
+            or any(
+                not isinstance(value, int) or value < 0
+                for value in prior_io
+            )
+        ):
+            bad("io must be three non-negative ints")
+        try:
+            query = parse_pattern(payload["query"])
+            views = [
+                parse_pattern(xpath, name=name)
+                for xpath, name in views_payload
+            ]
+            scheme = Scheme.parse(payload["scheme"])
+            mode = Mode.parse(payload["mode"])
+        except ReproError as exc:
+            raise ContinuationMalformed(
+                f"continuation plan is invalid: {exc}"
+            ) from None
+        return {
+            "sid": sid,
+            "store_version": payload["store_version"],
+            "maintenance_epoch": payload["maintenance_epoch"],
+            "query": query,
+            "views": views,
+            "scheme": scheme,
+            "mode": mode,
+            "emit": payload["emit"],
+            "budget": QuantumBudget.from_dict(payload.get("budget")),
+            "state": PlanState.from_payload(payload.get("state")),
+            "quanta": payload["quanta"],
+            "io": prior_io,
+        }
+
+    @staticmethod
+    def _quantum_from_outcome(
+        outcome: QueryOutcome, quanta: int = 1, preemptible: bool = True
+    ) -> QuantumOutcome:
+        """Adapt a one-shot outcome (refuted / non-ViewJoin / degraded)
+        into a single done quantum."""
+        return QuantumOutcome(
+            query=outcome.query,
+            combo=outcome.combo,
+            page=list(outcome.match_keys),
+            match_count=outcome.match_count,
+            counters=outcome.counters,
+            io=outcome.io,
+            elapsed_s=outcome.elapsed_s,
+            done=True,
+            quanta=quanta,
+            preemptible=preemptible,
+            degraded=outcome.degraded,
+            refuted=outcome.refuted,
+            error=outcome.error,
+            plan_views=list(outcome.plan_views),
+        )
+
+    def _degraded_quantum(
+        self,
+        plan: Plan,
+        mode: Mode,
+        emit_matches: bool,
+        exc: StoreCorrupt,
+        begin: float,
+        quanta: int = 1,
+    ) -> QuantumOutcome:
+        """Store corruption mid-quantum: feed the breaker, re-answer from
+        base views, and finish the chain in one degraded done quantum."""
+        failure = JobFailure(
+            index=0, kind="store-corrupt", message=str(exc),
+            views=exc.views or tuple(self._plan_view_names(plan)),
+            pages=exc.pages,
+        )
+        self._note_failure(plan, failure)
+        outcome = self._quantum_from_outcome(
+            self._evaluate_degraded(plan, mode, emit_matches), quanta=quanta
+        )
+        outcome.elapsed_s = time.perf_counter() - begin
+        return outcome
+
     # -- resilience -----------------------------------------------------------
 
     @staticmethod
@@ -1172,6 +1588,8 @@ class QueryService:
         for name in names:
             self.catalog.remove_view(name)
         self.invalidate_results()
+        # Any suspended query may have planned over a now-dropped view.
+        self._expire_continuations()
 
     def _evaluate_degraded(
         self, plan: Plan, mode: Mode, emit_matches: bool
@@ -1295,6 +1713,7 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        self._expire_continuations()
         self._discard_executor(join=True)
         self._stream_cache.close()
         if self._snapshot_dir is not None:
