@@ -21,9 +21,19 @@ configuration.  The acceptance shape: the preemptible p99 stays bounded
 near (light runtime + a few quanta), far below the baseline's p99 ≈
 heavy runtime.
 
+``--mode mvcc`` instead measures read latency during a **live update
+storm** (MVCC snapshot reads, DESIGN.md §16): commits land between
+every pair of reads, and two readers are timed against the same storm —
+a *live* reader of the current generation, whose result-cache key rolls
+with every commit so each read recomputes, and a *pinned* ``as_of``
+reader whose generation-keyed entry survives every commit.  Writes
+``BENCH_10.json``; the acceptance shape: the pinned reader's p99 stays
+cache-hit flat, far below the live reader's recompute latency.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_serve.py --out BENCH_9.json
+    PYTHONPATH=src python scripts/bench_serve.py --mode mvcc
 """
 
 from __future__ import annotations
@@ -128,14 +138,114 @@ def run_config(service, config, window_s: float) -> dict:
     }
 
 
+def run_mvcc(args) -> int:
+    """Read latency during a live update storm: pinned vs live reader."""
+    import random
+
+    from repro.datasets import random_trees
+    from repro.maintenance import DeleteSubtree, InsertSubtree
+    from repro.service import QueryService
+    from repro.storage.catalog import ViewCatalog
+
+    def one_delta(service, rng):
+        doc = service.catalog.document
+        if rng.random() < 0.5:
+            victims = [
+                n for n in doc.nodes
+                if n.tag in ("b", "c") and n.end == n.start + 1
+            ]
+            if victims:
+                return DeleteSubtree(root_start=rng.choice(victims).start)
+        parent = rng.choice([n for n in doc.nodes if n.tag == "a"])
+        return InsertSubtree(
+            parent_start=parent.start, position=0,
+            rows=(("b", 0), ("c", 1)),
+        )
+
+    doc = random_trees.generate(size=args.size, max_depth=6, seed=7)
+    rng = random.Random(7)
+    with ViewCatalog(doc) as catalog:
+        with QueryService(catalog, result_cache_size=64) as service:
+            for view in VIEWS:
+                service.register(view)
+            query = HEAVY_QUERY
+            one = service.evaluate(query)
+            pin = service.pin_generation()
+            service.evaluate(query, as_of=pin)  # seed the pinned entry
+
+            live: list[float] = []
+            pinned: list[float] = []
+            commit_s: list[float] = []
+            for __ in range(args.storm_rounds):
+                begin = time.perf_counter()
+                service.apply_updates([one_delta(service, rng)])
+                commit_s.append(time.perf_counter() - begin)
+                begin = time.perf_counter()
+                fresh = service.evaluate(query)
+                live.append(time.perf_counter() - begin)
+                assert not fresh.cached  # the commit rolled the live key
+                begin = time.perf_counter()
+                snap = service.evaluate(query, as_of=pin)
+                pinned.append(time.perf_counter() - begin)
+                assert snap.cached  # the pinned entry survived the commit
+            service.unpin_generation(pin)
+
+    results = {
+        "live": {"samples": len(live), **_percentiles(live),
+                 "mean_ms": round(statistics.fmean(live) * 1000, 2)},
+        "pinned": {"samples": len(pinned), **_percentiles(pinned),
+                   "mean_ms": round(statistics.fmean(pinned) * 1000, 2)},
+    }
+    record = {
+        "description": (
+            "read latency during a live update storm (one commit between"
+            " every pair of reads): live reader of the rolling current"
+            " generation (recomputes per commit) vs a pinned as_of reader"
+            " whose generation-keyed result-cache entry survives every"
+            " commit"
+        ),
+        "nodes": args.size,
+        "query": HEAVY_QUERY,
+        "matches": one.match_count,
+        "storm_commits": args.storm_rounds,
+        "commit_p50_ms": _percentiles(commit_s)["p50_ms"],
+        "results": results,
+        "p99_improvement": round(
+            results["live"]["p99_ms"]
+            / max(results["pinned"]["p99_ms"], 1e-6), 2
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=1)
+        handle.write("\n")
+    print(json.dumps(record, indent=1))
+    flat = results["pinned"]["p99_ms"] < results["live"]["p99_ms"]
+    print("pinned reads flat under the storm:", "YES" if flat else "NO")
+    return 0 if flat else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_9.json")
-    parser.add_argument("--size", type=int, default=120000)
+    parser.add_argument("--mode", choices=("serve", "mvcc"),
+                        default="serve")
+    parser.add_argument("--out", default=None,
+                        help="output JSON (default BENCH_9.json for"
+                             " serve, BENCH_10.json for mvcc)")
+    parser.add_argument("--size", type=int, default=None,
+                        help="document nodes (default 120000 serve,"
+                             " 30000 mvcc)")
     parser.add_argument("--window", type=float, default=8.0,
                         help="measurement window per configuration (s)")
     parser.add_argument("--quantum-ms", type=float, default=10.0)
+    parser.add_argument("--storm-rounds", type=int, default=150,
+                        help="commit/read rounds in --mode mvcc")
     args = parser.parse_args()
+    if args.out is None:
+        args.out = "BENCH_10.json" if args.mode == "mvcc" else "BENCH_9.json"
+    if args.size is None:
+        args.size = 30000 if args.mode == "mvcc" else 120000
+    if args.mode == "mvcc":
+        return run_mvcc(args)
 
     from repro.datasets import random_trees
     from repro.server import ServerConfig

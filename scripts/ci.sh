@@ -50,3 +50,6 @@ echo "== chaos smoke (fixed-seed fault plan, correct-or-typed) =="
 # `timeout` is the outer wall-clock guard: a chaos regression that
 # hangs (instead of returning typed outcomes) must fail CI, not wedge it.
 timeout 300 python scripts/smoke_chaos.py
+
+echo "== mvcc smoke (update storm: zero failed / degraded snapshot reads) =="
+timeout 300 python scripts/smoke_mvcc.py

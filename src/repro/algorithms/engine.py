@@ -68,6 +68,7 @@ def evaluate(
     use_index: bool = False,
     strict_pc: bool = False,
     sink=None,
+    as_of: int | None = None,
 ) -> EvalResult:
     """Evaluate ``query`` over materialized ``views`` from ``catalog``.
 
@@ -84,12 +85,16 @@ def evaluate(
         strict_pc: TwigStack only — level-exact pc-edge admission.
         sink: TS/VJ only — stream each flushed partition's matches to this
             callback instead of accumulating them in the result.
+        as_of: MVCC pin (DESIGN.md §16) — require ``catalog`` to hold
+            exactly this store generation; a mismatch raises typed
+            instead of silently answering from a different snapshot.
 
     Returns:
         The evaluation result with matches, work counters and I/O stats.
 
     Raises:
-        EvaluationError: on a combination outside paper Table I.
+        EvaluationError: on a combination outside paper Table I, or when
+            ``as_of`` names a generation the catalog does not hold.
     """
     algorithm = Algorithm.parse(algorithm)
     scheme = Scheme.parse(scheme)
@@ -99,6 +104,7 @@ def evaluate(
             f"{algorithm.value}+{scheme.value} is not a supported combination"
             " (paper Table I)"
         )
+    _check_as_of(catalog, as_of)
 
     view_patterns = list(views)
     materialized = [
@@ -146,6 +152,19 @@ def evaluate(
             spill_pager.close()
 
 
+def _check_as_of(catalog: ViewCatalog, as_of: int | None) -> None:
+    """The end of the `as_of` thread (planner → job → worker → here):
+    the executing catalog must hold exactly the pinned generation."""
+    if as_of is None:
+        return
+    held = getattr(catalog, "generation", as_of)
+    if held != as_of:
+        raise EvaluationError(
+            f"catalog holds store generation {held}, but the evaluation"
+            f" is pinned as_of generation {as_of}"
+        )
+
+
 def evaluate_quantum(
     query: Pattern,
     catalog: ViewCatalog,
@@ -157,6 +176,7 @@ def evaluate_quantum(
     budget: QuantumBudget | None = None,
     state: PlanState | None = None,
     use_index: bool = False,
+    as_of: int | None = None,
 ) -> tuple[EvalResult, PlanState | None]:
     """Run one quantum of a preemptible evaluation (ViewJoin only).
 
@@ -187,6 +207,7 @@ def evaluate_quantum(
             f"{algorithm.value}+{scheme.value} is not a supported combination"
             " (paper Table I)"
         )
+    _check_as_of(catalog, as_of)
     view_patterns = list(views)
     materialized = [
         catalog.add(pattern, scheme).view for pattern in view_patterns

@@ -23,6 +23,10 @@ drag in?" — the properties the RL2xx interprocedural rules reason about:
 ``unbounded-wait``      blocks without a timeout (``.result()``,
                         ``.join()``, ``.acquire()``, ``.wait()`` bare)
 ``mutates-global``      rebinds a module global (``global X; X = ...``)
+``resolves-latest-manifest``
+                        reads the store's mutable *current* manifest
+                        (``read_manifest``/``read_store_version``) —
+                        snapshot-pinned read paths must not (RL206)
 ====================  ========================================================
 
 Direct effects are extracted syntactically per function body (nested
@@ -62,7 +66,7 @@ from repro.analysis.rules import (
 
 #: Bump when effect extraction or closure semantics change; invalidates
 #: every cached summary and closure.
-ANALYZER_VERSION = "rl2xx-1"
+ANALYZER_VERSION = "rl2xx-2"
 
 ALLOCATES = "allocates-records"
 REFERENCE_DECODE = "reference-decode"
@@ -76,12 +80,13 @@ NONDET_SOURCE = "nondet-source"
 READS_ENVIRONMENT = "reads-environment"
 UNBOUNDED_WAIT = "unbounded-wait"
 MUTATES_GLOBAL = "mutates-global"
+RESOLVES_LATEST = "resolves-latest-manifest"
 
 ALL_EFFECTS = (
     ALLOCATES, REFERENCE_DECODE, RAW_PAGE_READ, PAGER_IO,
     MIRRORS_ACCOUNTING, MUTATES_VIEW_STATE, BUMPS_GENERATION,
     NONDET_SET_ITER, NONDET_SOURCE, READS_ENVIRONMENT, UNBOUNDED_WAIT,
-    MUTATES_GLOBAL,
+    MUTATES_GLOBAL, RESOLVES_LATEST,
 )
 
 #: Effects that make a function a nondeterminism source for RL202.
@@ -94,6 +99,10 @@ _PAGER_CALL_ATTRS = frozenset({"read_page", "read_page_raw", "write_page"})
 
 #: Calls that bump a generation/epoch, invalidating dependent caches.
 _GENERATION_CALLS = frozenset({"_bump_generation", "install_maintained"})
+
+#: Calls that read the mutable *current* store manifest: whoever makes
+#: one answers for whatever generation happens to be latest (RL206).
+_LATEST_MANIFEST_CALLS = frozenset({"read_manifest", "read_store_version"})
 
 #: Attribute stores that count as a generation bump.
 _GENERATION_STORE_ATTRS = frozenset({"version", "epoch", "generation"})
@@ -199,6 +208,8 @@ def direct_effects_of(
             effects.add(MIRRORS_ACCOUNTING)
         if resolved in _GENERATION_CALLS:
             effects.add(BUMPS_GENERATION)
+        if resolved in _LATEST_MANIFEST_CALLS:
+            effects.add(RESOLVES_LATEST)
         if resolved == "id" and isinstance(node.func, ast.Name) and \
                 target_name == "id":
             effects.add(NONDET_SOURCE)

@@ -330,6 +330,74 @@ class PreemptibilityRule(_GraphRule):
         return findings
 
 
+# -- RL206: snapshot discipline ------------------------------------------------
+
+#: Read-path entry points: everything a query's answer flows through.
+#: Once one of these starts, the generation it answers from is fixed.
+SNAPSHOT_READ_ROOTS: tuple[tuple[str, str], ...] = (
+    ("service/jobs.py", "run_job"),
+    ("service/core.py", "QueryService.resume_quantum"),
+    ("algorithms/engine.py", "evaluate"),
+    ("algorithms/engine.py", "evaluate_quantum"),
+)
+
+#: Sanctioned *pin points*: the only functions through which read-path
+#: code may consult the store's mutable current manifest — they resolve
+#: "latest" exactly once and hand back a pinned generation handle.
+SNAPSHOT_PIN_POINTS: frozenset[tuple[str, str]] = frozenset({
+    ("storage/persistence.py", "load_catalog"),
+    ("service/worker.py", "run_worker_jobs"),
+    ("service/core.py", "QueryService._ensure_snapshot"),
+})
+
+
+class SnapshotDisciplineRule(_GraphRule):
+    code = "RL206"
+    name = "snapshot-discipline"
+    description = (
+        "Read-path code (job execution, engine dispatch, quantum resume)"
+        " must reach the store only through a pinned generation handle:"
+        " re-reading the mutable current manifest"
+        " (read_manifest/read_store_version) mid-read races a concurrent"
+        " commit and can answer from a mix of generations.  Manifest"
+        " resolution is sanctioned only inside the registered pin points"
+        " (load_catalog / run_worker_jobs / _ensure_snapshot), which"
+        " resolve 'latest' exactly once, before evaluation starts."
+    )
+
+    def check_program(self, program) -> list[Finding]:
+        findings: list[Finding] = []
+        graph = program.graph
+        analysis = program.effects
+        pins = {f"{path}::{qual}" for path, qual in SNAPSHOT_PIN_POINTS}
+
+        def outside_pins(node: str) -> bool:
+            return node not in pins
+
+        for path, qualname in SNAPSHOT_READ_ROOTS:
+            root = f"{path}::{qualname}"
+            if root not in graph.nodes:
+                continue
+            chain = first_reaching_path(
+                graph, root,
+                lambda n: fx.RESOLVES_LATEST in analysis.direct(n),
+                allowed=outside_pins,
+            )
+            if chain is None:
+                continue
+            finding = self.node_finding(
+                program, root,
+                f"read path {qualname} resolves the mutable current store"
+                f" manifest through {pretty_chain(chain)} — pin a"
+                " generation up front (load_catalog(generation=...) /"
+                " the stripe pin in run_worker_jobs) and evaluate as_of"
+                " it instead",
+            )
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+
 #: The interprocedural registry, in code order (mirrors ``RULES``).
 PROGRAM_RULES: tuple[ProgramRule, ...] = (
     TransitiveHotPurityRule(),
@@ -337,4 +405,5 @@ PROGRAM_RULES: tuple[ProgramRule, ...] = (
     AccountingMirrorClosureRule(),
     InvalidationCoverageRule(),
     PreemptibilityRule(),
+    SnapshotDisciplineRule(),
 )

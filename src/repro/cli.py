@@ -58,6 +58,7 @@ def main(argv: list[str] | None = None) -> int:
         "update": _cmd_update,
         "advise": _cmd_advise,
         "verify-store": _cmd_verify_store,
+        "gc": _cmd_gc,
         "chaos": _cmd_chaos,
         "serve": _cmd_serve,
         "lint": _cmd_lint,
@@ -245,6 +246,22 @@ def _build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--json", action="store_true", dest="as_json",
                      help="emit the machine-readable report")
 
+    gc = sub.add_parser(
+        "gc",
+        help="reap archived store generations (MVCC snapshots) down to"
+             " a disk budget",
+    )
+    gc.add_argument("store", help="store directory (from `materialize`)")
+    gc.add_argument("--budget-bytes", type=int, default=0,
+                    dest="budget_bytes",
+                    help="keep at most this many bytes of archived"
+                         " generations (default 0: reap everything"
+                         " unpinned)")
+    gc.add_argument("--list", action="store_true", dest="list_only",
+                    help="report the archive without reaping")
+    gc.add_argument("--json", action="store_true", dest="as_json",
+                    help="emit the machine-readable GC report")
+
     chaos = sub.add_parser(
         "chaos",
         help="answer queries from a store under a deterministic"
@@ -302,7 +319,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="run the repro-lint invariant checker"
-                     " (RL101-RL108 per-file, RL201-RL205 whole-program)"
+                     " (RL101-RL108 per-file, RL201-RL206 whole-program)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: the whole"
@@ -721,6 +738,38 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     print()
     print("store OK" if report.ok else "store CORRUPT")
     return 0 if report.ok else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage.generations import (
+        list_generations,
+        reap_generations,
+    )
+
+    if args.list_only:
+        generations = list_generations(args.store)
+        # A huge budget reaps nothing but still measures the archive.
+        report = reap_generations(
+            args.store, 1 << 62, pinned=set(generations)
+        )
+    else:
+        report = reap_generations(args.store, args.budget_bytes)
+    summary = report.as_dict()
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    rows = [[key, value] for key, value in summary.items()]
+    print(format_table(["field", "value"], rows))
+    if not args.list_only:
+        print()
+        print(
+            f"reaped {len(report.reaped)} generation(s):"
+            f" {report.bytes_before} -> {report.bytes_after} bytes"
+            f" (budget {report.budget_bytes})"
+        )
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:

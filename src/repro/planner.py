@@ -220,6 +220,33 @@ class Planner:
         self._generation += 1
         self._plan_cache.invalidate()
 
+    def clone_for_snapshot(self, catalog: ViewCatalog) -> "Planner":  # repro-lint: disable=RL204 (frozen snapshot clone: the generation is copied, not advanced — pinned readers must keep their pre-commit cache keys)
+        """A planner frozen over a pinned snapshot catalog (MVCC,
+        DESIGN.md §16).
+
+        Taken *before* a maintenance commit, alongside
+        :meth:`~repro.storage.catalog.ViewCatalog.pin_snapshot`: the
+        clone carries this planner's current registered/quarantined view
+        sets and generation, but plans against the snapshot catalog —
+        its DataGuide is rebuilt lazily over the snapshot's (pre-commit)
+        document, and because the snapshot's ``maintenance_epoch`` never
+        moves again, :meth:`sync_catalog` on the clone is a permanent
+        no-op.  Plan caches stay per-planner, so a pinned reader's plan
+        hits survive however many commits land on the live planner.
+        """
+        clone = Planner(
+            catalog,
+            scheme=self.scheme,
+            algorithm=self.algorithm,
+            prune_with_dataguide=self.prune_with_dataguide,
+            plan_cache_size=max(self._plan_cache.capacity, 8),
+        )
+        clone._registered = list(self._registered)
+        clone._quarantined = set(self._quarantined)
+        clone._generation = self._generation
+        clone._maintenance_epoch = catalog.maintenance_epoch
+        return clone
+
     @property
     def generation(self) -> int:
         """Monotone counter of view-set changes (plan-cache epochs)."""

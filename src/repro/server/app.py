@@ -403,6 +403,9 @@ class ViewJoinServer:
             "quotas": self.quotas.metrics(),
             "continuations": self.service.continuation_metrics(),
             "resilience": self.service.resilience_metrics(),
+            # MVCC (DESIGN.md §16): the generation new reads run
+            # against (pinned-snapshot counts live in "resilience").
+            "generation": {"current": self.service.generation},
         }
 
     async def _send_json(

@@ -8,11 +8,15 @@ token the client hands back to resume.  Wire format (before base64)::
 where ``body`` is the zlib-compressed canonical JSON payload.  The
 payload stamps everything needed to (a) rebuild the identical plan —
 canonical query text, the planned view list, algorithm/scheme/mode,
-emit flag and quantum budget — and (b) reject the token once the world
-it describes is gone: the catalog's ``store_version`` and
-``maintenance_epoch`` (the same invalidation contract the plan/result
-caches follow across ``apply_updates``), plus a service-local session id
-whose registry entry dies with pool respawns and shutdown.
+emit flag and quantum budget — and (b) resolve the world it runs in:
+the pinned store ``generation`` (MVCC, DESIGN.md §16 — a maintenance
+commit no longer expires the token; the chain resumes against the
+generation's snapshot until GC reaps it), that generation's
+``store_version`` and ``maintenance_epoch`` stamps, and a service-local
+session id whose registry entry dies with GC and shutdown.
+
+Version 2 added the ``generation`` stamp; version-1 tokens (pre-MVCC)
+are rejected typed as an unsupported version.
 
 Decoding failures are **typed, never crashes**: every way a token can be
 damaged — truncated, bit-flipped, re-encoded garbage, a tampered payload
@@ -32,7 +36,7 @@ import zlib
 from repro.errors import ContinuationMalformed
 
 TOKEN_MAGIC = b"VJCT"
-TOKEN_VERSION = 1
+TOKEN_VERSION = 2
 
 _HEADER = struct.Struct("<4sBI")
 

@@ -23,11 +23,14 @@ Cache layers
   per catalog generation; invalidated by ``register`` /
   ``adopt_catalog_views``);
 * an optional keyed **result cache** in the service itself
-  (``result_cache_size > 0``), invalidated explicitly or whenever the
-  view set changes;
+  (``result_cache_size > 0``), keyed by store generation (DESIGN.md
+  §16): a maintenance commit rolls the keys instead of purging, so
+  readers pinned to an older generation keep their hits; view-set
+  changes within a generation still invalidate explicitly;
 * the shared executor's **stream cache** (:mod:`repro.service.streams`),
   memoizing eval-node match streams across batches, keyed by
-  ``(catalog epoch, node hash)`` and cleared with the result cache.
+  ``(catalog epoch, node hash)`` — per generation, like the result
+  cache — and cleared with it on view-set changes.
 
 Shared-scan batches
 -------------------
@@ -39,6 +42,18 @@ independent per-query path (the determinism contract makes a
 duplicate's would-be accounting equal to the original's), at a fraction
 of the executed work.  ``REPRO_SHARED=0`` or ``shared=False`` forces
 the independent path.
+
+Snapshot reads (MVCC)
+---------------------
+A maintenance commit publishes a new store *generation* instead of
+invalidating readers (DESIGN.md §16).  Suspended continuations are
+stamped with the generation they started against and resume
+byte-identically from a pinned pre-commit snapshot; callers can hold a
+generation explicitly with :meth:`QueryService.pin_generation` and
+evaluate ``as_of`` it while updates land concurrently.
+:meth:`QueryService.gc_generations` reaps unpinned generation archives
+under a disk budget — pinned generations are never reaped, and sessions
+whose generation was reaped expire typed on resume.
 """
 
 from __future__ import annotations
@@ -105,8 +120,13 @@ from repro.service.shared import (
 from repro.service.streams import StreamCache
 from repro.service.worker import run_worker_jobs
 from repro.storage.catalog import Scheme, ViewCatalog
+from repro.storage.generations import GCReport, reap_generations
 from repro.storage.pager import IOStats
-from repro.storage.persistence import load_catalog, save_catalog
+from repro.storage.persistence import (
+    load_catalog,
+    read_store_version,
+    save_catalog,
+)
 from repro.tpq.parser import parse_pattern
 from repro.tpq.pattern import Pattern
 
@@ -210,6 +230,27 @@ class QuantumOutcome:
     plan_views: list[str] = field(default_factory=list)
 
 
+@dataclass
+class _GenerationPin:
+    """One pinned pre-commit generation: a frozen catalog/planner pair.
+
+    Taken by :meth:`QueryService.apply_updates` immediately before a
+    commit whenever something still references the outgoing generation
+    (a suspended continuation session or an explicit user pin).  The
+    catalog is a :meth:`~repro.storage.catalog.ViewCatalog.pin_snapshot`
+    alias (shared pager, copy-on-write pages), the planner a
+    :meth:`~repro.planner.Planner.clone_for_snapshot` frozen at the
+    pre-commit epoch pair, so cache keys derived from the pair keep
+    hitting their pre-commit entries.  The pin dies when nothing
+    references its generation any more, or when GC reaps the
+    generation's archive out from under it.
+    """
+
+    generation: int
+    catalog: ViewCatalog
+    planner: Planner
+
+
 class QueryService:
     """Plan-cached, optionally parallel query answering over one catalog.
 
@@ -239,6 +280,11 @@ class QueryService:
         advisor_max_view_size: largest candidate view in pattern nodes.
         advisor_decay: demand-weight decay applied after each cycle
             (how fast stale traffic loses its claim on the budget).
+        generation_budget_bytes: disk high-water mark for archived
+            store generations (DESIGN.md §16) — after every durable
+            commit the service auto-reaps unpinned generation archives
+            down to this budget.  ``None`` (the default) leaves GC to
+            explicit :meth:`gc_generations` calls.
     """
 
     def __init__(
@@ -260,6 +306,7 @@ class QueryService:
         advisor_interval: int = 0,
         advisor_max_view_size: int = 4,
         advisor_decay: float = 0.5,
+        generation_budget_bytes: int | None = None,
     ):
         if (catalog is None) == (store_path is None):
             raise ServiceError(
@@ -289,8 +336,18 @@ class QueryService:
         self._store_version = catalog.version
         self._snapshot_dir: str | None = None
         self._snapshot_version: int | None = None
+        #: Disk generation of the private temp snapshot (its numbering
+        #: is the *store's*, independent of the in-memory catalog's).
+        self._snapshot_generation: int | None = None
         self._result_cache = LRUCache(result_cache_size)
         self._stream_cache = StreamCache(stream_cache_size)
+        # MVCC state (DESIGN.md §16): pinned pre-commit snapshots by
+        # generation, explicit user-pin refcounts, and GC accounting.
+        self._generation_snapshots: dict[int, _GenerationPin] = {}
+        self._user_pins: dict[int, int] = {}
+        self._generation_budget = generation_budget_bytes
+        self._generations_reaped = 0
+        self._generation_cache_evictions = 0
         self._shared_stats = SharedStats()
         self._executor: ProcessPoolExecutor | None = None
         self._executor_workers = 0
@@ -371,13 +428,22 @@ class QueryService:
         consistency contract:
 
         * store-backed services log the deltas to the store's update log
-          first and commit the repaired pages/manifest in place
-          (``store_version`` bump), so pooled workers detect the rewrite
-          and reattach;
+          first and commit the repaired pages/manifest in place —
+          publishing a new *generation* (the outgoing manifest and
+          document are archived first, so pinned readers stay
+          answerable) — and pooled workers detect the rewrite and
+          reattach;
         * the planner re-syncs (stale DataGuide and plans dropped,
-          dropped views deregistered) and the keyed result cache is
-          evicted — match keys embed region labels, which the commit
-          just shifted.
+          dropped views deregistered).  The result and stream caches
+          are **not** purged: their keys carry the generation, so the
+          commit rolls them — pinned readers keep their pre-commit
+          hits, post-commit reads key fresh entries.
+
+        If anything still references the outgoing generation (a
+        suspended continuation session or a user pin), a frozen
+        catalog/planner snapshot is taken *before* the commit and kept
+        in ``_generation_snapshots`` so those readers finish
+        byte-identically against the state they started from.
 
         Returns the :class:`repro.maintenance.engine.MaintenanceReport`.
         """
@@ -386,6 +452,18 @@ class QueryService:
         from repro.storage.persistence import commit_store
         import pathlib
 
+        outgoing = self.catalog.generation
+        pin: _GenerationPin | None = None
+        if (
+            outgoing not in self._generation_snapshots
+            and self._generation_referenced(outgoing)
+        ):
+            snap_catalog = self.catalog.pin_snapshot()
+            pin = _GenerationPin(
+                generation=outgoing,
+                catalog=snap_catalog,
+                planner=self.planner.clone_for_snapshot(snap_catalog),
+            )
         wal = None
         if self._store_path is not None:
             wal = UpdateLog(pathlib.Path(self._store_path) / WAL_FILENAME)
@@ -393,19 +471,174 @@ class QueryService:
             self.catalog, deltas, wal=wal, force_rebuild=force_rebuild
         )
         if report.deltas:
+            # Only install the pin for a non-empty commit: an empty one
+            # changed nothing, so the "snapshot" would just alias the
+            # live state under the same generation number.
+            if pin is not None:
+                self._generation_snapshots[outgoing] = pin
             if self._store_path is not None:
                 commit_store(
                     self.catalog, self._store_path, wal_lsn=wal.tip()
                 )
                 self._store_version = self.catalog.version
             self.planner.sync_catalog()
-            self.invalidate_results()
-            # Suspended queries hold pre-commit cursor positions and
-            # region labels; their tokens are now stale.  The epoch
-            # stamp already rejects them — purging the registry frees
-            # the bookkeeping eagerly (same contract as the caches).
-            self._expire_continuations()
+            self._auto_gc()
         return report
+
+    # -- MVCC generations (DESIGN.md §16) -------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The live catalog's current store generation."""
+        return self.catalog.generation
+
+    def pin_generation(self) -> int:
+        """Pin the current generation for snapshot reads; returns it.
+
+        While pinned, :meth:`evaluate` / :meth:`evaluate_batch` /
+        :meth:`evaluate_quantum` accept ``as_of=<generation>`` and
+        answer byte-identically to the pre-commit state no matter how
+        many commits land in between, and :meth:`gc_generations` never
+        reaps the generation's archive.  Pins are refcounted; release
+        with :meth:`unpin_generation`.
+        """
+        generation = self.catalog.generation
+        self._user_pins[generation] = self._user_pins.get(generation, 0) + 1
+        return generation
+
+    def unpin_generation(self, generation: int) -> None:
+        """Release one :meth:`pin_generation` hold; drops the frozen
+        snapshot once nothing references the generation any more."""
+        count = self._user_pins.get(generation, 0)
+        if count <= 1:
+            self._user_pins.pop(generation, None)
+        else:
+            self._user_pins[generation] = count - 1
+        self._release_generation(generation)
+
+    def gc_generations(
+        self, budget_bytes: int | None = None
+    ) -> GCReport:
+        """Reap archived store generations down to a disk budget.
+
+        Hard-pinned generations — the current one and every
+        :meth:`pin_generation` hold — are never reaped.  Generations
+        referenced only by suspended continuation sessions are
+        *soft*-pinned: reaped last, and when one does die its sessions
+        expire typed (:class:`ContinuationExpired`) on their next
+        resume instead of answering from vanished state.  Cache entries
+        of reaped generations are evicted (counted in
+        ``resilience_metrics()['generation_cache_evictions']``).
+
+        ``budget_bytes`` defaults to the service's
+        ``generation_budget_bytes``; with neither set the pass reaps
+        nothing and just reports the archive's state.  In-memory
+        services have no archive — their snapshots are dropped eagerly
+        when dereferenced, and GC is a no-op report.
+        """
+        budget = (
+            budget_bytes if budget_bytes is not None
+            else self._generation_budget
+        )
+        current = self.catalog.generation
+        hard = {current} | {
+            gen for gen, count in self._user_pins.items() if count > 0
+        }
+        soft = {
+            record["generation"]
+            for record in self._continuations.values()
+            if "generation" in record
+        }
+        soft |= set(self._generation_snapshots)
+        soft -= hard
+        if self._store_path is None:
+            return GCReport(
+                reaped=(), kept=(), pinned=tuple(sorted(hard)),
+                bytes_before=0, bytes_after=0,
+                budget_bytes=int(budget) if budget is not None else 0,
+            )
+        report = reap_generations(
+            self._store_path,
+            budget if budget is not None else 1 << 62,
+            pinned=hard,
+            soft_pinned=soft,
+        )
+        reaped = set(report.reaped)
+        if reaped:
+            self._generations_reaped += len(reaped)
+            evicted = self._result_cache.invalidate(
+                lambda key: key[0] in reaped
+            )
+            pairs = set()
+            for gen in report.reaped:
+                dead = self._generation_snapshots.pop(gen, None)
+                if dead is not None:
+                    pairs.add((
+                        dead.catalog.maintenance_epoch,
+                        dead.planner.generation,
+                    ))
+                    dead.catalog.close()
+            if pairs:
+                evicted += self._stream_cache.evict(
+                    lambda key: key[0] in pairs
+                )
+            self._generation_cache_evictions += evicted
+            stale = [
+                sid for sid, record in self._continuations.items()
+                if record.get("generation") in reaped
+            ]
+            # Purged server-side (the resume that observes the loss is
+            # what counts as the *expiry*, typed, at the sid miss).
+            for sid in stale:
+                del self._continuations[sid]
+            self._continuations_purged += len(stale)
+        return report
+
+    def _auto_gc(self) -> None:
+        """Post-commit GC under the configured high-water mark."""
+        if self._store_path is not None and self._generation_budget is not None:
+            self.gc_generations()
+
+    def _generation_referenced(self, generation: int) -> bool:
+        """Does anything (session or user pin) still rest on it?"""
+        if self._user_pins.get(generation):
+            return True
+        return any(
+            record.get("generation") == generation
+            for record in self._continuations.values()
+        )
+
+    def _release_generation(self, generation: int) -> None:
+        """Drop the frozen snapshot once its generation is unreferenced
+        (the live generation never has one to drop)."""
+        if generation == self.catalog.generation:
+            return
+        if self._generation_referenced(generation):
+            return
+        pin = self._generation_snapshots.pop(generation, None)
+        if pin is not None:
+            # The snapshot borrowed the live pager; close() releases
+            # only the snapshot's own references.
+            pin.catalog.close()
+
+    def _resolve_read(
+        self, as_of: int | None
+    ) -> tuple[ViewCatalog, Planner]:
+        """The catalog/planner pair a read pinned ``as_of`` runs over:
+        the live pair for the current generation (or ``None``), a
+        frozen snapshot for a pinned older one, a typed error for a
+        generation this service does not hold."""
+        if as_of is None or as_of == self.catalog.generation:
+            return self.catalog, self.planner
+        pin = self._generation_snapshots.get(as_of)
+        if pin is None:
+            raise ServiceError(
+                f"generation {as_of} is not pinned on this service"
+                f" (current generation is {self.catalog.generation};"
+                " call pin_generation() before committing updates, or"
+                " the generation has been garbage-collected)"
+            )
+        return pin.catalog, pin.planner
 
     @property
     def plan_cache_stats(self) -> CacheStats:
@@ -583,7 +816,8 @@ class QueryService:
             dropped = True
         if dropped:
             self.invalidate_results()
-            self._expire_continuations()
+            # Sessions survive: resume's per-view check expires (typed)
+            # exactly the ones that planned over a dropped view.
 
     def advisor_metrics(self) -> dict[str, object]:
         """Recorder/controller telemetry for operators and benches."""
@@ -636,9 +870,13 @@ class QueryService:
                 )
         return self.catalog.materializations - before
 
-    def _materialize_plan(self, plan: Plan) -> None:
+    def _materialize_plan(
+        self, plan: Plan, catalog: ViewCatalog | None = None
+    ) -> None:
+        if catalog is None:
+            catalog = self.catalog
         for view in plan.all_views:
-            self.catalog.add(view, plan.scheme)
+            catalog.add(view, plan.scheme)
 
     # -- evaluation -----------------------------------------------------------
 
@@ -647,9 +885,19 @@ class QueryService:
         query: Pattern | str,
         mode: Mode | str = Mode.MEMORY,
         emit_matches: bool = True,
+        as_of: int | None = None,
     ) -> QueryOutcome:
-        """Plan (cached), warm up, and evaluate one query cold."""
-        outcome = self._evaluate_one(query, Mode.parse(mode), emit_matches)
+        """Plan (cached), warm up, and evaluate one query cold.
+
+        ``as_of`` pins the evaluation to a held store generation
+        (DESIGN.md §16): the current one, or any generation kept alive
+        by :meth:`pin_generation` / a suspended continuation — the
+        answer is byte-identical to evaluating before the commits that
+        superseded it.
+        """
+        outcome = self._evaluate_one(
+            query, Mode.parse(mode), emit_matches, as_of=as_of
+        )
         self._advisor_observe((outcome,))
         return outcome
 
@@ -659,6 +907,7 @@ class QueryService:
         mode: Mode | str = Mode.MEMORY,
         emit_matches: bool = True,
         shared: bool | None = None,
+        as_of: int | None = None,
     ) -> BatchResult:
         """Evaluate ``queries`` in-process; merge counters in input order.
 
@@ -678,11 +927,11 @@ class QueryService:
             outcomes = self._evaluate_shared(
                 queries, mode, emit_matches, workers=0,
                 deadline=Deadline.after(None), degrade=False,
-                resilient=False,
+                resilient=False, as_of=as_of,
             )
         else:
             outcomes = [
-                self._evaluate_one(query, mode, emit_matches)
+                self._evaluate_one(query, mode, emit_matches, as_of=as_of)
                 for query in queries
             ]
         return self._assemble(outcomes, time.perf_counter() - begin)
@@ -727,6 +976,7 @@ class QueryService:
                 deadline=deadline, degrade=degrade, resilient=True,
             )
             return self._assemble(outcomes, time.perf_counter() - begin)
+        generation = self.catalog.generation
         plans = self._plan_batch(queries)
         outcomes: list[QueryOutcome | None] = [None] * len(queries)
         jobs: list[EvalJob] = []
@@ -737,7 +987,7 @@ class QueryService:
                 outcomes[i] = self._refuted_outcome(plan, canonical)
                 continue
             cached = self._result_cache.get(
-                (canonical, mode.value, emit_matches)
+                (generation, canonical, mode.value, emit_matches)
             )
             if cached is not None:
                 outcomes[i] = replace(cached, cached=True)
@@ -771,7 +1021,8 @@ class QueryService:
             for name in self._plan_view_names(plan):
                 self.breaker.record_success(name)
             self._result_cache.put(
-                (outcome.query, mode.value, emit_matches), outcome
+                (generation, outcome.query, mode.value, emit_matches),
+                outcome,
             )
             outcomes[result.index] = outcome
         for failure in failures:
@@ -840,6 +1091,15 @@ class QueryService:
         if workers <= 1:
             return self._run_jobs_sequential(jobs, warm, deadline)
         store = self._ensure_snapshot()
+        # The stripe-level MVCC pin: resolve the dispatched store's
+        # current generation once, here, and hand it to every stripe so
+        # pooled workers attach exactly this manifest even if a commit
+        # lands while the batch is in flight.  Temp snapshots carry the
+        # *store's* generation numbering, recorded at save time.
+        if store == self._store_path:
+            dispatch_generation: int | None = self.catalog.generation
+        else:
+            dispatch_generation = self._snapshot_generation
         pending: dict[int, EvalJob] = {job.index: job for job in jobs}
         results: dict[int, JobResult] = {}
         failures: dict[int, JobFailure] = {}
@@ -859,6 +1119,7 @@ class QueryService:
                 pool.submit(
                     run_worker_jobs, store, stripe, self.pool_capacity,
                     self.catalog.version, faults.active(), attempt,
+                    dispatch_generation,
                 )
                 for stripe in stripes
                 if stripe
@@ -985,10 +1246,11 @@ class QueryService:
         workers instead of blocking on them (they exit on their own once
         their current task — bounded by the injected-stall ceiling —
         completes or their pipe closes)."""
-        # A pool respawn is an executor-era boundary: tokens issued
-        # before it resume as typed ContinuationExpired, never a hang or
-        # a KeyError against recycled worker state.
-        self._expire_continuations()
+        # Quantum state lives in-process (the token carries the full
+        # cursor state), so a pool respawn does not invalidate
+        # continuations wholesale: only sessions whose pinned generation
+        # is no longer resolvable anywhere are dropped.
+        self._expire_reaped_sessions()
         if self._executor is None:
             return
         executor = self._executor
@@ -998,7 +1260,11 @@ class QueryService:
 
     # -- internals ------------------------------------------------------------
 
-    def _plan_batch(self, queries: Sequence[Pattern | str]) -> list[Plan]:
+    def _plan_batch(
+        self,
+        queries: Sequence[Pattern | str],
+        planner: Planner | None = None,
+    ) -> list[Plan]:
         """One plan per input, planning only once per distinct query text.
 
         The planner additionally memoizes by canonical form, so two
@@ -1006,18 +1272,22 @@ class QueryService:
         entry; the text memo here just keeps byte-identical duplicates
         from paying even the cache lookup.
         """
+        if planner is None:
+            planner = self.planner
         plans: list[Plan] = []
         by_text: dict[str, Plan] = {}
         for query in queries:
             text = query if isinstance(query, str) else query.to_xpath()
             plan = by_text.get(text)
             if plan is None:
-                plan = self.planner.plan(query)
+                plan = planner.plan(query)
                 by_text[text] = plan
             plans.append(plan)
         return plans
 
-    def _materialize_batch(self, plans: Sequence[Plan]) -> None:
+    def _materialize_batch(
+        self, plans: Sequence[Plan], catalog: ViewCatalog | None = None
+    ) -> None:
         """Materialize every plan's views once, in first-need order.
 
         Page layout — and with it physical-read accounting — follows the
@@ -1031,7 +1301,7 @@ class QueryService:
             if id(plan) in seen:
                 continue
             seen.add(id(plan))
-            self._materialize_plan(plan)
+            self._materialize_plan(plan, catalog)
 
     def _evaluate_shared(
         self,
@@ -1042,6 +1312,7 @@ class QueryService:
         deadline: Deadline,
         degrade: bool,
         resilient: bool,
+        as_of: int | None = None,
     ) -> list[QueryOutcome]:
         """Shared-scan batch execution (plan CSE + stream replay).
 
@@ -1057,15 +1328,17 @@ class QueryService:
         so outcomes and merged totals are byte-identical to the
         independent path while only the distinct nodes did work.
         """
+        catalog, planner = self._resolve_read(as_of)
+        generation = catalog.generation
         stats = self._shared_stats
         stats.batches += 1
         stats.queries += len(queries)
-        plans = self._plan_batch(queries)
+        plans = self._plan_batch(queries, planner)
         outcomes: list[QueryOutcome | None] = [None] * len(plans)
         nodes: dict[tuple, SharedNode] = {}
         for i, plan in enumerate(plans):
             canonical = plan.query.to_xpath()
-            if self.planner.refutes(plan.query):
+            if planner.refutes(plan.query):
                 outcomes[i] = self._refuted_outcome(plan, canonical)
                 continue
             key = node_key(plan, mode, emit_matches)
@@ -1074,7 +1347,7 @@ class QueryService:
                 node.consumers.append(i)
                 continue
             cached = self._result_cache.get(
-                (canonical, mode.value, emit_matches)
+                (generation, canonical, mode.value, emit_matches)
             )
             if cached is not None:
                 outcomes[i] = replace(cached, cached=True)
@@ -1084,7 +1357,9 @@ class QueryService:
                 consumers=[i],
             )
         stats.distinct_nodes += len(nodes)
-        epoch = (self.catalog.maintenance_epoch, self.planner.generation)
+        # The resolved pair's epoch stamps: frozen for a snapshot pair,
+        # so pinned readers keep hitting their pre-commit streams.
+        epoch = (catalog.maintenance_epoch, planner.generation)
         fresh: list[SharedNode] = []
         for node in nodes.values():
             replayed = self._stream_cache.get((epoch, node.digest))
@@ -1093,12 +1368,12 @@ class QueryService:
                 stats.stream_hits += 1
             else:
                 fresh.append(node)
-        self._materialize_batch([node.plan for node in fresh])
+        self._materialize_batch([node.plan for node in fresh], catalog)
         jobs = [
             EvalJob.from_patterns(
                 node.first, node.plan.query, node.plan.all_views,
                 node.plan.algorithm, node.plan.scheme, mode=mode,
-                emit_matches=emit_matches,
+                emit_matches=emit_matches, generation=as_of,
             )
             for node in fresh
         ]
@@ -1121,7 +1396,7 @@ class QueryService:
             # The sequential entry point has no degraded mode: a typed
             # failure propagates raw, exactly like ``_evaluate_one``.
             results = [
-                run_job(self.catalog, job, expect_warm=True) for job in jobs
+                run_job(catalog, job, expect_warm=True) for job in jobs
             ]
             failures = []
         for result in results:
@@ -1144,7 +1419,8 @@ class QueryService:
                 outcome = self._outcome_from(result, node.plan)
                 outcome.shared = node.replayed is not None
                 self._result_cache.put(
-                    (outcome.query, mode.value, emit_matches), outcome
+                    (generation, outcome.query, mode.value, emit_matches),
+                    outcome,
                 )
                 if resilient:
                     names = self._plan_view_names(node.plan)
@@ -1174,23 +1450,28 @@ class QueryService:
         return outcomes
 
     def _evaluate_one(
-        self, query: Pattern | str, mode: Mode, emit_matches: bool
+        self,
+        query: Pattern | str,
+        mode: Mode,
+        emit_matches: bool,
+        as_of: int | None = None,
     ) -> QueryOutcome:
-        plan = self.planner.plan(query)
+        catalog, planner = self._resolve_read(as_of)
+        plan = planner.plan(query)
         canonical = plan.query.to_xpath()
-        if self.planner.refutes(plan.query):
+        if planner.refutes(plan.query):
             return self._refuted_outcome(plan, canonical)
-        key = (canonical, mode.value, emit_matches)
+        key = (catalog.generation, canonical, mode.value, emit_matches)
         cached = self._result_cache.get(key)
         if cached is not None:
             return replace(cached, cached=True)
-        self._materialize_plan(plan)
+        self._materialize_plan(plan, catalog)
         job = EvalJob.from_patterns(
             0, plan.query, plan.all_views, plan.algorithm, plan.scheme,
-            mode=mode, emit_matches=emit_matches,
+            mode=mode, emit_matches=emit_matches, generation=as_of,
         )
         outcome = self._outcome_from(
-            run_job(self.catalog, job, expect_warm=True), plan
+            run_job(catalog, job, expect_warm=True), plan
         )
         self._result_cache.put(key, outcome)
         return outcome
@@ -1216,6 +1497,7 @@ class QueryService:
         mode: Mode | str = Mode.MEMORY,
         emit_matches: bool = True,
         budget: QuantumBudget | None = None,
+        as_of: int | None = None,
     ) -> QuantumOutcome:
         """Answer the first quantum of ``query``; suspend at ``budget``.
 
@@ -1232,28 +1514,38 @@ class QueryService:
         outcome.  Store corruption mid-quantum degrades exactly like
         :meth:`evaluate_parallel`: breaker fed, query re-answered from
         base views, ``degraded=True``.
+
+        The issued continuation token is stamped with the generation the
+        evaluation pinned (``as_of``, or the current one): maintenance
+        commits no longer expire it — the chain keeps resuming
+        byte-identically against that generation's snapshot until GC
+        reaps it.
         """
         mode = Mode.parse(mode)
-        plan = self.planner.plan(query)
+        catalog, planner = self._resolve_read(as_of)
+        plan = planner.plan(query)
         canonical = plan.query.to_xpath()
-        if self.planner.refutes(plan.query):
+        if planner.refutes(plan.query):
             return self._quantum_from_outcome(
                 self._refuted_outcome(plan, canonical)
             )
         if Algorithm.parse(plan.algorithm) is not Algorithm.VIEWJOIN:
-            outcome = self._evaluate_one(query, mode, emit_matches)
+            outcome = self._evaluate_one(query, mode, emit_matches,
+                                         as_of=as_of)
             self._advisor_observe((outcome,))
             return self._quantum_from_outcome(outcome, preemptible=False)
-        self._materialize_plan(plan)
+        self._materialize_plan(plan, catalog)
         begin = time.perf_counter()
         try:
             result, state = engine_evaluate_quantum(
-                plan.query, self.catalog, plan.all_views, plan.algorithm,
+                plan.query, catalog, plan.all_views, plan.algorithm,
                 plan.scheme, mode=mode, emit_matches=emit_matches,
-                budget=budget,
+                budget=budget, as_of=as_of,
             )
         except StoreCorrupt as exc:
-            return self._degraded_quantum(plan, mode, emit_matches, exc, begin)
+            return self._degraded_quantum(
+                plan, mode, emit_matches, exc, begin, catalog=catalog
+            )
         self._quanta_served += 1
         outcome = QuantumOutcome(
             query=canonical,
@@ -1270,11 +1562,11 @@ class QueryService:
             for name in self._plan_view_names(plan):
                 self.breaker.record_success(name)
             return outcome
-        sid = self._new_continuation()
+        sid = self._new_continuation(catalog.generation)
         outcome.preempted = True
         outcome.token = encode_token(self._continuation_payload(
             plan, mode, emit_matches, budget, sid, state, quanta=1,
-            io=result.io,
+            io=result.io, catalog=catalog,
         ))
         return outcome
 
@@ -1284,11 +1576,12 @@ class QueryService:
         Raises:
             ContinuationMalformed: the token bytes or payload are damaged
                 (truncated, bit-flipped, tampered) — typed, never a crash.
-            ContinuationExpired: the token is intact but stale — it
-                predates a maintenance commit (``maintenance_epoch`` /
-                ``store_version`` stamp mismatch), its session died with
-                a pool respawn, quarantine, advisor drop or shutdown, or
-                it was issued by another service instance.
+            ContinuationExpired: the token is intact but dead — its
+                pinned generation has been garbage-collected, its
+                session died with a quarantine-era GC, advisor drop or
+                shutdown, or it was issued by another service instance.
+                A maintenance commit alone no longer expires tokens: the
+                chain resumes against its generation's pinned snapshot.
         """
         payload = decode_token(token)
         parts = self._continuation_parts(payload)
@@ -1297,28 +1590,40 @@ class QueryService:
             self._continuations_expired += 1
             raise ContinuationExpired(
                 f"continuation {sid!r} is not live on this service"
-                " (expired by a pool respawn, maintenance commit,"
-                " quarantine, or shutdown — or issued by another service"
-                " instance)"
+                " (its generation was garbage-collected, or it expired"
+                " with a quarantine, advisor drop, or shutdown — or was"
+                " issued by another service instance)"
             )
-        if (
-            parts["maintenance_epoch"] != self.catalog.maintenance_epoch
-            or parts["store_version"] != self.catalog.store_version
-        ):
+        generation = parts["generation"]
+        try:
+            catalog, planner = self._resolve_read(generation)
+        except ServiceError:
             self._continuations.pop(sid, None)
             self._continuations_expired += 1
             raise ContinuationExpired(
-                "continuation predates a maintenance commit: the region"
-                " labels its cursors rest on have shifted (re-issue the"
-                " query)"
+                f"continuation's pinned store generation {generation}"
+                " has been garbage-collected (re-issue the query"
+                " against the current generation)"
+            ) from None
+        if (
+            parts["maintenance_epoch"] != catalog.maintenance_epoch
+            or parts["store_version"] != catalog.store_version
+        ):
+            self._continuations.pop(sid, None)
+            self._continuations_expired += 1
+            self._release_generation(generation)
+            raise ContinuationExpired(
+                "continuation's epoch stamps do not match its pinned"
+                " generation (issued by another service instance?)"
             )
         views = parts["views"]
         for view in views:
             try:
-                self.catalog.get(view, parts["scheme"])
+                catalog.get(view, parts["scheme"])
             except StorageError:
                 self._continuations.pop(sid, None)
                 self._continuations_expired += 1
+                self._release_generation(generation)
                 raise ContinuationExpired(
                     f"planned view {view.to_xpath()!r} is no longer"
                     " materialized (quarantined or dropped)"
@@ -1326,18 +1631,20 @@ class QueryService:
         begin = time.perf_counter()
         try:
             result, state = engine_evaluate_quantum(
-                parts["query"], self.catalog, views, Algorithm.VIEWJOIN,
+                parts["query"], catalog, views, Algorithm.VIEWJOIN,
                 parts["scheme"], mode=parts["mode"],
                 emit_matches=parts["emit"], budget=parts["budget"],
-                state=parts["state"],
+                state=parts["state"], as_of=generation,
             )
         except StoreCorrupt as exc:
             self._continuations.pop(sid, None)
-            plan = self.planner.plan(parts["query"])
-            return self._degraded_quantum(
+            plan = planner.plan(parts["query"])
+            outcome = self._degraded_quantum(
                 plan, parts["mode"], parts["emit"], exc, begin,
-                quanta=parts["quanta"] + 1,
+                quanta=parts["quanta"] + 1, catalog=catalog,
             )
+            self._release_generation(generation)
+            return outcome
         self._quanta_served += 1
         quanta = parts["quanta"] + 1
         prior = parts["io"]
@@ -1363,6 +1670,7 @@ class QueryService:
         if state is None:
             self._continuations.pop(sid, None)
             self._continuations_completed += 1
+            self._release_generation(generation)
             return outcome
         record = self._continuations[sid]
         record["quanta"] = quanta
@@ -1387,22 +1695,37 @@ class QueryService:
             "quanta_served": self._quanta_served,
         }
 
-    def _new_continuation(self) -> str:
+    def _new_continuation(self, generation: int) -> str:
         self._continuation_seq += 1
         sid = f"c{self._continuation_seq}"
-        self._continuations[sid] = {"quanta": 1}
+        self._continuations[sid] = {"quanta": 1, "generation": generation}
         self._continuations_issued += 1
         return sid
 
     def _expire_continuations(self) -> int:
-        """Invalidate every live continuation; stale tokens resume as
-        typed :class:`ContinuationExpired` instead of touching recycled
-        state.  Returns how many were dropped."""
+        """Invalidate every live continuation (shutdown only); stale
+        tokens resume as typed :class:`ContinuationExpired` instead of
+        touching recycled state.  Returns how many were dropped."""
         dropped = len(self._continuations)
         if dropped:
             self._continuations.clear()
             self._continuations_purged += dropped
         return dropped
+
+    def _expire_reaped_sessions(self) -> int:
+        """Drop only the sessions whose pinned generation is no longer
+        resolvable — neither the live generation nor a held snapshot.
+        Sessions on resolvable generations survive pool respawns and
+        maintenance commits untouched (their state is in-process)."""
+        live = {self.catalog.generation} | set(self._generation_snapshots)
+        stale = [
+            sid for sid, record in self._continuations.items()
+            if record.get("generation") not in live
+        ]
+        for sid in stale:
+            del self._continuations[sid]
+        self._continuations_purged += len(stale)
+        return len(stale)
 
     def _continuation_payload(
         self,
@@ -1414,11 +1737,13 @@ class QueryService:
         state: PlanState,
         quanta: int,
         io: IOStats,
+        catalog: ViewCatalog,
     ) -> dict:
         return {
             "sid": sid,
-            "store_version": self.catalog.store_version,
-            "maintenance_epoch": self.catalog.maintenance_epoch,
+            "generation": catalog.generation,
+            "store_version": catalog.store_version,
+            "maintenance_epoch": catalog.maintenance_epoch,
             "query": plan.query.to_xpath(),
             "views": [
                 [view.to_xpath(), view.name] for view in plan.all_views
@@ -1449,7 +1774,9 @@ class QueryService:
         sid = payload.get("sid")
         if not isinstance(sid, str) or not sid:
             bad("missing session id")
-        for key in ("store_version", "maintenance_epoch", "quanta"):
+        for key in (
+            "generation", "store_version", "maintenance_epoch", "quanta"
+        ):
             if not isinstance(payload.get(key), int):
                 bad(f"{key} must be an int")
         if payload["quanta"] < 1:
@@ -1497,6 +1824,7 @@ class QueryService:
             ) from None
         return {
             "sid": sid,
+            "generation": payload["generation"],
             "store_version": payload["store_version"],
             "maintenance_epoch": payload["maintenance_epoch"],
             "query": query,
@@ -1541,6 +1869,7 @@ class QueryService:
         exc: StoreCorrupt,
         begin: float,
         quanta: int = 1,
+        catalog: ViewCatalog | None = None,
     ) -> QuantumOutcome:
         """Store corruption mid-quantum: feed the breaker, re-answer from
         base views, and finish the chain in one degraded done quantum."""
@@ -1551,7 +1880,8 @@ class QueryService:
         )
         self._note_failure(plan, failure)
         outcome = self._quantum_from_outcome(
-            self._evaluate_degraded(plan, mode, emit_matches), quanta=quanta
+            self._evaluate_degraded(plan, mode, emit_matches, catalog),
+            quanta=quanta,
         )
         outcome.elapsed_s = time.perf_counter() - begin
         return outcome
@@ -1588,17 +1918,27 @@ class QueryService:
         for name in names:
             self.catalog.remove_view(name)
         self.invalidate_results()
-        # Any suspended query may have planned over a now-dropped view.
-        self._expire_continuations()
+        # Suspended queries are NOT purged wholesale: a session resting
+        # on a pinned snapshot still holds the view (copy-on-write
+        # pages), and a live-generation session that did plan over a
+        # now-dropped view dies typed at resume's per-view check.
 
     def _evaluate_degraded(
-        self, plan: Plan, mode: Mode, emit_matches: bool
+        self,
+        plan: Plan,
+        mode: Mode,
+        emit_matches: bool,
+        catalog: ViewCatalog | None = None,
     ) -> QueryOutcome:
         """Re-answer a failed query from base views over the base
         document — a fresh in-memory catalog, untouched by whatever
-        damaged the store.  Fault injection is suspended for the rerun:
-        the chaos harness simulates *store* failures, and this path is
-        the recovery route that must stay correct."""
+        damaged the store.  ``catalog`` picks which generation's
+        document is the base truth (a pinned snapshot's for a snapshot
+        read, the live one otherwise).  Fault injection is suspended for
+        the rerun: the chaos harness simulates *store* failures, and
+        this path is the recovery route that must stay correct."""
+        if catalog is None:
+            catalog = self.catalog
         self._degraded_queries += 1
         base_views = [
             self.planner._base_view(qnode) for qnode in plan.query.nodes
@@ -1608,8 +1948,8 @@ class QueryService:
             mode=mode, emit_matches=emit_matches,
         )
         fallback = ViewCatalog(
-            self.catalog.document,
-            partial_distance=self.catalog.partial_distance,
+            catalog.document,
+            partial_distance=catalog.partial_distance,
         )
         try:
             with faults.suspended():
@@ -1644,6 +1984,9 @@ class QueryService:
             "job_retries": self._job_retries,
             "pool_respawns": self._pool_respawns,
             "deadline_expiries": self._deadline_expiries,
+            "pinned_generations": len(self._generation_snapshots),
+            "generations_reaped": self._generations_reaped,
+            "generation_cache_evictions": self._generation_cache_evictions,
         }
 
     @staticmethod
@@ -1699,6 +2042,11 @@ class QueryService:
         if self._snapshot_version != version:
             save_catalog(self.catalog, self._snapshot_dir)
             self._snapshot_version = version
+            # The temp store numbers its generations itself (one per
+            # save); record the published one for stripe pinning.
+            self._snapshot_generation = read_store_version(
+                self._snapshot_dir
+            )[0]
         return self._snapshot_dir
 
     # -- lifecycle ------------------------------------------------------------
@@ -1716,10 +2064,15 @@ class QueryService:
         self._expire_continuations()
         self._discard_executor(join=True)
         self._stream_cache.close()
+        for pin in self._generation_snapshots.values():
+            pin.catalog.close()
+        self._generation_snapshots.clear()
+        self._user_pins.clear()
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._snapshot_dir = None
             self._snapshot_version = None
+            self._snapshot_generation = None
         if self._owns_catalog:
             self.catalog.close()
 

@@ -42,6 +42,13 @@ class EvalJob:
     emit_matches: bool = True
     repeats: int = 1
     query_name: str | None = None
+    #: MVCC pin (DESIGN.md §16): the store generation this job must be
+    #: answered from.  ``None`` means "whatever the executing catalog
+    #: holds" (the pre-MVCC behaviour).  Workers use it to pick which
+    #: generation to attach; :func:`run_job` passes it to the engine as
+    #: ``as_of`` so a mismatched catalog fails typed instead of
+    #: answering from the wrong snapshot.
+    generation: int | None = None
 
     @classmethod
     def from_patterns(
@@ -55,6 +62,7 @@ class EvalJob:
         emit_matches: bool = True,
         repeats: int = 1,
         query_name: str | None = None,
+        generation: int | None = None,
     ) -> "EvalJob":
         if isinstance(query, str):
             query_text = query
@@ -71,6 +79,7 @@ class EvalJob:
             mode=Mode.parse(mode).value,
             emit_matches=emit_matches,
             repeats=repeats,
+            generation=generation,
         )
 
     @property
@@ -165,6 +174,7 @@ def run_job(
         result = evaluate(
             query, catalog, views, job.algorithm, job.scheme,
             mode=job.mode, emit_matches=job.emit_matches,
+            as_of=job.generation,
         )
         timings.append(time.perf_counter() - begin)
     assert result is not None

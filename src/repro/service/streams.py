@@ -8,9 +8,13 @@ touching the view store at all.
 Keys are ``((maintenance_epoch, planner_generation), node_digest)`` —
 the epoch pair changes on every catalog/plan mutation (view
 registration, adoption, quarantine, maintenance commit), so a stale
-stream can never match a post-update batch's key.  The owning service
-additionally clears the cache outright in ``invalidate_results``, which
-every mutating path already calls.
+stream can never match a post-update batch's key.  Since the MVCC work
+(DESIGN.md §16) the epoch pair is per *generation*: a maintenance
+commit rolls the key instead of purging, so readers pinned to an older
+generation keep replaying their streams; entries of GC-reaped
+generations are dropped via :meth:`StreamCache.evict`.  View-set
+mutations inside a generation (register, adoption, quarantine) still
+clear the cache outright through ``invalidate_results``.
 
 Spill buffer
 ------------
@@ -131,6 +135,13 @@ class StreamCache:
             weight = len(keys) * arity * 4
         self._cache.put(key, _StreamEntry(result, stored, weight),
                         weight=weight)
+
+    def evict(self, predicate) -> int:
+        """Drop entries whose *key* matches ``predicate`` (GC of reaped
+        generations).  Spill pages of evicted entries are not reclaimed
+        individually — the next :meth:`clear` reclaims them wholesale —
+        but their bytes leave the weight budget immediately."""
+        return self._cache.invalidate(predicate)
 
     def clear(self) -> int:
         """Drop every stream and reclaim the spill pages; returns how

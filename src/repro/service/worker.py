@@ -8,6 +8,17 @@ page bytes are shared through the file and decoded lazily via the
 worker's own buffer pool, so nothing heavyweight ever crosses the
 process boundary in either direction.
 
+MVCC attachment (DESIGN.md §16): the per-process memo is keyed by
+``(store path, generation)``.  The parent pins the generation its batch
+must be answered from and ships it with every stripe, so a maintenance
+commit landing a new generation mid-batch cannot move a worker off its
+snapshot — the pinned generation's manifest stays loadable from the
+store's ``generations/`` archive, and later stripes at the new
+generation simply attach under a fresh memo key, with no stop-the-world
+reattach.  Stores without a generation archive (the service's temp
+snapshot of an in-memory catalog) are rewritten in place, so attaching
+one drops every other memo entry for that path.
+
 Failure semantics: a job that trips a checksum (``StoreCorrupt``) turns
 into a :class:`~repro.service.jobs.JobFailure` in the returned list, so
 one corrupt view never takes down its stripe-mates; a job killed by an
@@ -21,26 +32,31 @@ deterministic across respawned workers.
 from __future__ import annotations
 
 import os
+import pathlib
 from typing import Sequence
 
-from repro.errors import StoreCorrupt
+from repro.errors import StorageError, StoreCorrupt
 from repro.resilience import faults
 from repro.resilience.faults import FaultPlan
 from repro.service.jobs import EvalJob, JobFailure, JobResult, run_job
 from repro.storage.catalog import ViewCatalog
 from repro.storage.persistence import load_catalog, read_store_version
 
-#: Per-process store attachments: path -> (parent catalog version,
-#: on-disk ``store_version`` at attach time, attached catalog).
-#: A service keeps its worker pool alive across batches; re-parsing the
-#: store's document XML on every batch would dominate small batches, so
-#: each worker attaches once and reuses the catalog until either marker
-#: moves.  The parent version catches view-set growth (snapshot re-saved
-#: under the same path); the on-disk version catches maintenance commits
-#: that rewrite the store underneath a live attachment — the manifest is
-#: re-read on every call, so a worker can never serve pages from a store
-#: generation the manifest no longer describes.
-_ATTACHED: dict[str, tuple[int, int, ViewCatalog]] = {}
+#: Per-process store attachments: ``(path, generation)`` -> (parent
+#: catalog version at attach time, attached catalog).  A service keeps
+#: its worker pool alive across batches; re-parsing the store's document
+#: XML on every batch would dominate small batches, so each worker
+#: attaches a generation once and reuses the catalog for every stripe
+#: pinned to it.  Generations are immutable once published, so a memo
+#: hit can never serve a different store state than a fresh attach —
+#: the parent version is kept only to catch the same *path* being
+#: re-saved as a brand-new store (tmp-dir reuse).
+_ATTACHED: dict[tuple[str, int], tuple[int | None, ViewCatalog]] = {}
+
+#: Distinct generations a worker keeps attached at once; the oldest
+#: entries are closed beyond this (suspended readers page slowly while
+#: commits land, so a small window covers the live set).
+_MAX_ATTACHED = 8
 
 
 def _job_views(job: EvalJob) -> tuple[str, ...]:
@@ -75,6 +91,52 @@ def _run_one(
         )
 
 
+def _evict_path(path: str, keep: int | None = None) -> None:
+    """Close every memoized attachment of ``path`` except ``keep``."""
+    doomed = [
+        key for key in _ATTACHED
+        if key[0] == path and key[1] != keep
+    ]
+    for key in doomed:
+        __, catalog = _ATTACHED.pop(key)
+        catalog.close()
+
+
+def _evict_overflow() -> None:
+    while len(_ATTACHED) > _MAX_ATTACHED:
+        key = next(iter(_ATTACHED))  # oldest insertion
+        __, catalog = _ATTACHED.pop(key)
+        catalog.close()
+
+
+def _attach(
+    path: str,
+    generation: int,
+    parent_version: int | None,
+    pool_capacity: int,
+) -> ViewCatalog:
+    key = (path, generation)
+    memo = _ATTACHED.get(key)
+    if memo is not None:
+        attached_parent, catalog = memo
+        if attached_parent == parent_version:
+            return catalog
+        # Same path, same generation number, different parent catalog:
+        # the path was re-saved as a new store (generation numbering
+        # restarted) — everything memoized under it is stale.
+        _evict_path(path)
+    if not (pathlib.Path(path) / "generations").is_dir():
+        # No archive: this store is rewritten in place on every save,
+        # so any other attached generation of it points at dead pages.
+        _evict_path(path)
+    catalog = load_catalog(
+        path, pool_capacity=pool_capacity, generation=generation
+    )
+    _ATTACHED[key] = (parent_version, catalog)
+    _evict_overflow()
+    return catalog
+
+
 def run_worker_jobs(
     store_dir: str | os.PathLike,
     jobs: Sequence[EvalJob],
@@ -82,6 +144,7 @@ def run_worker_jobs(
     store_version: int | None = None,
     fault_plan: FaultPlan | None = None,
     fault_salt: int = 0,
+    generation: int | None = None,
 ) -> list[JobResult | JobFailure]:
     """Attach the store and evaluate ``jobs`` in order.
 
@@ -93,6 +156,9 @@ def run_worker_jobs(
     :func:`~repro.service.jobs.run_job` drops the buffer pool per repeat,
     so reuse never changes any counter.)
 
+    ``generation`` pins the whole stripe to one published store
+    generation (a job's own ``generation`` field overrides it per job);
+    ``None`` resolves the store's current generation once, up front.
     ``store_version`` enables the per-process attachment memo: pass the
     catalog version the snapshot was saved at, and the worker re-attaches
     only when it changes.  ``None`` keeps the one-shot behaviour (attach,
@@ -106,7 +172,7 @@ def run_worker_jobs(
     if fault_plan is not None:
         faults.install(fault_plan, salt=fault_salt)
     path = os.fspath(store_dir)
-    if store_version is None:
+    if store_version is None and generation is None:
         try:
             catalog = load_catalog(path, pool_capacity=pool_capacity)
         except StoreCorrupt as exc:
@@ -115,20 +181,43 @@ def run_worker_jobs(
             return [_run_one(catalog, job) for job in jobs]
         finally:
             catalog.close()
-    disk_version, __ = read_store_version(path)
-    memo = _ATTACHED.get(path)
-    if memo is not None:
-        parent_version, attached_disk, catalog = memo
-        if parent_version != store_version or attached_disk != disk_version:
-            _ATTACHED.pop(path)
-            catalog.close()
-            memo = None
-    if memo is None:
-        try:
-            catalog = load_catalog(path, pool_capacity=pool_capacity)
-        except StoreCorrupt as exc:
-            # The store is unreadable at attach: every job in the stripe
-            # fails typed rather than hanging or crashing the pool.
-            return [_attach_failure(exc, job) for job in jobs]
-        _ATTACHED[path] = (store_version, disk_version, catalog)
-    return [_run_one(catalog, job) for job in jobs]
+    if generation is None:
+        # One manifest read per stripe, *before* any job runs: every
+        # job without its own pin answers from this one generation even
+        # if a commit lands while the stripe is in flight.
+        generation, __ = read_store_version(path)
+    return [
+        _attach_and_run(
+            path,
+            generation if job.generation is None else job.generation,
+            store_version, pool_capacity, job,
+        )
+        for job in jobs
+    ]
+
+
+def _attach_and_run(
+    path: str,
+    pinned: int,
+    store_version: int | None,
+    pool_capacity: int,
+    job: EvalJob,
+) -> JobResult | JobFailure:
+    """One job against its pinned generation; attach errors come back
+    typed so a bad generation never takes down its stripe-mates."""
+    try:
+        catalog = _attach(path, pinned, store_version, pool_capacity)
+    except StoreCorrupt as exc:
+        # The store is unreadable at attach: the job fails typed
+        # rather than hanging or crashing the pool.
+        return _attach_failure(exc, job)
+    except StorageError as exc:
+        # Pinned generation reaped (or never published): typed per-job
+        # failure.
+        return JobFailure(
+            index=job.index,
+            kind="error",
+            message=str(exc),
+            views=_job_views(job),
+        )
+    return _run_one(catalog, job)

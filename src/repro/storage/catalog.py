@@ -159,6 +159,14 @@ class ViewCatalog:
         #: catalogs.  Workers compare it against the manifest on disk to
         #: detect stores rewritten underneath a live attachment.
         self.store_version = 0
+        #: MVCC generation this catalog answers for (DESIGN.md §16).
+        #: Store-attached catalogs carry the manifest's generation number
+        #: (== ``store_version``); in-memory catalogs count maintenance
+        #: commits from 0.  Bumped by :meth:`install_maintained` and set
+        #: by ``load_catalog``/``commit_store``.  Snapshot catalogs from
+        #: :meth:`pin_snapshot` keep the pre-commit value forever.
+        self.generation = 0
+        self._borrowed_pager = False
 
     @staticmethod
     def _key_name(pattern: Pattern) -> str:
@@ -278,7 +286,35 @@ class ViewCatalog:
         self._views = dict(views)
         self.version += 1
         self.maintenance_epoch += 1
+        self.generation += 1
         self.pager.pool.clear()
+
+    def pin_snapshot(self) -> "ViewCatalog":
+        """A frozen read-only alias of this catalog's *current* state.
+
+        Taken immediately before a maintenance commit, the snapshot
+        keeps answering for the outgoing generation: it shares the
+        pager (repairs are copy-on-write, so the old pages are never
+        patched) but holds its own references to the pre-commit
+        document and view rows, which :meth:`install_maintained` on the
+        live catalog can no longer disturb.  The snapshot's ``close``
+        does not close the shared pager; queries may still materialize
+        missing scheme variants through it (fresh pages, invisible to
+        every manifest).
+        """
+        snapshot = ViewCatalog(
+            self.document,
+            pager=self.pager,
+            partial_distance=self.partial_distance,
+        )
+        snapshot._views = dict(self._views)
+        snapshot.materializations = self.materializations
+        snapshot.version = self.version
+        snapshot.maintenance_epoch = self.maintenance_epoch
+        snapshot.store_version = self.store_version
+        snapshot.generation = self.generation
+        snapshot._borrowed_pager = True
+        return snapshot
 
     def space_report(self) -> list[dict[str, object]]:
         """Per-view size/pointer rows (the shape of paper Table IV)."""
@@ -296,7 +332,8 @@ class ViewCatalog:
         return rows
 
     def close(self) -> None:
-        self.pager.close()
+        if not self._borrowed_pager:
+            self.pager.close()
 
     def __enter__(self) -> "ViewCatalog":
         return self

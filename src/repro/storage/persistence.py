@@ -10,9 +10,11 @@ view pages are read lazily through the buffer pool on first use.
 Store layout::
 
     <directory>/
-      document.xml     the data tree
+      document.xml     the data tree (current generation)
       pages.bin        all views' pages, compacted
-      manifest.json    catalog metadata
+      manifest.json    catalog metadata (current generation)
+      generations/     archived manifests+documents of past commits
+                       (``storage/generations.py``; MVCC snapshots)
 
 Crash atomicity: every file is written to a ``*.tmp`` sibling, fsynced,
 and moved into place with ``os.replace``; the manifest goes last, so a
@@ -35,6 +37,12 @@ from repro.resilience import faults
 from repro.resilience.guard import checksum_map, page_checksum, read_manifest
 from repro.resilience.guard import verify_store as _verify_store
 from repro.storage.catalog import Scheme, ViewCatalog, ViewInfo
+from repro.storage.generations import (
+    archive_current_generation,
+    clear_generations,
+    generation_document_path,
+    load_generation_manifest,
+)
 from repro.storage.element import ElementView
 from repro.storage.linked import LinkedElementView, PointerStats
 from repro.storage.lists import SlottedList, StoredList
@@ -140,6 +148,10 @@ def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
     _crash_point("store-write")
     os.replace(tmp_doc, target / "document.xml")
     os.replace(tmp_pages, pages)
+    # A snapshot save truncates pages.bin, so any archived generation
+    # manifests would point at pages that no longer exist: the chain
+    # restarts here.
+    clear_generations(target)
     manifest = {
         "format": _FORMAT_VERSION,
         "page_size": catalog.pager.page_size,
@@ -148,6 +160,7 @@ def save_catalog(catalog: ViewCatalog, directory: str | os.PathLike) -> None:
         # A freshly saved snapshot is current by construction: any
         # update-log records already in the directory are reflected.
         "store_version": old_version + 1,
+        "generation": old_version + 1,
         "wal_lsn": _wal_tip(target, old_lsn),
         "page_checksums": {
             str(page_id): crc for page_id, crc in sorted(checksums.items())
@@ -175,10 +188,13 @@ def commit_store(
 
     The maintenance counterpart of :func:`save_catalog`: repaired view
     pages were already appended (copy-on-write) to the store's own
-    ``pages.bin``, so nothing is copied — the page file is flushed, then
+    ``pages.bin``, so nothing is copied — the page file is flushed, the
+    outgoing generation's manifest+document are archived under
+    ``generations/`` (so pinned readers can still attach them), then
     ``document.xml`` and ``manifest.json`` are atomically replaced.  The
-    manifest gets a bumped ``store_version`` and, when given, the new
-    ``wal_lsn`` high-water mark.  Returns the new store version.
+    manifest gets a bumped ``store_version`` (== its generation number)
+    and, when given, the new ``wal_lsn`` high-water mark.  Returns the
+    new store version.
     """
     target = pathlib.Path(directory)
     live = catalog.pager.page_file.path
@@ -197,6 +213,10 @@ def commit_store(
 
     views = [_view_record(info) for info in catalog.views()]
     checksums = _store_checksums(catalog, views)
+    # Archive the outgoing generation before anything is replaced: the
+    # copy is additive and idempotent, so a crash mid-archive leaves the
+    # previous store fully intact (plus at worst an orphan archive file).
+    archive_current_generation(target)
     # A crash up to here (the injected store-write fault) loses nothing:
     # repaired pages were appended copy-on-write, so the old manifest
     # still points at the old pages and the already-fsynced update log
@@ -210,6 +230,7 @@ def commit_store(
         "partial_distance": catalog.partial_distance,
         "document": catalog.document.name,
         "store_version": old_version + 1,
+        "generation": old_version + 1,
         "wal_lsn": old_lsn if wal_lsn is None else wal_lsn,
         "page_checksums": {
             str(page_id): crc for page_id, crc in sorted(checksums.items())
@@ -218,6 +239,7 @@ def commit_store(
     }
     _write_manifest(target, manifest)
     catalog.store_version = old_version + 1
+    catalog.generation = old_version + 1
     catalog.pager.page_file.expected_crc = dict(checksums)
     return catalog.store_version
 
@@ -310,6 +332,7 @@ def load_catalog(
     directory: str | os.PathLike,
     pool_capacity: int = 64,
     verify: bool = False,
+    generation: int | None = None,
 ) -> ViewCatalog:
     """Reopen a saved catalog; view pages load lazily on access.
 
@@ -319,16 +342,34 @@ def load_catalog(
     log) is additionally checked up front, refusing a damaged store
     with a typed :class:`~repro.errors.StoreCorrupt` before any query
     can observe it.
+
+    ``generation`` pins the attachment to a specific published
+    generation (MVCC snapshot read, DESIGN.md §16): when it differs
+    from the current manifest's, the archived manifest+document under
+    ``generations/`` are attached against the shared append-only page
+    file.  A reaped or never-published generation raises a typed
+    :class:`~repro.errors.StorageError`.  This is the *pin point* the
+    RL206 snapshot-discipline lint rule recognizes — read-path code
+    must reach the store through it, never by re-reading the mutable
+    current manifest.
     """
     source = pathlib.Path(directory)
     manifest = read_manifest(source)
+    current_generation = int(
+        manifest.get("generation", manifest.get("store_version", 1))
+    )
+    doc_path = source / "document.xml"
+    if generation is not None and generation != current_generation:
+        manifest = load_generation_manifest(source, generation)
+        doc_path = generation_document_path(source, generation)
+        verify = False  # whole-store verification covers current only
     if manifest.get("format") != _FORMAT_VERSION:
         raise StorageError(
             f"unsupported catalog format {manifest.get('format')!r}"
         )
     if verify:
         _verify_store(source).raise_if_bad()
-    document = parse_xml_file(source / "document.xml")
+    document = parse_xml_file(doc_path)
     document.name = manifest.get("document", document.name)
     pager = Pager(
         source / "pages.bin",
@@ -342,6 +383,9 @@ def load_catalog(
         partial_distance=manifest.get("partial_distance", 1),
     )
     catalog.store_version = int(manifest.get("store_version", 1))
+    catalog.generation = int(
+        manifest.get("generation", catalog.store_version)
+    )
     for record in manifest["views"]:
         info = _load_view(record, document, pager)
         key = (info.pattern.name or info.pattern.to_xpath(), info.scheme)

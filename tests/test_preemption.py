@@ -245,7 +245,11 @@ def test_unbudgeted_quantum_is_done(service):
     assert outcome.page == list(one.match_keys)
 
 
-def test_maintenance_commit_expires_tokens(service):
+def test_maintenance_commit_pins_tokens(service):
+    """MVCC (DESIGN.md §16): a commit no longer expires suspended
+    tokens — the chain keeps resuming against its pinned pre-commit
+    generation, byte-identical to an uninterrupted run."""
+    one = service.evaluate(QUERY)
     outcome = service.evaluate_quantum(
         QUERY, budget=QuantumBudget(max_steps=1)
     )
@@ -254,24 +258,32 @@ def test_maintenance_commit_expires_tokens(service):
     victim = [n for n in doc.nodes if n.tag == "c"][0]
     report = service.apply_updates([DeleteSubtree(root_start=victim.start)])
     assert report.deltas == 1
-    with pytest.raises(ContinuationExpired):
-        service.resume_quantum(outcome.token)
-    assert service.continuation_metrics()["purged"] == 1
-    # The service still answers the query fresh, post-update.
-    fresh = service.evaluate_quantum(QUERY)
-    assert fresh.done or fresh.token
+    assert service.resilience_metrics()["pinned_generations"] == 1
+    pages, last = drain_tokens(service, outcome)
+    assert pages == list(one.match_keys)
+    assert last.counters.as_dict() == one.counters.as_dict()
+    # The chain is done: nothing references the old generation now.
+    assert service.resilience_metrics()["pinned_generations"] == 0
+    # Fresh reads see the new generation: the delete shifted region
+    # labels, so the post-commit answer differs from the pinned one.
+    fresh = service.evaluate(QUERY)
+    assert fresh.match_keys != one.match_keys
 
 
-def test_pool_respawn_expires_tokens(service):
-    """Satellite 1: a suspended token outliving an executor respawn gets
-    a typed ContinuationExpired — never a hang or a KeyError."""
+def test_pool_respawn_keeps_live_sessions(service):
+    """Satellite: a pool respawn only drops sessions whose generation
+    was reaped; a suspended chain on a resolvable generation survives
+    and finishes byte-identically (its state is in-process)."""
+    one = service.evaluate(QUERY)
     outcome = service.evaluate_quantum(
         QUERY, budget=QuantumBudget(max_steps=1)
     )
     assert not outcome.done
     service._discard_executor()  # what a BrokenProcessPool recovery does
-    with pytest.raises(ContinuationExpired):
-        service.resume_quantum(outcome.token)
+    pages, last = drain_tokens(service, outcome)
+    assert pages == list(one.match_keys)
+    assert last.counters.as_dict() == one.counters.as_dict()
+    assert service.continuation_metrics()["purged"] == 0
 
 
 def test_close_expires_tokens(doc):

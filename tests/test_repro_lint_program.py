@@ -336,6 +336,51 @@ def test_rl205_flags_global_mutation_under_get_next():
     assert "mutates-global" in found[0].message
 
 
+# -- RL206: snapshot discipline ------------------------------------------------
+
+RL206_POSITIVE = """\
+def current_generation(path):
+    return read_store_version(path)
+
+def run_job(catalog, job):
+    latest = current_generation(job.path)
+    return (latest, catalog)
+"""
+
+
+def test_rl206_flags_latest_resolution_under_read_root():
+    found = lint_text(RL206_POSITIVE, "service/jobs.py")
+    assert codes(found) == ["RL206"]
+    # anchored at the read root, naming the chain to the resolution
+    assert found[0].symbol == "run_job"
+    assert "current_generation" in found[0].message
+
+
+def test_rl206_clean_when_generation_is_pinned():
+    clean = RL206_POSITIVE.replace(
+        "return read_store_version(path)", "return job.generation"
+    )
+    assert lint_text(clean, "service/jobs.py") == []
+
+
+def test_rl206_allows_resolution_inside_pin_point():
+    # _ensure_snapshot is a sanctioned pin point: it may resolve
+    # "latest" (exactly once, before evaluation) without firing.
+    source = (
+        "class QueryService:\n"
+        "    def _ensure_snapshot(self):\n"
+        "        return read_store_version(self._dir)\n\n"
+        "    def resume_quantum(self, token):\n"
+        "        snap = self._ensure_snapshot()\n"
+        "        return snap\n"
+    )
+    assert lint_text(source, "service/core.py") == []
+
+
+def test_rl206_ignores_non_read_path_modules():
+    assert lint_text(RL206_POSITIVE, "maintenance/foo.py") == []
+
+
 # -- analysis cache ------------------------------------------------------------
 
 CACHE_APP = (

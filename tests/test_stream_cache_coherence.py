@@ -6,13 +6,14 @@ Every event that can change what a node's stream *should* contain must
 leave no replayable stale entry behind:
 
 * ``register`` (new view changes plans: planner generation bump + clear);
-* ``apply_updates`` (document changed: maintenance epoch bump + clear);
+* ``apply_updates`` (document changed: maintenance epoch bump rolls the
+  cache *keys* — pre-commit entries stay resident for pinned snapshot
+  readers, but no post-commit batch may replay them);
 * circuit-breaker quarantine (view dropped mid-flight: clear);
 * ``adopt_catalog_views`` (catalog-level registrations adopted: bump).
 
 Each test populates the cache with one batch, mutates, and checks the
-next batch against ground truth recomputed from scratch — plus that the
-eager clear actually reclaimed the entries.
+next batch against ground truth recomputed from scratch.
 """
 
 from __future__ import annotations
@@ -82,7 +83,7 @@ def test_register_invalidates_streams(service):
     assert_batch_is_fresh_truth(service, hits)
 
 
-def test_apply_updates_invalidates_streams(service):
+def test_apply_updates_rolls_stream_keys(service):
     hits = prime(service)
     before = service.evaluate_batch(QUERIES, shared=True).match_counts
     epoch = service.catalog.maintenance_epoch
@@ -90,8 +91,12 @@ def test_apply_updates_invalidates_streams(service):
     report = service.apply_updates([DeleteSubtree(root_start=victim.start)])
     assert report.deltas == 1
     assert service.catalog.maintenance_epoch > epoch
-    assert len(service._stream_cache) == 0
-    # stream_hits moved by the pre-mutation batch above, so re-baseline.
+    # Generation-keyed streams (DESIGN.md §16): the commit rolls the
+    # epoch component of every key instead of purging, so the entries
+    # stay resident for snapshot readers pinned to the old generation...
+    assert len(service._stream_cache) > 0
+    # ...but a post-commit batch keys under the new epoch pair: zero
+    # replays, recomputed from the new document (fresh truth).
     hits = service.shared_metrics()["stream_hits"]
     after = assert_batch_is_fresh_truth(service, hits)
     assert after.match_counts != before  # the delete really changed answers
